@@ -1,0 +1,3 @@
+//! This crate hosts the workspace-level runnable examples (`/examples`) and
+//! cross-crate integration tests (`/tests`) of the DECAF reproduction; it
+//! has no library API of its own. See the repository README for the map.

@@ -1,0 +1,28 @@
+//! A1 — delegate-commit ablation (paper §3.1).
+//!
+//! With a single remote primary and no RC guesses, the originator delegates
+//! the commit decision: the primary commits in t instead of 3t and third
+//! replicas in 2t instead of 3t, with fewer messages.
+
+use decaf_bench::{a1_delegate, print_table};
+
+fn main() {
+    let mut rows = Vec::new();
+    for t in [10u64, 50, 100] {
+        for delegated in [true, false] {
+            let r = a1_delegate(t, delegated);
+            rows.push(vec![
+                r.t_ms.to_string(),
+                if r.delegated { "on" } else { "off" }.to_string(),
+                format!("{:.1}", r.origin_ms),
+                format!("{:.1}", r.remote_ms),
+                r.msgs.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "A1: delegate-commit ablation, 3-party single-remote-primary (paper §3.1)",
+        &["t(ms)", "delegate", "origin(ms)", "remote mean(ms)", "messages"],
+        &rows,
+    );
+}

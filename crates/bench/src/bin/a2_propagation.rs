@@ -1,0 +1,29 @@
+//! A2 — direct vs indirect propagation ablation (paper §3.2).
+//!
+//! "By default, an object embedded within a composite inherits the
+//! replication graph of its root... In addition to saving space, indirect
+//! replication avoids the problem that small changes to the embedding
+//! structure could end up changing a large number of objects."
+
+use decaf_bench::{a2_propagation, print_table};
+
+fn main() {
+    let mut rows = Vec::new();
+    for n in [1usize, 4, 16, 64, 256] {
+        let r = a2_propagation(n);
+        rows.push(vec![
+            r.n_children.to_string(),
+            r.graphs_indirect.to_string(),
+            r.graphs_direct.to_string(),
+            r.join_bytes_indirect.to_string(),
+            r.join_bytes_direct.to_string(),
+        ]);
+    }
+    print_table(
+        "A2: replication-graph storage & join traffic, composite of n children (paper §3.2)",
+        &["children", "graphs (indirect)", "graphs (direct)", "join bytes (indirect)", "join bytes (direct, est.)"],
+        &rows,
+    );
+    println!("\nindirect propagation keeps ONE graph per composite regardless of size;");
+    println!("a direct scheme stores and re-ships one graph per embedded object.");
+}

@@ -1,0 +1,102 @@
+//! A3 — transient-view consistency: DECAF vs an ORESTE-style baseline
+//! (paper §6).
+//!
+//! "In the ORESTE model, a transaction that changes an object's color can
+//! reasonably be said to commute with a transaction that moves an object
+//! from container A to container B ... But, once views or read-only
+//! transactions or system state in nonquiescent conditions is taken into
+//! account, some sites might see a transition in which a blue object was at
+//! A and others a transition in which a red object was at B."
+//!
+//! This harness runs the exact scenario on both systems and reports what
+//! each site's view observed.
+
+use decaf_bench::print_table;
+use decaf_core::{RecordingView, ScalarValue, ViewEvent, ViewMode};
+use decaf_net::sim::{LatencyModel, SimTime};
+use decaf_oreste::{Op, OresteSite};
+use decaf_vt::SiteId;
+use decaf_workload::{BlindWrite, SimWorld};
+
+fn main() {
+    // ---- ORESTE: commuting color/move ops, immediate views --------------
+    let mut a = OresteSite::new(SiteId(1), 2);
+    let mut b = OresteSite::new(SiteId(2), 2);
+    let color = a.perform(Op::SetColor("blue".into()));
+    let mv = b.perform(Op::MoveTo("B".into()));
+    b.integrate(color);
+    a.integrate(mv);
+
+    let fmt_states = |s: &OresteSite| {
+        s.observed
+            .iter()
+            .map(|st| st.to_string())
+            .collect::<Vec<_>>()
+            .join("  ->  ")
+    };
+    let mut rows = vec![
+        vec!["ORESTE site 1".into(), fmt_states(&a)],
+        vec!["ORESTE site 2".into(), fmt_states(&b)],
+    ];
+
+    // ---- DECAF: the same two "attributes" as replicated scalars, a
+    // pessimistic view at each site -----------------------------------------
+    let mut world = SimWorld::new(2, LatencyModel::uniform(SimTime::from_millis(25)));
+    let color_objs = world.wire_int(0); // 0 = red, 1 = blue
+    let pos_objs = world.wire_int(0); // 0 = container A, 1 = container B
+    let mut logs = Vec::new();
+    for (i, site) in [SiteId(1), SiteId(2)].into_iter().enumerate() {
+        let watch = vec![color_objs[i], pos_objs[i]];
+        let view = RecordingView::new(watch.clone());
+        logs.push(view.log());
+        world
+            .site(site)
+            .attach_view(Box::new(view), &watch, ViewMode::Pessimistic);
+    }
+    world
+        .site(SiteId(1))
+        .execute(Box::new(BlindWrite { object: color_objs[0], value: 1 }));
+    world
+        .site(SiteId(2))
+        .execute(Box::new(BlindWrite { object: pos_objs[1], value: 1 }));
+    world.run_to_quiescence();
+
+    for (i, log) in logs.iter().enumerate() {
+        let events = log.lock().expect("log");
+        let states: Vec<String> = events
+            .iter()
+            .filter_map(|e| match e {
+                ViewEvent::Update { values, .. } => {
+                    let get = |o| {
+                        values
+                            .iter()
+                            .find(|(obj, _)| *obj == o)
+                            .and_then(|(_, v)| match v {
+                                ScalarValue::Int(x) => Some(*x),
+                                _ => None,
+                            })
+                            .unwrap_or(0)
+                    };
+                    let color = if get(color_objs[i]) == 1 { "blue" } else { "red" };
+                    let pos = if get(pos_objs[i]) == 1 { "B" } else { "A" };
+                    Some(format!("{color} object at {pos}"))
+                }
+                _ => None,
+            })
+            .collect();
+        rows.push(vec![
+            format!("DECAF site {} (pessimistic)", i + 1),
+            states.join("  ->  "),
+        ]);
+    }
+
+    print_table(
+        "A3: transitions observed by each site's view (paper §6 example)",
+        &["system / site", "observed transitions"],
+        &rows,
+    );
+    println!();
+    println!("ORESTE's sites observe incompatible intermediate states (blue@A vs");
+    println!("red@B) — no serial execution contains both. DECAF's pessimistic views");
+    println!("observe prefixes of ONE virtual-time order, identical at every site.");
+}

@@ -1,0 +1,36 @@
+//! E1 — commit latency (paper §5.1.1).
+//!
+//! Reproduces the analytic claims: a transaction commits in 2t at the
+//! originating site and 3t at other sites in the general (multi-primary)
+//! case; immediately / in t when the single primary is the originator; in
+//! t at the primary and 2t elsewhere with delegate commit.
+
+use decaf_bench::{e1_commit_latency, print_table};
+
+fn main() {
+    let mut rows = Vec::new();
+    for t in [5u64, 10, 25, 50, 100, 200] {
+        for r in e1_commit_latency(t) {
+            rows.push(vec![
+                r.t_ms.to_string(),
+                r.scenario.to_string(),
+                format!("{:.1}", r.origin_ms),
+                format!("{:.1}", r.expect_origin),
+                format!("{:.1}", r.remote_ms),
+                format!("{:.1}", r.expect_remote),
+            ]);
+        }
+    }
+    print_table(
+        "E1: commit latency vs network latency t (paper §5.1.1)",
+        &[
+            "t(ms)",
+            "scenario",
+            "origin(ms)",
+            "paper",
+            "remote(ms)",
+            "paper",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,29 @@
+//! E2 — view-notification latency (paper §5.1.2).
+//!
+//! Optimistic views are notified immediately at the originator and after t
+//! at replicas; pessimistic views at 2t (originator) and no more than 3t
+//! (non-originating sites). "An optimistic view notification will occur 2t
+//! ms before the corresponding pessimistic view notification."
+
+use decaf_bench::{e2_view_latency, print_table};
+
+fn main() {
+    let mut rows = Vec::new();
+    for t in [5u64, 10, 25, 50, 100, 200] {
+        for r in e2_view_latency(t) {
+            rows.push(vec![
+                r.t_ms.to_string(),
+                r.placement.to_string(),
+                format!("{:.1}", r.optimistic_ms),
+                format!("{:.1}", r.expect_opt),
+                format!("{:.1}", r.pessimistic_ms),
+                format!("{:.1}", r.expect_pess),
+            ]);
+        }
+    }
+    print_table(
+        "E2: view notification latency (paper §5.1.2)",
+        &["t(ms)", "view placement", "opt(ms)", "paper", "pess(ms)", "paper"],
+        &rows,
+    );
+}

@@ -1,0 +1,740 @@
+//! Experiment harnesses reproducing every quantitative claim of the DECAF
+//! paper's evaluation (§5). Each `eN_*` function regenerates one
+//! experiment's rows; the `src/bin/*` binaries print them as tables, and
+//! `EXPERIMENTS.md` records paper-vs-measured.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use decaf_core::{RecordingView, SiteConfig, ViewMode};
+use decaf_gvt::{GvtEnvelope, GvtEvent, GvtSite};
+use decaf_net::sim::{Event, LatencyModel, SimNet, SimTime};
+use decaf_vt::{SiteId, VirtualTime};
+use decaf_workload::{
+    ArrivalProcess, BlindWrite, LatencyTracker, NotificationTracker, RateWorkload,
+    ReadModifyWrite, SimWorld, TxnKind,
+};
+
+/// Pretty-prints a table of (header, rows) with aligned columns.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+// ===========================================================================
+// E1 — commit latency (§5.1.1)
+// ===========================================================================
+
+/// One measured commit-latency row.
+#[derive(Debug, Clone)]
+pub struct E1Row {
+    /// Network latency `t` in ms.
+    pub t_ms: u64,
+    /// Primary placement scenario.
+    pub scenario: &'static str,
+    /// Measured commit latency at the originating site (ms).
+    pub origin_ms: f64,
+    /// Measured commit latency at non-originating sites (ms, mean).
+    pub remote_ms: f64,
+    /// The paper's analytic expectation for the originator.
+    pub expect_origin: f64,
+    /// The paper's analytic expectation for the remote sites.
+    pub expect_remote: f64,
+}
+
+/// Runs the E1 commit-latency experiment for one network latency.
+pub fn e1_commit_latency(t_ms: u64) -> Vec<E1Row> {
+    let t = SimTime::from_millis(t_ms);
+    let mut rows = Vec::new();
+
+    // (a) Multiple remote primaries: 4 sites; object A on {1,4}, B on
+    // {2,4}; transaction at site 4 updates both → primaries 1 and 2 are
+    // remote, no delegation. Commit at origin: 2t; remotes: 3t.
+    {
+        let mut world = SimWorld::new(4, LatencyModel::uniform(t));
+        let a_objs = world.wire_int_subset(&[SiteId(1), SiteId(4)], 0);
+        let b_objs = world.wire_int_subset(&[SiteId(2), SiteId(4)], 0);
+        let (a4, b4) = (a_objs[&SiteId(4)], b_objs[&SiteId(4)]);
+        struct Two(decaf_core::ObjectName, decaf_core::ObjectName);
+        impl decaf_core::Transaction for Two {
+            fn execute(
+                &mut self,
+                ctx: &mut decaf_core::TxnCtx<'_>,
+            ) -> Result<(), decaf_core::TxnError> {
+                let a = ctx.read_int(self.0)?;
+                ctx.write_int(self.0, a + 1)?;
+                let b = ctx.read_int(self.1)?;
+                ctx.write_int(self.1, b + 1)
+            }
+        }
+        world.site(SiteId(4)).execute(Box::new(Two(a4, b4)));
+        world.run_to_quiescence();
+        let mut lt = LatencyTracker::new();
+        lt.ingest(&world.log);
+        rows.push(E1Row {
+            t_ms,
+            scenario: "m remote primaries",
+            origin_ms: LatencyTracker::mean_ms(&lt.at_origin),
+            remote_ms: LatencyTracker::mean_ms(&lt.at_remote),
+            expect_origin: 2.0 * t_ms as f64,
+            expect_remote: 3.0 * t_ms as f64,
+        });
+    }
+
+    // (b) Single primary == originating site: commits immediately at the
+    // origin; replicas learn in t.
+    {
+        let mut world = SimWorld::new(2, LatencyModel::uniform(t));
+        let objs = world.wire_int(0);
+        let o1 = objs[0];
+        world
+            .site(SiteId(1))
+            .execute(Box::new(ReadModifyWrite { object: o1, delta: 1 }));
+        world.run_to_quiescence();
+        let mut lt = LatencyTracker::new();
+        lt.ingest(&world.log);
+        rows.push(E1Row {
+            t_ms,
+            scenario: "primary = origin",
+            origin_ms: LatencyTracker::mean_ms(&lt.at_origin),
+            remote_ms: LatencyTracker::mean_ms(&lt.at_remote),
+            expect_origin: 0.0,
+            expect_remote: t_ms as f64,
+        });
+    }
+
+    // (c) Single remote primary with delegate commit: the primary commits
+    // in t, the originator in 2t, other replicas in 2t.
+    {
+        let mut world = SimWorld::new(3, LatencyModel::uniform(t));
+        let objs = world.wire_int(0);
+        let o2 = objs[1];
+        world
+            .site(SiteId(2))
+            .execute(Box::new(ReadModifyWrite { object: o2, delta: 1 }));
+        world.run_to_quiescence();
+        let mut lt = LatencyTracker::new();
+        lt.ingest(&world.log);
+        rows.push(E1Row {
+            t_ms,
+            scenario: "single remote primary (delegated)",
+            origin_ms: LatencyTracker::mean_ms(&lt.at_origin),
+            remote_ms: LatencyTracker::mean_ms(&lt.at_remote),
+            expect_origin: 2.0 * t_ms as f64,
+            // primary commits in t, the third replica in 2t → mean 1.5t
+            expect_remote: 1.5 * t_ms as f64,
+        });
+    }
+
+    rows
+}
+
+// ===========================================================================
+// E2 — view notification latency (§5.1.2)
+// ===========================================================================
+
+/// One view-latency row.
+#[derive(Debug, Clone)]
+pub struct E2Row {
+    /// Network latency `t` in ms.
+    pub t_ms: u64,
+    /// Where the view lives.
+    pub placement: &'static str,
+    /// Measured optimistic update-notification latency (ms).
+    pub optimistic_ms: f64,
+    /// Measured pessimistic update-notification latency (ms).
+    pub pessimistic_ms: f64,
+    /// Paper expectation for the optimistic view.
+    pub expect_opt: f64,
+    /// Paper expectation for the pessimistic view.
+    pub expect_pess: f64,
+}
+
+/// Runs the E2 view-notification experiment for one network latency.
+///
+/// Three sites share two objects; the transaction (at the non-primary site
+/// 2) updates one of them; views are attached to **both** objects,
+/// exercising the updated-object and viewed-but-not-updated paths of
+/// §5.1.2. The delegate-commit optimization is disabled to match the
+/// paper's analytic protocol (with delegation every figure improves by t;
+/// the `a1_delegate` ablation quantifies that separately).
+pub fn e2_view_latency(t_ms: u64) -> Vec<E2Row> {
+    let t = SimTime::from_millis(t_ms);
+    let config = SiteConfig {
+        delegate_enabled: false,
+        ..SiteConfig::default()
+    };
+    let mut out = Vec::new();
+    for (placement, viewer) in [
+        ("originator", SiteId(2)),
+        ("non-originator (primary)", SiteId(1)),
+        ("non-originator (replica)", SiteId(3)),
+    ] {
+        let mut world = SimWorld::with_config(3, LatencyModel::uniform(t), config);
+        let x = world.wire_int(0);
+        let y = world.wire_int(0);
+        let watch = [x[(viewer.0 - 1) as usize], y[(viewer.0 - 1) as usize]];
+        world.site(viewer).attach_view(
+            Box::new(RecordingView::new(watch.to_vec())),
+            &watch,
+            ViewMode::Optimistic,
+        );
+        world.site(viewer).attach_view(
+            Box::new(RecordingView::new(watch.to_vec())),
+            &watch,
+            ViewMode::Pessimistic,
+        );
+        let x2 = x[1];
+        world
+            .site(SiteId(2))
+            .execute(Box::new(ReadModifyWrite { object: x2, delta: 1 }));
+        world.run_to_quiescence();
+        let mut nt = NotificationTracker::new();
+        nt.ingest(&world.log);
+        // §5.1.2: optimistic immediately at the originator, after t at
+        // replicas; pessimistic 2t at the originator, no more than 3t at
+        // non-originating sites.
+        let (expect_opt, expect_pess) = match placement {
+            "originator" => (0.0, 2.0 * t_ms as f64),
+            _ => (t_ms as f64, 3.0 * t_ms as f64),
+        };
+        out.push(E2Row {
+            t_ms,
+            placement,
+            optimistic_ms: nt.mean_ms(ViewMode::Optimistic),
+            pessimistic_ms: nt.mean_ms(ViewMode::Pessimistic),
+            expect_opt,
+            expect_pess,
+        });
+    }
+    out
+}
+
+// ===========================================================================
+// E3 — lost updates under blind-write load (§5.2.2)
+// ===========================================================================
+
+/// One lost-update row.
+#[derive(Debug, Clone)]
+pub struct E3Row {
+    /// Per-party update rate (updates per second).
+    pub rate: f64,
+    /// Updates committed in total.
+    pub committed: u64,
+    /// Lost updates observed by optimistic views.
+    pub lost: u64,
+    /// Lost-update rate.
+    pub lost_rate: f64,
+    /// Conflict rollbacks (the paper expects none for blind writes).
+    pub rollbacks: u64,
+    /// Update inconsistencies (expected 0).
+    pub update_inconsistencies: u64,
+}
+
+/// Runs the E3 blind-write workload: two parties, optimistic views at both,
+/// symmetric Poisson update streams at `rate`/s each, `t_ms` latency,
+/// `seconds` of simulated time.
+pub fn e3_lost_updates(rate: f64, t_ms: u64, seconds: u64, seed: u64) -> E3Row {
+    let t = SimTime::from_millis(t_ms);
+    let mut world = SimWorld::new(2, LatencyModel::uniform(t));
+    let objs = world.wire_int(0);
+    for (i, site) in [SiteId(1), SiteId(2)].into_iter().enumerate() {
+        let watch = vec![objs[i]];
+        world.site(site).attach_view(
+            Box::new(RecordingView::new(watch.clone())),
+            &watch,
+            ViewMode::Optimistic,
+        );
+    }
+    RateWorkload {
+        parties: vec![
+            (SiteId(1), ArrivalProcess::poisson(rate, seed), TxnKind::BlindWrite),
+            (
+                SiteId(2),
+                ArrivalProcess::poisson(rate, seed.wrapping_add(1)),
+                TxnKind::BlindWrite,
+            ),
+        ],
+        duration: SimTime::from_secs(seconds),
+    }
+    .run(&mut world, &objs);
+    let total = world.total_stats();
+    let denom = total.opt_notifications + total.lost_updates;
+    E3Row {
+        rate,
+        committed: total.txns_committed,
+        lost: total.lost_updates,
+        lost_rate: if denom == 0 {
+            0.0
+        } else {
+            total.lost_updates as f64 / denom as f64
+        },
+        rollbacks: total.txns_aborted_conflict,
+        update_inconsistencies: total.update_inconsistencies,
+    }
+}
+
+// ===========================================================================
+// E4 — rollback rate under read-write load (§5.2.2)
+// ===========================================================================
+
+/// One rollback-rate row.
+#[derive(Debug, Clone)]
+pub struct E4Row {
+    /// Second party's update rate (first party is fixed at 1/s).
+    pub b_rate: f64,
+    /// Transactions submitted.
+    pub started: u64,
+    /// Conflict rollbacks.
+    pub rollbacks: u64,
+    /// Rollback rate.
+    pub rollback_rate: f64,
+    /// Update inconsistencies shown to optimistic views.
+    pub update_inconsistencies: u64,
+    /// Automatic retries performed.
+    pub retries: u64,
+}
+
+/// Runs the E4 read-write workload: party A at 1/s, party B at `b_rate`/s,
+/// both performing read-modify-write increments of the shared object.
+pub fn e4_rollback_rate(b_rate: f64, t_ms: u64, seconds: u64, seed: u64) -> E4Row {
+    let t = SimTime::from_millis(t_ms);
+    let mut world = SimWorld::new(2, LatencyModel::uniform(t));
+    let objs = world.wire_int(0);
+    for (i, site) in [SiteId(1), SiteId(2)].into_iter().enumerate() {
+        let watch = vec![objs[i]];
+        world.site(site).attach_view(
+            Box::new(RecordingView::new(watch.clone())),
+            &watch,
+            ViewMode::Optimistic,
+        );
+    }
+    RateWorkload {
+        parties: vec![
+            (SiteId(1), ArrivalProcess::poisson(1.0, seed), TxnKind::ReadModifyWrite),
+            (
+                SiteId(2),
+                ArrivalProcess::poisson(b_rate, seed.wrapping_add(1)),
+                TxnKind::ReadModifyWrite,
+            ),
+        ],
+        duration: SimTime::from_secs(seconds),
+    }
+    .run(&mut world, &objs);
+    let total = world.total_stats();
+    E4Row {
+        b_rate,
+        started: total.txns_started,
+        rollbacks: total.txns_aborted_conflict,
+        rollback_rate: if total.txns_started == 0 {
+            0.0
+        } else {
+            total.txns_aborted_conflict as f64 / total.txns_started as f64
+        },
+        update_inconsistencies: total.update_inconsistencies,
+        retries: total.retries,
+    }
+}
+
+// ===========================================================================
+// E5 — scalability vs a GVT global sweep (§5.1.3)
+// ===========================================================================
+
+/// One scalability row.
+#[derive(Debug, Clone)]
+pub struct E5Row {
+    /// Number of chained 3-site replica sets.
+    pub k: usize,
+    /// Total network size (2k + 1 sites).
+    pub sites: usize,
+    /// DECAF mean commit latency (ms).
+    pub decaf_ms: f64,
+    /// GVT-baseline mean commit latency (ms).
+    pub gvt_ms: f64,
+}
+
+/// Runs the §5.1.3 hypothetical: `k` chained replica sets
+/// `{1,2,3}, {3,4,5}, {5,6,7}, …` on a network of `2k+1` sites; one blind
+/// write per set, originated by the set's middle site. DECAF commits via
+/// per-set primaries; the GVT baseline needs a network-wide sweep (period
+/// `sweep_ms`).
+pub fn e5_scalability(k: usize, t_ms: u64, sweep_ms: u64) -> E5Row {
+    let n = 2 * k + 1;
+    let t = SimTime::from_millis(t_ms);
+
+    // ---- DECAF ----
+    let decaf_ms = {
+        let mut world = SimWorld::new(n as u32, LatencyModel::uniform(t));
+        let mut set_objs = Vec::new();
+        for i in 0..k {
+            let members = [
+                SiteId((2 * i + 1) as u32),
+                SiteId((2 * i + 2) as u32),
+                SiteId((2 * i + 3) as u32),
+            ];
+            set_objs.push((members, world.wire_int_subset(&members, 0)));
+        }
+        for (members, objs) in &set_objs {
+            let mid = members[1];
+            let obj = objs[&mid];
+            world
+                .site(mid)
+                .execute(Box::new(BlindWrite { object: obj, value: 1 }));
+        }
+        world.run_to_quiescence();
+        let mut lt = LatencyTracker::new();
+        lt.ingest(&world.log);
+        let mut all = lt.at_origin.clone();
+        all.extend(lt.at_remote.iter().copied());
+        LatencyTracker::mean_ms(&all)
+    };
+
+    // ---- GVT baseline ----
+    let gvt_ms = {
+        let ring: Vec<SiteId> = (1..=n as u32).map(SiteId).collect();
+        let mut sites: BTreeMap<SiteId, GvtSite> = ring
+            .iter()
+            .map(|id| (*id, GvtSite::new(*id, ring.clone())))
+            .collect();
+        for i in 0..k {
+            let members = vec![
+                SiteId((2 * i + 1) as u32),
+                SiteId((2 * i + 2) as u32),
+                SiteId((2 * i + 3) as u32),
+            ];
+            for m in &members {
+                let s = sites.get_mut(m).expect("site exists");
+                let o = s.create_int(&format!("set{i}"), 0);
+                s.add_replicas(o, members.clone());
+            }
+        }
+        let mut net: SimNet<GvtEnvelope> = SimNet::new(LatencyModel::uniform(t));
+        // Periodic sweeps from site 1.
+        let sweep_period = SimTime::from_millis(sweep_ms);
+        net.set_timer(SiteId(1), sweep_period, 1);
+        // Issue one write per set at t=0 (middle site).
+        let mut exec_at: BTreeMap<VirtualTime, SimTime> = BTreeMap::new();
+        let mut commit_lat: Vec<SimTime> = Vec::new();
+        for i in 0..k {
+            let mid = SiteId((2 * i + 2) as u32);
+            let s = sites.get_mut(&mid).expect("site exists");
+            let vt = s.write(decaf_gvt::GvtObject(format!("set{i}")), 1);
+            exec_at.insert(vt, SimTime::ZERO);
+        }
+        let deadline = SimTime::from_secs(600);
+        loop {
+            // Flush outboxes.
+            for s in sites.values_mut() {
+                for env in s.drain_outbox() {
+                    net.send(env.from, env.to, env);
+                }
+                for ev in s.drain_events() {
+                    if let GvtEvent::Committed { vt, .. } = ev {
+                        if let Some(start) = exec_at.get(&vt) {
+                            commit_lat.push(net.now().saturating_sub(*start));
+                        }
+                    }
+                }
+            }
+            if commit_lat.len() >= 3 * k || net.now() > deadline {
+                break;
+            }
+            match net.step() {
+                Some(Event::Deliver { to, msg, .. }) => {
+                    if let Some(s) = sites.get_mut(&to) {
+                        s.handle_message(msg);
+                    }
+                }
+                Some(Event::Timer { site, .. }) => {
+                    if let Some(s) = sites.get_mut(&site) {
+                        s.start_sweep();
+                    }
+                    net.set_timer(site, sweep_period, 1);
+                }
+                Some(Event::SiteFailed { .. }) | None => break,
+            }
+        }
+        LatencyTracker::mean_ms(&commit_lat)
+    };
+
+    E5Row {
+        k,
+        sites: n,
+        decaf_ms,
+        gvt_ms,
+    }
+}
+
+// ===========================================================================
+// A1 — delegate-commit ablation (§3.1)
+// ===========================================================================
+
+/// One delegate-ablation row.
+#[derive(Debug, Clone)]
+pub struct A1Row {
+    /// Network latency `t` in ms.
+    pub t_ms: u64,
+    /// Whether delegation was enabled.
+    pub delegated: bool,
+    /// Commit latency at the originator (ms).
+    pub origin_ms: f64,
+    /// Mean commit latency at non-originating sites (ms).
+    pub remote_ms: f64,
+    /// Protocol messages sent in total.
+    pub msgs: u64,
+}
+
+/// Measures the delegate-commit optimization: a three-party collaboration
+/// whose single remote primary either receives the delegation or not.
+pub fn a1_delegate(t_ms: u64, delegated: bool) -> A1Row {
+    let t = SimTime::from_millis(t_ms);
+    let config = SiteConfig {
+        delegate_enabled: delegated,
+        ..SiteConfig::default()
+    };
+    let mut world = SimWorld::with_config(3, LatencyModel::uniform(t), config);
+    let objs = world.wire_int(0);
+    let o2 = objs[1];
+    world
+        .site(SiteId(2))
+        .execute(Box::new(ReadModifyWrite { object: o2, delta: 1 }));
+    world.run_to_quiescence();
+    let mut lt = LatencyTracker::new();
+    lt.ingest(&world.log);
+    let total = world.total_stats();
+    A1Row {
+        t_ms,
+        delegated,
+        origin_ms: LatencyTracker::mean_ms(&lt.at_origin),
+        remote_ms: LatencyTracker::mean_ms(&lt.at_remote),
+        msgs: total.msgs_sent,
+    }
+}
+
+// ===========================================================================
+// A2 — direct vs indirect propagation ablation (§3.2)
+// ===========================================================================
+
+/// One propagation-ablation row.
+#[derive(Debug, Clone)]
+pub struct A2Row {
+    /// Children embedded in the composite.
+    pub n_children: usize,
+    /// Replication graphs stored per site with indirect propagation
+    /// (composite root only).
+    pub graphs_indirect: usize,
+    /// Replication graphs a direct scheme would store (one per object).
+    pub graphs_direct: usize,
+    /// Bytes of graph state shipped when a member joins, indirect.
+    pub join_bytes_indirect: usize,
+    /// Bytes of graph state a direct scheme would ship (n+1 graphs).
+    pub join_bytes_direct: usize,
+}
+
+/// Measures the space argument of §3.2: with indirect propagation a
+/// composite of `n` children keeps ONE replication graph; a direct scheme
+/// would keep (and re-ship on membership changes) `n + 1`.
+pub fn a2_propagation(n_children: usize) -> A2Row {
+    use decaf_core::{Blueprint, ObjectName, Transaction, TxnCtx, TxnError};
+
+    struct PushN(ObjectName, usize);
+    impl Transaction for PushN {
+        fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+            for i in 0..self.1 {
+                ctx.list_push(self.0, Blueprint::Int(i as i64))?;
+            }
+            Ok(())
+        }
+    }
+
+    let mut world = SimWorld::new(2, LatencyModel::uniform(SimTime::from_millis(5)));
+    // Build the composite at site 1, then join from site 2 via the real
+    // protocol so the measured bytes are what actually travels.
+    let list1 = world.site(SiteId(1)).create_list();
+    let baseline_objects = world.site(SiteId(1)).object_count();
+    world
+        .site(SiteId(1))
+        .execute(Box::new(PushN(list1, n_children)));
+    let assoc = world.site(SiteId(1)).create_association();
+    let rel = world
+        .site(SiteId(1))
+        .create_relation(assoc, "board", list1)
+        .expect("relation");
+    world.run_to_quiescence();
+    let invitation = world
+        .site(SiteId(1))
+        .make_invitation(assoc, rel)
+        .expect("invitation");
+    let list2 = world.site(SiteId(2)).create_list();
+
+    // Measure the join's graph bytes by serializing the envelopes.
+    world.site(SiteId(2)).join(invitation, list2).expect("join");
+    let mut join_bytes = 0usize;
+    loop {
+        let mut moved = false;
+        for site in [SiteId(1), SiteId(2)] {
+            for env in world.site(site).drain_outbox() {
+                moved = true;
+                join_bytes += serde_json::to_vec(&env).map(|v| v.len()).unwrap_or(0);
+                world.net.send(env.from, env.to, env);
+            }
+        }
+        if !moved && world.net.peek_time().is_none() {
+            break;
+        }
+        if world.net.peek_time().is_none() {
+            break;
+        }
+        if let Some(Event::Deliver { to, msg, .. }) = world.net.step() {
+            if let Some(s) = world.sites.get_mut(&to) {
+                s.handle_message(msg);
+            }
+        }
+    }
+
+    let site1 = world.sites.get(&SiteId(1)).expect("site 1");
+    let graphs_indirect = site1.direct_graph_count() - (baseline_objects - 1) - 1;
+    // -1 for the association object, minus pre-existing roots; what remains
+    // is the composite's OWN graphs: exactly 1 with indirect propagation.
+    let per_object = if n_children > 0 {
+        join_bytes / (n_children + 1).max(1)
+    } else {
+        join_bytes
+    };
+    A2Row {
+        n_children,
+        graphs_indirect: graphs_indirect.max(1),
+        graphs_direct: n_children + 1,
+        join_bytes_indirect: join_bytes,
+        join_bytes_direct: join_bytes + per_object * n_children,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_matches_analytic_latencies_exactly() {
+        for t in [10u64, 50] {
+            for row in e1_commit_latency(t) {
+                assert!(
+                    (row.origin_ms - row.expect_origin).abs() < 1e-6,
+                    "{} t={} origin {} != {}",
+                    row.scenario,
+                    t,
+                    row.origin_ms,
+                    row.expect_origin
+                );
+                assert!(
+                    (row.remote_ms - row.expect_remote).abs() < 1e-6,
+                    "{} t={} remote {} != {}",
+                    row.scenario,
+                    t,
+                    row.remote_ms,
+                    row.expect_remote
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn e2_matches_analytic_latencies() {
+        for row in e2_view_latency(20) {
+            assert!(
+                (row.optimistic_ms - row.expect_opt).abs() < 1e-6,
+                "{}: opt {} != {}",
+                row.placement,
+                row.optimistic_ms,
+                row.expect_opt
+            );
+            assert!(
+                (row.pessimistic_ms - row.expect_pess).abs() < 1e-6,
+                "{}: pess {} != {}",
+                row.placement,
+                row.pessimistic_ms,
+                row.expect_pess
+            );
+        }
+    }
+
+    #[test]
+    fn e3_blind_writes_never_roll_back() {
+        let row = e3_lost_updates(1.0, 50, 30, 42);
+        assert_eq!(row.rollbacks, 0);
+        assert_eq!(row.update_inconsistencies, 0);
+        assert!(row.committed > 20, "workload ran: {row:?}");
+        assert!(row.lost_rate < 0.5, "sane loss: {row:?}");
+    }
+
+    #[test]
+    fn e4_low_rate_has_low_rollbacks() {
+        let slow = e4_rollback_rate(1.0 / 3.0, 50, 60, 42);
+        assert!(
+            slow.rollback_rate < 0.10,
+            "rollback rate at 1/3 Hz should be small: {slow:?}"
+        );
+        let fast = e4_rollback_rate(2.0, 50, 60, 42);
+        assert!(
+            fast.rollback_rate > slow.rollback_rate,
+            "rollbacks grow with rate: slow {slow:?} fast {fast:?}"
+        );
+    }
+
+    #[test]
+    fn e5_gvt_grows_with_network_decaf_does_not() {
+        let small = e5_scalability(1, 20, 100);
+        let large = e5_scalability(8, 20, 100);
+        assert!(
+            large.gvt_ms > small.gvt_ms * 1.5,
+            "GVT latency must grow with network size: {small:?} {large:?}"
+        );
+        assert!(
+            (large.decaf_ms - small.decaf_ms).abs() < 20.0 * 1.5,
+            "DECAF latency must stay ~flat: {small:?} {large:?}"
+        );
+        assert!(large.gvt_ms > large.decaf_ms);
+    }
+
+    #[test]
+    fn a1_delegation_saves_remote_latency() {
+        let on = a1_delegate(20, true);
+        let off = a1_delegate(20, false);
+        assert!(
+            on.remote_ms < off.remote_ms,
+            "delegation must speed up remote commits: on {on:?} off {off:?}"
+        );
+        assert!(on.msgs <= off.msgs);
+    }
+
+    #[test]
+    fn a2_indirect_keeps_one_graph() {
+        let small = a2_propagation(2);
+        let large = a2_propagation(32);
+        assert_eq!(small.graphs_indirect, 1);
+        assert_eq!(large.graphs_indirect, 1, "indirect: one graph regardless of n");
+        assert_eq!(large.graphs_direct, 33);
+        assert!(large.join_bytes_direct > large.join_bytes_indirect);
+    }
+}

@@ -1,0 +1,731 @@
+//! View notification machinery (paper §4): optimistic and pessimistic view
+//! proxies, snapshot scheduling, guess confirmation, straggler handling.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use decaf_vt::{SiteId, VirtualTime};
+
+use crate::message::{Message, ObjectAddr, ReadItem};
+use crate::object::ObjectName;
+use crate::view::{
+    OptSnap, PessSnap, SnapGuesses, UpdateNotification, View, ViewId, ViewMode, ViewProxy,
+};
+
+use super::{EngineEvent, Site};
+
+impl Site {
+    /// Attaches a view object to one or more local model objects.
+    ///
+    /// "When a view is attached to a model object, that view object will be
+    /// able to track changes to the model object by receiving update
+    /// notifications... If a view object is attached to a composite model
+    /// object, it will receive notifications for changes to the composite
+    /// as well as to any of its children" (§2.5).
+    pub fn attach_view(
+        &mut self,
+        view: Box<dyn View>,
+        objects: &[ObjectName],
+        mode: ViewMode,
+    ) -> ViewId {
+        let id = ViewId(self.next_view);
+        self.next_view += 1;
+        let attached: BTreeSet<ObjectName> = objects.iter().copied().collect();
+        let mut proxy = ViewProxy::new(id, mode, attached, view);
+        // Baseline: notifications report changes *after* attachment.
+        for obj in &proxy.attached {
+            if let Ok(o) = self.store.get(*obj) {
+                if let Some(cur) = o.values.current() {
+                    proxy.last_seen.insert(*obj, cur.vt);
+                }
+                if let Some(c) = o.values.latest_committed() {
+                    proxy.last_notified_vt = proxy.last_notified_vt.max(c.vt);
+                }
+            }
+        }
+        self.views.insert(id, proxy);
+        id
+    }
+
+    /// Detaches a view; no further notifications are delivered to it.
+    pub fn detach_view(&mut self, id: ViewId) {
+        if let Some(proxy) = self.views.remove(&id) {
+            if let Some(snap) = proxy.opt {
+                self.snap_tokens.remove(&snap.token);
+            }
+            for (_, snap) in proxy.pess {
+                self.snap_tokens.remove(&snap.token);
+            }
+        }
+    }
+
+    /// The views whose attachment set covers `obj` (directly or as an
+    /// ancestor composite), with the attachment point that covers it.
+    fn watchers_of(&self, obj: ObjectName, mode: ViewMode) -> Vec<(ViewId, ObjectName)> {
+        let mut chain = vec![obj];
+        chain.extend(self.store.ancestors(obj));
+        let mut out = Vec::new();
+        for proxy in self.views.values() {
+            if proxy.mode != mode {
+                continue;
+            }
+            if let Some(point) = chain.iter().find(|o| proxy.attached.contains(o)) {
+                out.push((proxy.id, *point));
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Optimistic views (§4.1)
+    // ------------------------------------------------------------------
+
+    /// Schedules optimistic notifications after objects changed (local
+    /// execution, remote update arrival, or rollback rerun).
+    pub(crate) fn schedule_optimistic(&mut self, changed: &[ObjectName]) {
+        let mut targets: BTreeSet<ViewId> = BTreeSet::new();
+        for obj in changed {
+            for (vid, point) in self.watchers_of(*obj, ViewMode::Optimistic) {
+                if let Some(proxy) = self.views.get_mut(&vid) {
+                    proxy.dirty.insert(point);
+                }
+                targets.insert(vid);
+            }
+        }
+        for vid in targets {
+            self.run_opt_snapshot(vid);
+        }
+    }
+
+    /// Runs (or re-runs) the optimistic snapshot of one view: delivers the
+    /// update notification immediately and registers its RC/RL guesses
+    /// (§4.1 steps 1–2).
+    pub(crate) fn run_opt_snapshot(&mut self, vid: ViewId) {
+        // Compute ts = greatest VT of the current values of attached
+        // objects (and of the triggering updates).
+        let Some(proxy) = self.views.get(&vid) else {
+            return;
+        };
+        let attached: Vec<ObjectName> = proxy.attached.iter().copied().collect();
+        let mut ts = proxy.pending_ts;
+        let mut read_set: Vec<ObjectName> = Vec::new();
+        for a in &attached {
+            for o in self.store.subtree(*a) {
+                if let Some(cur) = self.store.get(o).ok().and_then(|m| m.values.current()) {
+                    ts = ts.max(cur.vt);
+                }
+                read_set.push(o);
+            }
+        }
+        let changed: Vec<ObjectName> = {
+            let proxy = self.views.get_mut(&vid).expect("checked above");
+            let dirty = std::mem::take(&mut proxy.dirty);
+            proxy.pending_ts = VirtualTime::ZERO;
+            dirty.into_iter().collect()
+        };
+        if changed.is_empty() {
+            return;
+        }
+
+        // Record the snapshot's reads and guesses.
+        let token = self.clock.next();
+        let mut guesses = SnapGuesses::default();
+        let mut reads: Vec<(ObjectName, VirtualTime)> = Vec::new();
+        let mut remote_batches: BTreeMap<SiteId, Vec<ReadItem>> = BTreeMap::new();
+        for o in &read_set {
+            let Some(entry) = self
+                .store
+                .get(*o)
+                .ok()
+                .and_then(|m| m.values.value_at(ts).map(|e| (e.vt, e.committed)))
+            else {
+                continue;
+            };
+            reads.push((*o, entry.0));
+            if !entry.1 {
+                guesses.rc_waits.insert(entry.0);
+            }
+            if entry.0 < ts {
+                // RL guess: (value VT, ts) must be update-free (§4.1).
+                let Ok(primary) = self.store.primary_of(*o) else {
+                    continue;
+                };
+                if primary.site == self.id {
+                    // The local history is the primary history: value_at(ts)
+                    // being the latest ≤ ts makes the interval locally
+                    // clean; reserve it against future stragglers.
+                    if let Ok(m) = self.store.get_mut(*o) {
+                        m.value_reservations.reserve(entry.0, ts, token);
+                    }
+                } else {
+                    let addr = self.addr_for(*o, primary.site);
+                    if let Some(addr) = addr {
+                        remote_batches.entry(primary.site).or_default().push(ReadItem {
+                            addr,
+                            t_r: entry.0,
+                            t_g: entry.0,
+                            hi: Some(ts),
+                        });
+                    }
+                    guesses.outstanding.insert(primary.site);
+                }
+            }
+        }
+
+        // Deliver the update notification (fast response first, §4.1).
+        {
+            let proxy = self.views.get_mut(&vid).expect("checked above");
+            let notification = UpdateNotification {
+                ts,
+                changed: &changed,
+                store: &self.store,
+                spawned: Default::default(),
+            };
+            proxy.view.update(&notification);
+            let spawned = notification.spawned.into_inner();
+            proxy.last_notified_ts = Some(ts);
+            proxy.last_delivered_reads = reads.clone();
+            for o in &changed {
+                if let Some(cur) = self.store.get(*o).ok().and_then(|m| m.values.current()) {
+                    proxy.last_seen.insert(*o, cur.vt);
+                }
+            }
+            // Discard the superseded uncommitted snapshot, if any (§4.1).
+            if let Some(old) = proxy.opt.take() {
+                self.snap_tokens.remove(&old.token);
+            }
+            proxy.opt = Some(OptSnap {
+                ts,
+                token,
+                guesses,
+                reads,
+            });
+            self.stats.opt_notifications += 1;
+            self.events.push(EngineEvent::ViewUpdated {
+                view: vid,
+                ts,
+                mode: ViewMode::Optimistic,
+            });
+            // Run any transactions the update method initiated.
+            for t in spawned {
+                self.execute(t);
+            }
+        }
+
+        self.snap_tokens.insert(token, vid);
+        for (site, items) in remote_batches {
+            self.send(
+                site,
+                Message::SnapshotConfirm {
+                    subject: token,
+                    origin: self.id,
+                    reads: items,
+                },
+            );
+        }
+        self.maybe_commit_opt(vid);
+    }
+
+    /// Commit-notifies the optimistic view if its latest snapshot settled.
+    pub(crate) fn maybe_commit_opt(&mut self, vid: ViewId) {
+        let ready = match self.views.get(&vid).and_then(|p| p.opt.as_ref()) {
+            Some(snap) => snap.guesses.settled(),
+            None => false,
+        };
+        if !ready {
+            return;
+        }
+        let proxy = self.views.get_mut(&vid).expect("checked above");
+        let snap = proxy.opt.take().expect("checked above");
+        proxy.view.commit();
+        self.snap_tokens.remove(&snap.token);
+        self.stats.opt_commits += 1;
+        self.events.push(EngineEvent::ViewCommitted {
+            view: vid,
+            ts: snap.ts,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Pessimistic views (§4.2)
+    // ------------------------------------------------------------------
+
+    /// Creates (or extends) pessimistic snapshots for the update at `vt`
+    /// touching `updates` (`(object, tR)` pairs).
+    ///
+    /// Pessimistic proxies pre-create the snapshot as soon as the update
+    /// *arrives* (even uncommitted) and pre-issue its guesses, so that by
+    /// the time the commit is known the confirmations have already raced
+    /// ahead (§5.1.2: "these confirmations proceed concurrently with the
+    /// confirmations required for the transaction's commit").
+    pub(crate) fn create_pess_snapshots(
+        &mut self,
+        vt: VirtualTime,
+        updates: &[(ObjectName, VirtualTime)],
+        committed: bool,
+    ) {
+        let mut touched_views: BTreeSet<ViewId> = BTreeSet::new();
+        for (obj, t_r) in updates {
+            for (vid, point) in self.watchers_of(*obj, ViewMode::Pessimistic) {
+                let Some(proxy) = self.views.get_mut(&vid) else {
+                    continue;
+                };
+                if vt <= proxy.last_notified_vt {
+                    // Straggler below the monotonic frontier: with the
+                    // engine's guess protocol this indicates the update
+                    // was already superseded; it cannot be shown any more.
+                    continue;
+                }
+                let snap = proxy.pess.entry(vt).or_insert_with(|| PessSnap {
+                    token: VirtualTime::ZERO, // assigned on guess issue
+                    changed: BTreeSet::new(),
+                    committed: false,
+                    guesses: SnapGuesses::default(),
+                    coverage: BTreeMap::new(),
+                    issued: Vec::new(),
+                });
+                snap.changed.insert(point);
+                snap.committed |= committed;
+                snap.coverage.insert(*obj, *t_r);
+                touched_views.insert(vid);
+            }
+        }
+        for vid in touched_views {
+            self.issue_pess_guesses(vid, vt);
+            self.pump_pessimistic(vid);
+        }
+    }
+
+    /// (Re-)issues the RL guesses of the pessimistic snapshot at `ts`:
+    /// for each watched object, the interval from its latest locally known
+    /// committed value up to `ts` (or up to the update's own `tR`, which
+    /// the transaction's confirmed reservation already covers) must be
+    /// update-free at the primary (§4.2).
+    /// The `(object, lo, hi)` intervals a snapshot at `ts` must verify:
+    /// from each watched object's latest committed value (strictly) below
+    /// `ts`, up to the update's own `tR` (covered by the transaction's
+    /// reservation) or up to `ts`.
+    fn pess_intervals(
+        &self,
+        vid: ViewId,
+        ts: VirtualTime,
+    ) -> Vec<(ObjectName, VirtualTime, VirtualTime)> {
+        let Some(proxy) = self.views.get(&vid) else {
+            return Vec::new();
+        };
+        let Some(snap) = proxy.pess.get(&ts) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for a in &proxy.attached {
+            for o in self.store.subtree(*a) {
+                let lo = self
+                    .store
+                    .get(o)
+                    .ok()
+                    .and_then(|m| m.values.committed_before(ts).map(|e| e.vt))
+                    .unwrap_or(VirtualTime::ZERO);
+                let hi = snap.coverage.get(&o).copied().unwrap_or(ts);
+                if lo < hi {
+                    out.push((o, lo, hi));
+                }
+            }
+        }
+        out
+    }
+
+    pub(crate) fn issue_pess_guesses(&mut self, vid: ViewId, ts: VirtualTime) {
+        let Some(proxy) = self.views.get(&vid) else {
+            return;
+        };
+        let Some(snap) = proxy.pess.get(&ts) else {
+            return;
+        };
+        let old_token = snap.token;
+        let intervals = self.pess_intervals(vid, ts);
+
+        let token = self.clock.next();
+        let mut guesses = SnapGuesses::default();
+        let mut remote_batches: BTreeMap<SiteId, Vec<ReadItem>> = BTreeMap::new();
+        for (o, lo, hi) in intervals.iter().map(|(o, l, h)| (*o, *l, *h)) {
+            let o = &o;
+            let Ok(primary) = self.store.primary_of(*o) else {
+                continue;
+            };
+            if primary.site == self.id {
+                // We are the primary: the serialization point. Any write in
+                // (lo, hi) is in our history; if one is present the guess
+                // fails until it resolves.
+                let dirty = self
+                    .store
+                    .get(*o)
+                    .map(|m| m.values.has_write_in(lo, hi))
+                    .unwrap_or(false);
+                if dirty {
+                    guesses.denied = true;
+                } else if let Ok(m) = self.store.get_mut(*o) {
+                    m.value_reservations.reserve(lo, hi, token);
+                }
+            } else {
+                let Some(addr) = self.addr_for(*o, primary.site) else {
+                    continue;
+                };
+                remote_batches.entry(primary.site).or_default().push(ReadItem {
+                    addr,
+                    t_r: lo,
+                    t_g: lo,
+                    hi: Some(hi),
+                });
+                guesses.outstanding.insert(primary.site);
+            }
+        }
+
+        if old_token != VirtualTime::ZERO {
+            self.snap_tokens.remove(&old_token);
+        }
+        self.snap_tokens.insert(token, vid);
+        if let Some(snap) = self
+            .views
+            .get_mut(&vid)
+            .and_then(|p| p.pess.get_mut(&ts))
+        {
+            snap.token = token;
+            snap.guesses = guesses;
+            snap.issued = intervals;
+        }
+        for (site, items) in remote_batches {
+            self.send(
+                site,
+                Message::SnapshotConfirm {
+                    subject: token,
+                    origin: self.id,
+                    reads: items,
+                },
+            );
+        }
+    }
+
+    /// Delivers every deliverable pessimistic snapshot in VT order:
+    /// committed, guesses settled, and all predecessors delivered (§4.2).
+    pub(crate) fn pump_pessimistic(&mut self, vid: ViewId) {
+        loop {
+            let Some(proxy) = self.views.get(&vid) else {
+                return;
+            };
+            let Some((&ts, snap)) = proxy.pess.iter().next() else {
+                return;
+            };
+            if !(snap.committed && snap.guesses.settled()) {
+                return;
+            }
+            let changed: Vec<ObjectName> = snap.changed.iter().copied().collect();
+            let token = snap.token;
+            let proxy = self.views.get_mut(&vid).expect("checked above");
+            proxy.pess.remove(&ts);
+            let notification = UpdateNotification {
+                ts,
+                changed: &changed,
+                store: &self.store,
+                spawned: Default::default(),
+            };
+            proxy.view.update(&notification);
+            let spawned = notification.spawned.into_inner();
+            proxy.last_notified_vt = ts;
+            for o in &changed {
+                if let Some(cur) = self.store.get(*o).ok().and_then(|m| m.values.current()) {
+                    proxy.last_seen.insert(*o, cur.vt);
+                }
+            }
+            self.snap_tokens.remove(&token);
+            self.stats.pess_notifications += 1;
+            self.events.push(EngineEvent::ViewUpdated {
+                view: vid,
+                ts,
+                mode: ViewMode::Pessimistic,
+            });
+            for t in spawned {
+                self.execute(t);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event hooks from the transaction engine
+    // ------------------------------------------------------------------
+
+    /// A remote (or local) update at `vt` was applied to `objects`:
+    /// account for optimistic deviations (§5.1.2 definitions).
+    pub(crate) fn account_arrival(&mut self, vt: VirtualTime, objects: &[ObjectName]) {
+        for obj in objects {
+            let current_vt = self
+                .store
+                .get(*obj)
+                .ok()
+                .and_then(|m| m.values.current().map(|e| e.vt));
+            for (vid, _) in self.watchers_of(*obj, ViewMode::Optimistic) {
+                let Some(proxy) = self.views.get_mut(&vid) else {
+                    continue;
+                };
+                let Some(last_ts) = proxy.last_notified_ts else {
+                    continue;
+                };
+                if vt >= last_ts {
+                    continue;
+                }
+                // The arriving update is older than the last notification.
+                if current_vt.map(|c| c > vt).unwrap_or(false) {
+                    // A later update to the same object was already
+                    // processed: this one will never be notified.
+                    self.stats.lost_updates += 1;
+                } else {
+                    // The object itself had no later value; the view showed
+                    // other objects from a later virtual time.
+                    self.stats.read_inconsistencies += 1;
+                }
+            }
+        }
+    }
+
+    /// The transaction at `vt` committed; `coverage` maps its written
+    /// objects to their `tR`.
+    pub(crate) fn on_committed_update(
+        &mut self,
+        vt: VirtualTime,
+        coverage: &BTreeMap<ObjectName, VirtualTime>,
+    ) {
+        let vids: Vec<ViewId> = self.views.keys().copied().collect();
+        for vid in vids {
+            let Some(proxy) = self.views.get_mut(&vid) else {
+                continue;
+            };
+            match proxy.mode {
+                ViewMode::Pessimistic => {
+                    if let Some(snap) = proxy.pess.get_mut(&vt) {
+                        snap.committed = true;
+                    }
+                    // The commit may change `lo` for denied guesses of the
+                    // earliest pending snapshot: revise and retry.
+                    let revise: Vec<VirtualTime> = proxy
+                        .pess
+                        .iter()
+                        .filter(|(_, s)| s.guesses.denied)
+                        .map(|(ts, _)| *ts)
+                        .collect();
+                    for ts in revise {
+                        self.stats.snapshot_reruns += 1;
+                        self.issue_pess_guesses(vid, ts);
+                    }
+                    self.pump_pessimistic(vid);
+                }
+                ViewMode::Optimistic => {
+                    if let Some(snap) = proxy.opt.as_mut() {
+                        snap.guesses.rc_waits.remove(&vt);
+                    }
+                    self.maybe_commit_opt(vid);
+                }
+            }
+        }
+        let _ = coverage;
+    }
+
+    /// The transaction at `vt` aborted; `objects` are the local objects it
+    /// had written.
+    pub(crate) fn on_aborted_update(&mut self, vt: VirtualTime, objects: &[ObjectName]) {
+        let vids: Vec<ViewId> = self.views.keys().copied().collect();
+        for vid in vids {
+            let Some(proxy) = self.views.get_mut(&vid) else {
+                continue;
+            };
+            match proxy.mode {
+                ViewMode::Optimistic => {
+                    // Update inconsistency: a delivered notification showed
+                    // the aborted value (§5.1.2).
+                    if proxy
+                        .last_delivered_reads
+                        .iter()
+                        .any(|(_, rvt)| *rvt == vt)
+                    {
+                        self.stats.update_inconsistencies += 1;
+                    }
+                    // Rerun if the current snapshot depended on the aborted
+                    // transaction (RC denied → "reruns the snapshot with a
+                    // new tS", §4.1).
+                    let depended = proxy
+                        .opt
+                        .as_ref()
+                        .map(|s| {
+                            s.guesses.rc_waits.contains(&vt)
+                                || s.reads.iter().any(|(_, rvt)| *rvt == vt)
+                        })
+                        .unwrap_or(false);
+                    let watches = objects.iter().any(|o| {
+                        let mut chain = vec![*o];
+                        chain.extend(self.store.ancestors(*o));
+                        chain.iter().any(|c| proxy.attached.contains(c))
+                    });
+                    if depended || watches {
+                        let proxy = self.views.get_mut(&vid).expect("checked above");
+                        for o in objects {
+                            let mut chain = vec![*o];
+                            chain.extend(self.store.ancestors(*o));
+                            if let Some(point) =
+                                chain.iter().find(|c| proxy.attached.contains(c))
+                            {
+                                proxy.dirty.insert(*point);
+                            }
+                        }
+                        self.stats.snapshot_reruns += 1;
+                        self.run_opt_snapshot(vid);
+                    }
+                }
+                ViewMode::Pessimistic => {
+                    // The update at vt will never commit: drop its snapshot
+                    // and revise any denied guesses (the purge may have
+                    // cleared their intervals).
+                    if let Some(snap) = proxy.pess.remove(&vt) {
+                        if snap.token != VirtualTime::ZERO {
+                            self.snap_tokens.remove(&snap.token);
+                        }
+                    }
+                    let Some(proxy) = self.views.get_mut(&vid) else {
+                        continue;
+                    };
+                    let revise: Vec<VirtualTime> = proxy
+                        .pess
+                        .iter()
+                        .filter(|(_, s)| s.guesses.denied)
+                        .map(|(ts, _)| *ts)
+                        .collect();
+                    for ts in revise {
+                        self.stats.snapshot_reruns += 1;
+                        self.issue_pess_guesses(vid, ts);
+                    }
+                    self.pump_pessimistic(vid);
+                }
+            }
+        }
+    }
+
+    /// RC resolution hook for optimistic snapshots.
+    pub(crate) fn resolve_view_rc_commit(&mut self, committed: VirtualTime) {
+        let vids: Vec<ViewId> = self.views.keys().copied().collect();
+        for vid in vids {
+            if let Some(proxy) = self.views.get_mut(&vid) {
+                if let Some(snap) = proxy.opt.as_mut() {
+                    snap.guesses.rc_waits.remove(&committed);
+                }
+            }
+            self.maybe_commit_opt(vid);
+        }
+    }
+
+    /// A primary confirmed a snapshot's CONFIRM-READ batch.
+    pub(crate) fn on_snapshot_confirm(&mut self, subject: VirtualTime, from: SiteId) {
+        let Some(&vid) = self.snap_tokens.get(&subject) else {
+            return;
+        };
+        let Some(proxy) = self.views.get_mut(&vid) else {
+            return;
+        };
+        match proxy.mode {
+            ViewMode::Optimistic => {
+                if let Some(snap) = proxy.opt.as_mut() {
+                    if snap.token == subject {
+                        snap.guesses.outstanding.remove(&from);
+                    }
+                }
+                self.maybe_commit_opt(vid);
+            }
+            ViewMode::Pessimistic => {
+                for snap in proxy.pess.values_mut() {
+                    if snap.token == subject {
+                        snap.guesses.outstanding.remove(&from);
+                    }
+                }
+                self.pump_pessimistic(vid);
+            }
+        }
+    }
+
+    /// A primary denied a snapshot's CONFIRM-READ batch: "a straggler
+    /// update is yet to arrive at the guessing site... the straggler itself
+    /// will eventually arrive and cause a rerun" (§4.1).
+    pub(crate) fn on_snapshot_deny(&mut self, subject: VirtualTime) {
+        let Some(&vid) = self.snap_tokens.get(&subject) else {
+            return;
+        };
+        let Some(proxy) = self.views.get_mut(&vid) else {
+            return;
+        };
+        match proxy.mode {
+            ViewMode::Optimistic => {
+                if let Some(snap) = proxy.opt.as_mut() {
+                    if snap.token == subject {
+                        snap.guesses.denied = true;
+                    }
+                }
+            }
+            ViewMode::Pessimistic => {
+                let mut denied_ts = None;
+                for (ts, snap) in proxy.pess.iter_mut() {
+                    if snap.token == subject {
+                        snap.guesses.denied = true;
+                        denied_ts = Some(*ts);
+                    }
+                }
+                // If local commits have already shrunk the guessed
+                // intervals, re-issue right away; otherwise the straggler's
+                // own arrival will trigger the revision (§4.2).
+                if let Some(ts) = denied_ts {
+                    let fresh = self.pess_intervals(vid, ts);
+                    let stale = self
+                        .views
+                        .get(&vid)
+                        .and_then(|p| p.pess.get(&ts))
+                        .map(|s| s.issued.clone())
+                        .unwrap_or_default();
+                    if fresh != stale {
+                        self.stats.snapshot_reruns += 1;
+                        self.issue_pess_guesses(vid, ts);
+                        self.pump_pessimistic(vid);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Dumps pending pessimistic snapshot states (debugging/tests):
+    /// `(view, ts, committed, denied, outstanding, rc_waits)`.
+    #[doc(hidden)]
+    pub fn debug_pess_snapshots(&self) -> Vec<(ViewId, VirtualTime, bool, bool, usize, usize)> {
+        let mut out = Vec::new();
+        for proxy in self.views.values() {
+            for (ts, snap) in &proxy.pess {
+                out.push((
+                    proxy.id,
+                    *ts,
+                    snap.committed,
+                    snap.guesses.denied,
+                    snap.guesses.outstanding.len(),
+                    snap.guesses.rc_waits.len(),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Wire address of `obj` from the perspective of `site` (for snapshot
+    /// CONFIRM-READ requests).
+    fn addr_for(&self, obj: ObjectName, site: SiteId) -> Option<ObjectAddr> {
+        let (root, path) = self.store.path_to(obj).ok()?;
+        let (graph, _) = self.store.effective_graph(root).ok()?;
+        let root_there = graph.node_at(site)?.object;
+        Some(if path.is_root() {
+            ObjectAddr::Direct(root_there)
+        } else {
+            ObjectAddr::Indirect {
+                root: root_there,
+                path,
+            }
+        })
+    }
+}

@@ -1,0 +1,126 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::object::ObjectName;
+
+/// Errors surfaced by the DECAF infrastructure to application code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecafError {
+    /// The named object does not exist at this site.
+    NoSuchObject(ObjectName),
+    /// An operation was applied to an object of the wrong kind (e.g. a list
+    /// operation on a scalar).
+    KindMismatch {
+        /// The object operated on.
+        object: ObjectName,
+        /// What the operation expected, e.g. `"list"`.
+        expected: &'static str,
+    },
+    /// A composite index or key was out of range / absent.
+    NoSuchChild {
+        /// The composite object.
+        object: ObjectName,
+        /// Human-readable description of the missing child.
+        detail: String,
+    },
+    /// The object has no value yet (history empty).
+    Uninitialized(ObjectName),
+    /// A collaboration operation referenced an unknown relation or
+    /// invitation.
+    UnknownRelation,
+}
+
+impl fmt::Display for DecafError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecafError::NoSuchObject(o) => write!(f, "no such model object {o}"),
+            DecafError::KindMismatch { object, expected } => {
+                write!(f, "model object {object} is not a {expected}")
+            }
+            DecafError::NoSuchChild { object, detail } => {
+                write!(f, "composite {object} has no child {detail}")
+            }
+            DecafError::Uninitialized(o) => write!(f, "model object {o} has no value"),
+            DecafError::UnknownRelation => write!(f, "unknown replica relationship"),
+        }
+    }
+}
+
+impl Error for DecafError {}
+
+/// Error returned from a [`Transaction::execute`](crate::Transaction::execute)
+/// body.
+///
+/// A transaction body may fail either because the infrastructure rejected an
+/// operation ([`TxnError::Decaf`]) or because the application decided to
+/// abort — the paper's "explicitly programmed to be aborted without retry by
+/// throwing an exception within the transaction" (§2.4). Both cause the
+/// transaction to abort *without retry*; `handle_abort` is then called.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnError {
+    /// Infrastructure error during an object operation.
+    Decaf(DecafError),
+    /// Application-initiated abort with a message (the analogue of throwing
+    /// an exception inside `execute`).
+    Application(String),
+}
+
+impl TxnError {
+    /// Convenience constructor for an application-initiated abort.
+    pub fn app(msg: impl Into<String>) -> Self {
+        TxnError::Application(msg.into())
+    }
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::Decaf(e) => write!(f, "{e}"),
+            TxnError::Application(m) => write!(f, "transaction aborted by application: {m}"),
+        }
+    }
+}
+
+impl Error for TxnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TxnError::Decaf(e) => Some(e),
+            TxnError::Application(_) => None,
+        }
+    }
+}
+
+impl From<DecafError> for TxnError {
+    fn from(e: DecafError) -> Self {
+        TxnError::Decaf(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decaf_vt::SiteId;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let o = ObjectName::new(SiteId(1), 3);
+        let e = DecafError::NoSuchObject(o);
+        assert!(e.to_string().starts_with("no such model object"));
+        let t: TxnError = e.into();
+        assert!(t.to_string().contains("no such model object"));
+        assert!(TxnError::app("balance too low")
+            .to_string()
+            .contains("balance too low"));
+    }
+
+    #[test]
+    fn txn_error_exposes_source() {
+        use std::error::Error as _;
+        let t = TxnError::Decaf(DecafError::UnknownRelation);
+        assert!(t.source().is_some());
+        assert!(TxnError::app("x").source().is_none());
+    }
+}

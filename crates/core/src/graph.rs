@@ -1,0 +1,367 @@
+//! Replication graphs and primary-copy selection.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use decaf_vt::SiteId;
+
+use crate::collab::RelationId;
+use crate::object::ObjectName;
+
+/// A reference to one model object at one site: a node of a replication
+/// graph.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeRef {
+    /// Hosting site.
+    pub site: SiteId,
+    /// The object's name at that site.
+    pub object: ObjectName,
+}
+
+impl NodeRef {
+    /// Creates a node reference.
+    pub fn new(site: SiteId, object: ObjectName) -> Self {
+        NodeRef { site, object }
+    }
+}
+
+impl fmt::Display for NodeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.site, self.object)
+    }
+}
+
+/// The strategy mapping a replication graph to its primary copy.
+///
+/// "There is a function which maps replication graphs to a selected node in
+/// that graph. The node is called the *primary copy* and the site of that
+/// node is called the *primary site*" (§3). Crucially it is a *pure
+/// function* — "there is no negotiation for primary copy... no phase during
+/// which updates are not possible because a primary site is being chosen"
+/// (§3.3). The selector is pluggable so the `a1_delegate` ablation can
+/// control primary placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum PrimarySelector {
+    /// The node with the smallest `(site, object)` key (the default).
+    #[default]
+    MinNode,
+    /// The node with the largest `(site, object)` key.
+    MaxNode,
+    /// A deterministic hash of the node set picks the node, spreading
+    /// primaries across sites when many independent graphs exist.
+    Rendezvous,
+}
+
+impl PrimarySelector {
+    /// Applies the selection function to `graph`.
+    ///
+    /// Returns `None` only for an empty graph.
+    pub fn primary(self, graph: &ReplicationGraph) -> Option<NodeRef> {
+        match self {
+            PrimarySelector::MinNode => graph.nodes.iter().next().copied(),
+            PrimarySelector::MaxNode => graph.nodes.iter().next_back().copied(),
+            PrimarySelector::Rendezvous => graph
+                .nodes
+                .iter()
+                .max_by_key(|n| {
+                    // FNV-1a over the node bytes; deterministic across runs.
+                    let mut h: u64 = 0xcbf29ce484222325;
+                    for b in [
+                        n.site.0 as u64,
+                        n.object.site.0 as u64,
+                        n.object.seq,
+                    ] {
+                        h ^= b;
+                        h = h.wrapping_mul(0x100000001b3);
+                    }
+                    (h, **n)
+                })
+                .copied(),
+        }
+    }
+}
+
+/// A replication graph: "a connected multigraph whose nodes are references
+/// to model objects, and whose multi-edges are the replication relations
+/// built by the users" (§3).
+///
+/// The graph of object *M* includes *M* and every object directly or
+/// indirectly required to mirror it. Edges are labelled with the
+/// [`RelationId`] of the replica relationship that created them, making the
+/// graph a multigraph (two objects may be joined through several
+/// relationships).
+///
+/// # Example
+///
+/// ```
+/// use decaf_core::{NodeRef, ObjectName, PrimarySelector, RelationId, ReplicationGraph};
+/// use decaf_vt::SiteId;
+///
+/// let a = NodeRef::new(SiteId(1), ObjectName::new(SiteId(1), 0));
+/// let b = NodeRef::new(SiteId(2), ObjectName::new(SiteId(2), 0));
+/// let g = ReplicationGraph::singleton(a).joined_with(&ReplicationGraph::singleton(b), a, b, RelationId(7));
+/// assert_eq!(g.sites().collect::<Vec<_>>(), vec![SiteId(1), SiteId(2)]);
+/// assert_eq!(PrimarySelector::MinNode.primary(&g), Some(a));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ReplicationGraph {
+    nodes: BTreeSet<NodeRef>,
+    edges: BTreeSet<(NodeRef, NodeRef, RelationId)>,
+}
+
+impl ReplicationGraph {
+    /// The graph of an unshared object: one node, no edges.
+    pub fn singleton(node: NodeRef) -> Self {
+        let mut nodes = BTreeSet::new();
+        nodes.insert(node);
+        ReplicationGraph {
+            nodes,
+            edges: BTreeSet::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes (only possible transiently, after
+    /// every member left).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether `node` participates in this graph.
+    pub fn contains(&self, node: NodeRef) -> bool {
+        self.nodes.contains(&node)
+    }
+
+    /// Iterates the nodes in ascending order.
+    pub fn nodes(&self) -> impl Iterator<Item = &NodeRef> {
+        self.nodes.iter()
+    }
+
+    /// Iterates the distinct sites hosting nodes, ascending.
+    pub fn sites(&self) -> impl Iterator<Item = SiteId> + '_ {
+        let mut last = None;
+        self.nodes.iter().filter_map(move |n| {
+            if last == Some(n.site) {
+                None
+            } else {
+                last = Some(n.site);
+                Some(n.site)
+            }
+        })
+    }
+
+    /// The node hosted at `site`, if any. (A site hosts at most one replica
+    /// of a given logical object.)
+    pub fn node_at(&self, site: SiteId) -> Option<NodeRef> {
+        self.nodes.iter().find(|n| n.site == site).copied()
+    }
+
+    /// Merges `self` and `other` with a new replica-relation edge
+    /// `a — b` labelled `relation`, producing the joined graph (§3.3: "B
+    /// merges gA and gB").
+    #[must_use]
+    pub fn joined_with(
+        &self,
+        other: &ReplicationGraph,
+        a: NodeRef,
+        b: NodeRef,
+        relation: RelationId,
+    ) -> ReplicationGraph {
+        let mut nodes = self.nodes.clone();
+        nodes.extend(other.nodes.iter().copied());
+        let mut edges = self.edges.clone();
+        edges.extend(other.edges.iter().copied());
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        edges.insert((lo, hi, relation));
+        ReplicationGraph { nodes, edges }
+    }
+
+    /// Removes `node` and its incident edges, returning the graph that the
+    /// *remaining* members share. If removal disconnects the graph, the
+    /// component containing `keep_perspective` is returned (leave semantics:
+    /// each component carries on independently).
+    #[must_use]
+    pub fn without_node(&self, node: NodeRef, keep_perspective: NodeRef) -> ReplicationGraph {
+        let mut g = self.clone();
+        g.nodes.remove(&node);
+        g.edges
+            .retain(|(a, b, _)| *a != node && *b != node);
+        g.component_of(keep_perspective)
+    }
+
+    /// Removes every node hosted at `site` (fail-stop repair, §3.4),
+    /// keeping the component of `keep_perspective`.
+    #[must_use]
+    pub fn without_site(&self, site: SiteId, keep_perspective: NodeRef) -> ReplicationGraph {
+        let mut g = self.clone();
+        g.nodes.retain(|n| n.site != site);
+        g.edges
+            .retain(|(a, b, _)| a.site != site && b.site != site);
+        g.component_of(keep_perspective)
+    }
+
+    /// The connected component containing `node` (empty if absent).
+    #[must_use]
+    pub fn component_of(&self, node: NodeRef) -> ReplicationGraph {
+        if !self.nodes.contains(&node) {
+            return ReplicationGraph::default();
+        }
+        // Union-find-free BFS over the adjacency derived from edges;
+        // isolated nodes are their own component.
+        let mut adj: BTreeMap<NodeRef, Vec<NodeRef>> = BTreeMap::new();
+        for (a, b, _) in &self.edges {
+            adj.entry(*a).or_default().push(*b);
+            adj.entry(*b).or_default().push(*a);
+        }
+        let mut seen = BTreeSet::new();
+        let mut frontier = vec![node];
+        while let Some(n) = frontier.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(neigh) = adj.get(&n) {
+                frontier.extend(neigh.iter().copied());
+            }
+        }
+        let edges = self
+            .edges
+            .iter()
+            .filter(|(a, b, _)| seen.contains(a) && seen.contains(b))
+            .copied()
+            .collect();
+        ReplicationGraph { nodes: seen, edges }
+    }
+
+    /// Whether the graph is connected (a DECAF invariant for live graphs).
+    pub fn is_connected(&self) -> bool {
+        match self.nodes.iter().next() {
+            None => true,
+            Some(first) => self.component_of(*first).nodes.len() == self.nodes.len(),
+        }
+    }
+}
+
+impl fmt::Display for ReplicationGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(site: u32, seq: u64) -> NodeRef {
+        NodeRef::new(SiteId(site), ObjectName::new(SiteId(site), seq))
+    }
+
+    fn three_chain() -> (ReplicationGraph, NodeRef, NodeRef, NodeRef) {
+        let (a, b, c) = (node(1, 0), node(2, 0), node(3, 0));
+        let g = ReplicationGraph::singleton(a)
+            .joined_with(&ReplicationGraph::singleton(b), a, b, RelationId(1))
+            .joined_with(&ReplicationGraph::singleton(c), b, c, RelationId(2));
+        (g, a, b, c)
+    }
+
+    #[test]
+    fn singleton_properties() {
+        let g = ReplicationGraph::singleton(node(1, 5));
+        assert_eq!(g.len(), 1);
+        assert!(g.is_connected());
+        assert_eq!(PrimarySelector::MinNode.primary(&g), Some(node(1, 5)));
+    }
+
+    #[test]
+    fn join_merges_nodes_and_edges() {
+        let (g, a, b, c) = three_chain();
+        assert_eq!(g.len(), 3);
+        assert!(g.contains(a) && g.contains(b) && g.contains(c));
+        assert!(g.is_connected());
+        assert_eq!(
+            g.sites().collect::<Vec<_>>(),
+            vec![SiteId(1), SiteId(2), SiteId(3)]
+        );
+    }
+
+    #[test]
+    fn primary_selectors_are_deterministic_functions() {
+        let (g, a, _, c) = three_chain();
+        assert_eq!(PrimarySelector::MinNode.primary(&g), Some(a));
+        assert_eq!(PrimarySelector::MaxNode.primary(&g), Some(c));
+        let r1 = PrimarySelector::Rendezvous.primary(&g);
+        let r2 = PrimarySelector::Rendezvous.primary(&g.clone());
+        assert_eq!(r1, r2, "pure function of the graph");
+        assert!(g.contains(r1.unwrap()));
+    }
+
+    #[test]
+    fn leave_removes_node_and_keeps_connected_component() {
+        let (g, a, b, c) = three_chain();
+        // b is the cut vertex: removing it separates {a} and {c}.
+        let ga = g.without_node(b, a);
+        assert_eq!(ga.nodes().copied().collect::<Vec<_>>(), vec![a]);
+        let gc = g.without_node(b, c);
+        assert_eq!(gc.nodes().copied().collect::<Vec<_>>(), vec![c]);
+        // Removing a leaf keeps the rest together.
+        let g2 = g.without_node(c, a);
+        assert_eq!(g2.len(), 2);
+        assert!(g2.is_connected());
+    }
+
+    #[test]
+    fn without_site_strips_all_nodes_of_that_site() {
+        let (g, a, _, c) = three_chain();
+        let g2 = g.without_site(SiteId(2), a);
+        assert!(!g2.nodes().any(|n| n.site == SiteId(2)));
+        // a and c were only connected through site 2, so only a's component
+        // survives from a's perspective.
+        assert_eq!(g2.nodes().copied().collect::<Vec<_>>(), vec![a]);
+        let _ = c;
+    }
+
+    #[test]
+    fn multigraph_allows_parallel_edges() {
+        let (a, b) = (node(1, 0), node(2, 0));
+        let g = ReplicationGraph::singleton(a)
+            .joined_with(&ReplicationGraph::singleton(b), a, b, RelationId(1))
+            .joined_with(&ReplicationGraph::singleton(b), a, b, RelationId(2));
+        // Removing nothing: both edges counted distinct; graph still 2 nodes.
+        assert_eq!(g.len(), 2);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn node_at_finds_site_replica() {
+        let (g, a, ..) = three_chain();
+        assert_eq!(g.node_at(SiteId(1)), Some(a));
+        assert_eq!(g.node_at(SiteId(9)), None);
+    }
+
+    #[test]
+    fn component_of_missing_node_is_empty() {
+        let (g, ..) = three_chain();
+        assert!(g.component_of(node(9, 9)).is_empty());
+    }
+
+    #[test]
+    fn display_lists_nodes() {
+        let g = ReplicationGraph::singleton(node(1, 2));
+        assert_eq!(g.to_string(), "{S1:O1.2}");
+    }
+}

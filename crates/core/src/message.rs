@@ -1,0 +1,549 @@
+//! The DECAF wire protocol.
+//!
+//! All inter-site communication is expressed as [`Message`] values inside
+//! [`Envelope`]s. The protocol is exactly the paper's (§3, §4):
+//!
+//! * [`Message::Txn`] carries a transaction's WRITEs and CONFIRM-READ
+//!   requests to one destination site (one message per relevant site);
+//! * [`Message::Confirm`]/[`Message::Deny`] are primary-site verdicts on
+//!   RL/NC guesses, routed back to the requester;
+//! * [`Message::Commit`]/[`Message::Abort`] are the originator's (or
+//!   delegate's) summary decision broadcast to all affected sites;
+//! * [`Message::SnapshotConfirm`] carries a view snapshot's RL guesses to
+//!   primary copies (§4);
+//! * the `Join*`/`GraphUpdate` messages implement dynamic collaboration
+//!   establishment (§3.3);
+//! * the `Outcome*`/`Graph*` recovery messages implement client-failure
+//!   handling (§3.4).
+
+use serde::{Deserialize, Serialize};
+
+use decaf_vt::{SiteId, VirtualTime};
+
+use crate::collab::RelationId;
+use crate::graph::{NodeRef, ReplicationGraph};
+use crate::object::{AssocState, Blueprint, ObjectName};
+use crate::txn::TxnOutcome;
+use crate::value::ScalarValue;
+
+/// A message together with its source and destination.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Envelope {
+    /// Sending site.
+    pub from: SiteId,
+    /// Destination site.
+    pub to: SiteId,
+    /// The sender's Lamport clock at send time; the receiver witnesses it
+    /// so local virtual times dominate everything causally prior.
+    pub clock: VirtualTime,
+    /// Payload.
+    pub msg: Message,
+}
+
+/// One element of a composite path.
+///
+/// Paths name objects embedded in composites. List elements carry the VT at
+/// which the child was embedded as a *tag*, because raw indices are fragile
+/// under concurrent structural changes (§3.2.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PathElem {
+    /// A list position: index hint plus the embedding transaction's VT tag
+    /// (the tag is authoritative; the index accelerates lookup).
+    Index {
+        /// Position at the originating site when the path was formed.
+        index: usize,
+        /// VT of the transaction that embedded the child.
+        tag: VirtualTime,
+    },
+    /// A tuple key.
+    Key(String),
+}
+
+/// A path from a composite root down to an embedded object, e.g. the
+/// paper's `A[103][John][12]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Path(pub Vec<PathElem>);
+
+impl Path {
+    /// The empty path (the root itself).
+    pub fn root() -> Self {
+        Path(Vec::new())
+    }
+
+    /// Whether this path addresses the root itself.
+    pub fn is_root(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl std::fmt::Display for Path {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for e in &self.0 {
+            match e {
+                PathElem::Index { index, tag } => write!(f, "[{index}#{tag}]")?,
+                PathElem::Key(k) => write!(f, "[{k}]")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How an update or read addresses an object at the destination site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ObjectAddr {
+    /// The object is directly replicated: addressed by its local name at
+    /// the destination (taken from the replication graph).
+    Direct(ObjectName),
+    /// The object is embedded in a composite and uses indirect propagation:
+    /// addressed by the destination's local name for the enclosing direct
+    /// root, plus the VT-tagged path (§3.2).
+    Indirect {
+        /// Destination-local name of the enclosing direct-mode object.
+        root: ObjectName,
+        /// Path from that root to the target.
+        path: Path,
+    },
+}
+
+/// A deep snapshot of an object's (sub)tree, used when a joining object
+/// adopts the value of the relationship it joins (§3.3) and when replicas
+/// instantiate embedded children.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TreeSnapshot {
+    /// A scalar value.
+    Scalar(ScalarValue),
+    /// A list with each child's embedding tag preserved (tags must survive
+    /// the copy so later indirect paths resolve at the new replica).
+    List(Vec<(VirtualTime, TreeSnapshot)>),
+    /// A tuple of keyed children.
+    Tuple(Vec<(String, TreeSnapshot)>),
+    /// An association object's relationships.
+    Assoc(AssocSnapshot),
+}
+
+/// Opaque wire form of an association object's value.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AssocSnapshot(
+    #[serde(with = "crate::object::assoc_serde")] pub(crate) AssocState,
+);
+
+/// The state-update operation carried by a propagated write.
+///
+/// "For scalar objects it suffices to distribute the final value; for
+/// composite objects it is usually efficient to distribute the change as an
+/// increment" (§3.1 fn. 1) — hence structural ops rather than whole values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireOp {
+    /// Overwrite a scalar's value.
+    SetScalar(ScalarValue),
+    /// Insert a child into a list at `index` (clamped; `usize::MAX`
+    /// appends), tagged with the writing transaction's VT.
+    ListInsert {
+        /// Position hint at the originator.
+        index: usize,
+        /// The new child's subtree.
+        child: Blueprint,
+    },
+    /// Remove the list entry whose embedding tag is `tag`.
+    ListRemove {
+        /// Tag of the entry to remove.
+        tag: VirtualTime,
+    },
+    /// Put a keyed child into a tuple (replacing any existing child).
+    TuplePut {
+        /// The key.
+        key: String,
+        /// The new child's subtree.
+        child: Blueprint,
+    },
+    /// Remove a tuple's keyed child.
+    TupleRemove {
+        /// The key.
+        key: String,
+    },
+    /// Overwrite an association object's value.
+    SetAssoc(AssocSnapshot),
+    /// Overwrite an object's entire subtree (join-value adoption).
+    SetTree(TreeSnapshot),
+}
+
+/// One object update within a [`TxnPropagate`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpdateItem {
+    /// The target object, addressed for the destination site.
+    pub addr: ObjectAddr,
+    /// `tR`: VT of the value the transaction read before writing (equals
+    /// the transaction's own VT for blind writes).
+    pub t_r: VirtualTime,
+    /// `tG`: VT at which the object's replication graph was last changed,
+    /// as observed by the originator.
+    pub t_g: VirtualTime,
+    /// The state change to apply.
+    pub op: WireOp,
+    /// Whether the destination hosts this object's primary copy and must
+    /// run the RL and NC guess checks.
+    pub needs_check: bool,
+}
+
+/// One read-confirmation request within a [`TxnPropagate`] or
+/// [`Message::SnapshotConfirm`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReadItem {
+    /// The read object, addressed for the destination (primary) site.
+    pub addr: ObjectAddr,
+    /// `tR`: VT of the value read — the RL guess asks that `(t_r, hi)` be
+    /// write-free, where `hi` defaults to the requesting subject's VT.
+    pub t_r: VirtualTime,
+    /// `tG`: VT of the replication graph read.
+    pub t_g: VirtualTime,
+    /// Explicit upper bound of the guessed interval; `None` means the
+    /// subject's VT. View snapshots use this when a transaction's own
+    /// reservation already covers the tail of the interval (§5.1.2).
+    #[serde(default)]
+    pub hi: Option<VirtualTime>,
+}
+
+/// Delegate-commit instruction (§3.1): when a transaction has exactly one
+/// remote primary site and no RC guesses, the originator delegates the
+/// commit decision to that primary, which then broadcasts COMMIT/ABORT
+/// itself, saving one message latency.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Delegate {
+    /// Every site (other than the delegate) that must receive the summary
+    /// commit or abort — "the site identifiers of all the remote sites
+    /// affected by the transaction".
+    pub notify: Vec<SiteId>,
+}
+
+/// A transaction's propagation message to one destination site: its WRITEs
+/// for objects replicated there, plus CONFIRM-READ requests for objects
+/// whose primary copy lives there.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TxnPropagate {
+    /// The transaction's VT (its global identity).
+    pub txn: VirtualTime,
+    /// Originating site (where confirmations are sent).
+    pub origin: SiteId,
+    /// Updates to apply at the destination.
+    pub updates: Vec<UpdateItem>,
+    /// Read confirmations the destination (as primary) must check.
+    pub reads: Vec<ReadItem>,
+    /// Present when the destination is delegated the commit decision.
+    pub delegate: Option<Delegate>,
+}
+
+impl TxnPropagate {
+    /// Whether the destination must reply with a Confirm/Deny verdict.
+    pub fn needs_reply(&self) -> bool {
+        !self.reads.is_empty() || self.updates.iter().any(|u| u.needs_check)
+    }
+}
+
+/// What kind of actor a Confirm/Deny subject identifies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SubjectKind {
+    /// A transaction (deny ⇒ abort + automatic retry).
+    Txn,
+    /// A view snapshot (deny ⇒ wait for the straggler to trigger a rerun).
+    Snapshot,
+}
+
+/// A DECAF protocol message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)] // field-level docs live on the payload structs
+pub enum Message {
+    /// WRITE + CONFIRM-READ propagation of one transaction to one site.
+    Txn(TxnPropagate),
+    /// A view snapshot's CONFIRM-READ requests to a primary site (§4).
+    SnapshotConfirm {
+        /// Unique VT identifying the snapshot (reply routing + reservation
+        /// ownership).
+        subject: VirtualTime,
+        /// Site hosting the view proxy.
+        origin: SiteId,
+        /// The intervals to verify and reserve.
+        reads: Vec<ReadItem>,
+    },
+    /// Primary-site verdict: all checks in the referenced request passed.
+    Confirm {
+        /// The requesting transaction's or snapshot's VT.
+        subject: VirtualTime,
+        /// What the subject is.
+        kind: SubjectKind,
+    },
+    /// Primary-site verdict: some check failed.
+    Deny {
+        /// The requesting transaction's or snapshot's VT.
+        subject: VirtualTime,
+        /// What the subject is.
+        kind: SubjectKind,
+    },
+    /// Summary commit of the transaction at `txn` (from originator or
+    /// delegate).
+    Commit {
+        /// The committed transaction.
+        txn: VirtualTime,
+    },
+    /// Summary abort of the transaction at `txn`.
+    Abort {
+        /// The aborted transaction.
+        txn: VirtualTime,
+    },
+
+    // ---- dynamic collaboration establishment (§3.3) ----
+    /// "A remote call is made to B, sending it A's replication graph gA."
+    JoinRequest {
+        /// VT of the joining transaction at A's site.
+        txn: VirtualTime,
+        /// A's site.
+        origin: SiteId,
+        /// The relationship being joined.
+        relation: RelationId,
+        /// The joining object.
+        a_node: NodeRef,
+        /// The joining object's current replication graph.
+        a_graph: ReplicationGraph,
+        /// The contacted member object at the destination (from the
+        /// invitation).
+        b_object: ObjectName,
+        /// The inviter's association object (for membership bookkeeping),
+        /// if the destination hosts it.
+        assoc_object: Option<ObjectName>,
+    },
+    /// B's return value: gB, B's value, and the merged graph.
+    JoinReply {
+        /// VT of the joining transaction.
+        txn: VirtualTime,
+        /// Whether the join was accepted (authorization may refuse, §2.6).
+        ok: bool,
+        /// The contacted object.
+        b_node: NodeRef,
+        /// The merged replication graph gA ∪ gB (+ the new edge).
+        merged: ReplicationGraph,
+        /// B's current value, for adoption by A and A's replicas.
+        b_value: Option<TreeSnapshot>,
+        /// VT of the transaction that wrote B's current value.
+        b_value_vt: VirtualTime,
+        /// If false, A must additionally wait for the transaction at
+        /// `b_value_vt` to commit (an RC guess, §3.3).
+        b_value_committed: bool,
+        /// How many primary confirmations B's side will route to A (gB's
+        /// primary, plus the association's primary if updated).
+        confirms_expected: u32,
+        /// Additional sites (e.g. association replicas) that must receive
+        /// the summary COMMIT/ABORT.
+        extra_affected: Vec<SiteId>,
+    },
+    /// Propagation of a changed replication graph to a replica; the graph's
+    /// primary site checks and confirms it.
+    GraphUpdate {
+        /// VT of the graph-changing transaction.
+        txn: VirtualTime,
+        /// Site to send the verdict to.
+        origin: SiteId,
+        /// Destination-local name of the affected object.
+        target: ObjectName,
+        /// The new replication graph.
+        graph: ReplicationGraph,
+        /// `tG` the originator observed (RL guess interval lower bound).
+        t_g: VirtualTime,
+        /// Whether the destination is the graph's primary and must check.
+        needs_check: bool,
+        /// The value the joining side adopts (present only on join-driven
+        /// updates).
+        adopt_value: Option<TreeSnapshot>,
+        /// VT at which the adopted value was originally written at the
+        /// contacted side — the adoption is applied at this VT so the
+        /// joiner's subsequent read intervals line up with the primary's
+        /// history.
+        #[serde(default)]
+        adopt_value_vt: VirtualTime,
+    },
+
+    // ---- client-failure recovery (§3.4) ----
+    /// "The remaining sites determine if any of them received a commit
+    /// message regarding the transaction."
+    OutcomeQuery {
+        /// The in-doubt transaction.
+        txn: VirtualTime,
+        /// Who is asking (and will decide).
+        asker: SiteId,
+    },
+    /// Reply to [`Message::OutcomeQuery`].
+    OutcomeReport {
+        /// The in-doubt transaction.
+        txn: VirtualTime,
+        /// This site's knowledge of the outcome, if any.
+        outcome: Option<TxnOutcome>,
+    },
+    /// The asker's final decision, broadcast to the survivors.
+    OutcomeDecision {
+        /// The in-doubt transaction.
+        txn: VirtualTime,
+        /// The decided outcome.
+        outcome: TxnOutcome,
+    },
+    /// Consensus proposal to repair a replication graph whose primary site
+    /// failed (§3.4): apply `graph` at the common virtual time `at`.
+    GraphPropose {
+        /// Consensus instance (unique per coordinator).
+        ballot: u64,
+        /// The coordinating (lowest surviving) site.
+        coordinator: SiteId,
+        /// Destination-local name of the affected object.
+        target: ObjectName,
+        /// Coordinator-local name (echoed in acks to key the instance).
+        coord_target: ObjectName,
+        /// The repaired graph.
+        graph: ReplicationGraph,
+        /// Common VT at which all survivors apply the repair.
+        at: VirtualTime,
+    },
+    /// A survivor's acknowledgement of [`Message::GraphPropose`].
+    GraphAck {
+        /// The consensus instance.
+        ballot: u64,
+        /// Echo of `coord_target`.
+        coord_target: ObjectName,
+    },
+    /// Lightweight clock announcement from an otherwise-silent replica, so
+    /// peers' garbage-collection horizons keep advancing (the analogue of
+    /// Time Warp's fossil-collection acknowledgements). Carries no payload:
+    /// the envelope clock is the information.
+    Heartbeat,
+    /// Coordinator's instruction to apply the proposed repair.
+    GraphApply {
+        /// The consensus instance.
+        ballot: u64,
+        /// Destination-local name of the affected object.
+        target: ObjectName,
+        /// The repaired graph.
+        graph: ReplicationGraph,
+        /// Common VT at which to apply it.
+        at: VirtualTime,
+    },
+}
+
+impl Message {
+    /// The virtual time this message witnesses (for Lamport clock
+    /// advancement on receipt), if it carries one.
+    pub fn witnessed_vt(&self) -> Option<VirtualTime> {
+        match self {
+            Message::Txn(p) => Some(p.txn),
+            Message::SnapshotConfirm { subject, .. }
+            | Message::Confirm { subject, .. }
+            | Message::Deny { subject, .. } => Some(*subject),
+            Message::Commit { txn }
+            | Message::Abort { txn }
+            | Message::JoinRequest { txn, .. }
+            | Message::JoinReply { txn, .. }
+            | Message::GraphUpdate { txn, .. }
+            | Message::OutcomeQuery { txn, .. }
+            | Message::OutcomeReport { txn, .. }
+            | Message::OutcomeDecision { txn, .. } => Some(*txn),
+            Message::GraphPropose { at, .. } | Message::GraphApply { at, .. } => Some(*at),
+            Message::GraphAck { .. } | Message::Heartbeat => None,
+        }
+    }
+
+    /// Short tag naming the message type, for traces and statistics.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Message::Txn(p) if p.needs_reply() => "TXN+CHECK",
+            Message::Txn(_) => "TXN",
+            Message::SnapshotConfirm { .. } => "SNAP-CONFIRM-READ",
+            Message::Confirm { .. } => "CONFIRM",
+            Message::Deny { .. } => "DENY",
+            Message::Commit { .. } => "COMMIT",
+            Message::Abort { .. } => "ABORT",
+            Message::JoinRequest { .. } => "JOIN-REQ",
+            Message::JoinReply { .. } => "JOIN-REPLY",
+            Message::GraphUpdate { .. } => "GRAPH-UPDATE",
+            Message::OutcomeQuery { .. } => "OUTCOME-QUERY",
+            Message::OutcomeReport { .. } => "OUTCOME-REPORT",
+            Message::OutcomeDecision { .. } => "OUTCOME-DECISION",
+            Message::Heartbeat => "HEARTBEAT",
+            Message::GraphPropose { .. } => "GRAPH-PROPOSE",
+            Message::GraphAck { .. } => "GRAPH-ACK",
+            Message::GraphApply { .. } => "GRAPH-APPLY",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vt(n: u64) -> VirtualTime {
+        VirtualTime::new(n, SiteId(1))
+    }
+
+    #[test]
+    fn needs_reply_logic() {
+        let mut p = TxnPropagate {
+            txn: vt(1),
+            origin: SiteId(1),
+            updates: vec![],
+            reads: vec![],
+            delegate: None,
+        };
+        assert!(!p.needs_reply());
+        p.updates.push(UpdateItem {
+            addr: ObjectAddr::Direct(ObjectName::new(SiteId(2), 0)),
+            t_r: vt(1),
+            t_g: VirtualTime::ZERO,
+            op: WireOp::SetScalar(ScalarValue::Int(1)),
+            needs_check: false,
+        });
+        assert!(!p.needs_reply(), "plain replica write needs no reply");
+        p.updates[0].needs_check = true;
+        assert!(p.needs_reply(), "primary-checked write needs a reply");
+    }
+
+    #[test]
+    fn witnessed_vt_extraction() {
+        let m = Message::Commit { txn: vt(9) };
+        assert_eq!(m.witnessed_vt(), Some(vt(9)));
+        let ack = Message::GraphAck {
+            ballot: 1,
+            coord_target: ObjectName::new(SiteId(1), 0),
+        };
+        assert_eq!(ack.witnessed_vt(), None);
+    }
+
+    #[test]
+    fn tags_are_distinct_and_stable() {
+        assert_eq!(Message::Commit { txn: vt(1) }.tag(), "COMMIT");
+        assert_eq!(Message::Abort { txn: vt(1) }.tag(), "ABORT");
+    }
+
+    #[test]
+    fn path_display() {
+        let p = Path(vec![
+            PathElem::Index {
+                index: 103,
+                tag: vt(40),
+            },
+            PathElem::Key("John".into()),
+        ]);
+        assert_eq!(p.to_string(), "[103#40@S1][John]");
+        assert!(Path::root().is_root());
+        assert!(!p.is_root());
+    }
+
+    #[test]
+    fn envelope_round_trips_through_serde() {
+        let env = Envelope {
+            from: SiteId(1),
+            to: SiteId(2),
+            clock: vt(6),
+            msg: Message::Deny {
+                subject: vt(5),
+                kind: SubjectKind::Snapshot,
+            },
+        };
+        let json = serde_json::to_string(&env).unwrap();
+        let back: Envelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, env);
+    }
+}

@@ -1,0 +1,172 @@
+//! Persistence and recovery (paper §5.3: "We are also incorporating a
+//! persistence store and recovery from a variety of failures into the
+//! algorithms of DECAF").
+//!
+//! A [`Checkpoint`] captures a site's *durable* state — model objects with
+//! their value and graph histories, reservations, decided-transaction
+//! outcomes, and the Lamport clock — as plain serde-serializable data. The
+//! format is caller's choice (JSON, bincode, …).
+//!
+//! Checkpoints are taken at quiescence: in-flight transactions hold boxed
+//! application closures that cannot (and should not) be serialized; the
+//! paper's failure model likewise has crashed clients "rejoin the
+//! collaboration by going through a join protocol as new members" (§3.4),
+//! so a recovering site either resumes from its checkpoint — if the
+//! collaboration has not repaired it away — or restores its private state
+//! and re-joins.
+
+use serde::{Deserialize, Serialize};
+
+use decaf_vt::{History, LamportClock, ReservationSet, SiteId, VirtualTime};
+
+use crate::engine::{Site, SiteConfig};
+use crate::graph::ReplicationGraph;
+use crate::object::{ModelObject, ObjectKind, ObjectName, ObjectValue, PropagationMode};
+use crate::txn::TxnOutcome;
+
+/// Why a checkpoint could not be taken.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// The site has in-flight work (pending transactions, joins, buffered
+    /// stragglers, or unsent messages); drain it first.
+    NotQuiescent,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::NotQuiescent => {
+                write!(f, "site has in-flight work; checkpoint requires quiescence")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Serialized form of one model object.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObjectCheckpoint {
+    /// The object's name.
+    pub name: ObjectName,
+    /// Its kind.
+    pub kind: ObjectKind,
+    pub(crate) values: History<ObjectValue>,
+    pub(crate) graphs: History<ReplicationGraph>,
+    pub(crate) value_reservations: ReservationSet,
+    pub(crate) graph_reservations: ReservationSet,
+    pub(crate) parent: Option<ObjectName>,
+    pub(crate) propagation: PropagationMode,
+    /// `(tag, child)` pairs of the embedding registry.
+    pub(crate) embeddings: Vec<(VirtualTime, ObjectName)>,
+}
+
+/// A site's durable state, restorable with [`Site::restore`].
+///
+/// # Example
+///
+/// ```
+/// use decaf_core::Site;
+/// use decaf_vt::SiteId;
+///
+/// let mut site = Site::new(SiteId(1));
+/// let obj = site.create_int(7);
+/// let checkpoint = site.checkpoint().expect("quiescent");
+/// let json = serde_json::to_string(&checkpoint).expect("serializable");
+///
+/// // ... crash, restart ...
+/// let restored: decaf_core::Checkpoint = serde_json::from_str(&json).unwrap();
+/// let site = Site::restore(restored);
+/// assert_eq!(site.read_int_committed(obj), Some(7));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// The checkpointed site.
+    pub site: SiteId,
+    pub(crate) clock: LamportClock,
+    pub(crate) objects: Vec<ObjectCheckpoint>,
+    pub(crate) next_seq: u64,
+    /// Pairs rather than a map: JSON requires string map keys.
+    pub(crate) decided: Vec<(VirtualTime, TxnOutcome)>,
+    pub(crate) next_relation: u64,
+}
+
+impl Checkpoint {
+    /// How many model objects the checkpoint contains.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+}
+
+impl Site {
+    /// Captures the site's durable state.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`CheckpointError::NotQuiescent`] while transactions,
+    /// joins, or protocol messages are in flight.
+    pub fn checkpoint(&self) -> Result<Checkpoint, CheckpointError> {
+        if !self.is_quiescent() {
+            return Err(CheckpointError::NotQuiescent);
+        }
+        let objects = self
+            .store_objects()
+            .map(|o| ObjectCheckpoint {
+                name: o.name,
+                kind: o.kind,
+                values: o.values.clone(),
+                graphs: o.graphs.clone(),
+                value_reservations: o.value_reservations.clone(),
+                graph_reservations: o.graph_reservations.clone(),
+                parent: o.parent,
+                propagation: o.propagation,
+                embeddings: o.embeddings.iter().map(|(k, v)| (*k, *v)).collect(),
+            })
+            .collect();
+        Ok(Checkpoint {
+            site: self.id(),
+            clock: self.clock_snapshot(),
+            objects,
+            next_seq: self.store_next_seq(),
+            decided: {
+                let mut pairs: Vec<(VirtualTime, TxnOutcome)> = self
+                    .decided_snapshot()
+                    .iter()
+                    .map(|(k, v)| (*k, *v))
+                    .collect();
+                pairs.sort_by_key(|(vt, _)| *vt);
+                pairs
+            },
+            next_relation: self.next_relation_counter(),
+        })
+    }
+
+    /// Reconstructs a site from a checkpoint (with the default
+    /// [`SiteConfig`]); views and in-flight protocol state are not part of
+    /// a checkpoint and start empty.
+    pub fn restore(cp: Checkpoint) -> Site {
+        Self::restore_with_config(cp, SiteConfig::default())
+    }
+
+    /// Reconstructs a site from a checkpoint with an explicit engine
+    /// configuration.
+    pub fn restore_with_config(cp: Checkpoint, config: SiteConfig) -> Site {
+        let mut site = Site::with_config(cp.site, config);
+        site.restore_clock(cp.clock);
+        site.restore_decided(cp.decided.into_iter().collect());
+        site.restore_relation_counter(cp.next_relation);
+        site.restore_store(cp.next_seq, cp.objects.into_iter().map(|o| {
+            let mut obj = ModelObject::new(o.name, o.kind);
+            obj.values = o.values;
+            obj.graphs = o.graphs;
+            obj.value_reservations = o.value_reservations;
+            obj.graph_reservations = o.graph_reservations;
+            obj.parent = o.parent;
+            obj.propagation = o.propagation;
+            obj.embeddings = o.embeddings.into_iter().collect();
+            obj
+        }));
+        site
+    }
+}

@@ -1,0 +1,129 @@
+//! Per-site statistics, matching the metrics the paper's benchmarks report
+//! (§5.1.2, §5.2.2).
+
+use std::fmt;
+
+/// Counters accumulated by one [`Site`](crate::Site).
+///
+/// The three "deviations from the ideal notification sequence" that an
+/// optimistic view may experience (§5.1.2) are counted explicitly:
+///
+/// * [`lost_updates`](SiteStats::lost_updates) — an update message arrived
+///   with a VT earlier than a previously processed update, so it yields no
+///   notification;
+/// * [`update_inconsistencies`](SiteStats::update_inconsistencies) — an
+///   update was shown to a view but the writing transaction later rolled
+///   back;
+/// * [`read_inconsistencies`](SiteStats::read_inconsistencies) — a view
+///   observing several objects was notified, and a straggling update to
+///   another attached object then arrived with an earlier VT.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct SiteStats {
+    /// Transactions submitted at this site (first executions, not retries).
+    pub txns_started: u64,
+    /// Transactions committed (originated here).
+    pub txns_committed: u64,
+    /// Conflict aborts of locally originated transactions (each normally
+    /// followed by an automatic retry).
+    pub txns_aborted_conflict: u64,
+    /// Application aborts (no retry).
+    pub txns_aborted_user: u64,
+    /// Automatic re-executions performed.
+    pub retries: u64,
+    /// Update notifications delivered to optimistic views.
+    pub opt_notifications: u64,
+    /// Commit notifications delivered to optimistic views.
+    pub opt_commits: u64,
+    /// Update notifications delivered to pessimistic views.
+    pub pess_notifications: u64,
+    /// Lost updates (optimistic views), per §5.1.2 definition.
+    pub lost_updates: u64,
+    /// Updates shown optimistically whose transaction later aborted.
+    pub update_inconsistencies: u64,
+    /// Straggler-after-notification events on optimistic views.
+    pub read_inconsistencies: u64,
+    /// Protocol messages sent by this site.
+    pub msgs_sent: u64,
+    /// Protocol messages received by this site.
+    pub msgs_received: u64,
+    /// History entries discarded by garbage collection.
+    pub gc_discarded: u64,
+    /// Snapshot re-runs caused by denied or invalidated guesses.
+    pub snapshot_reruns: u64,
+}
+
+impl SiteStats {
+    /// Rollback (conflict-abort) rate over started transactions, the
+    /// paper's §5.2.2 rollback metric.
+    pub fn rollback_rate(&self) -> f64 {
+        if self.txns_started == 0 {
+            0.0
+        } else {
+            self.txns_aborted_conflict as f64 / self.txns_started as f64
+        }
+    }
+
+    /// Lost-update rate over optimistic deliveries plus losses (§5.2.2).
+    pub fn lost_update_rate(&self) -> f64 {
+        let denom = self.opt_notifications + self.lost_updates;
+        if denom == 0 {
+            0.0
+        } else {
+            self.lost_updates as f64 / denom as f64
+        }
+    }
+}
+
+impl fmt::Display for SiteStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "txns {}/{} committed ({} conflict aborts, {} retries); \
+             opt notif {} (+{} commits, {} lost, {} upd-inc, {} read-inc); \
+             pess notif {}; msgs {}/{}",
+            self.txns_committed,
+            self.txns_started,
+            self.txns_aborted_conflict,
+            self.retries,
+            self.opt_notifications,
+            self.opt_commits,
+            self.lost_updates,
+            self.update_inconsistencies,
+            self.read_inconsistencies,
+            self.pess_notifications,
+            self.msgs_sent,
+            self.msgs_received,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let s = SiteStats::default();
+        assert_eq!(s.rollback_rate(), 0.0);
+        assert_eq!(s.lost_update_rate(), 0.0);
+    }
+
+    #[test]
+    fn rates_compute() {
+        let s = SiteStats {
+            txns_started: 10,
+            txns_aborted_conflict: 2,
+            opt_notifications: 8,
+            lost_updates: 2,
+            ..Default::default()
+        };
+        assert!((s.rollback_rate() - 0.2).abs() < 1e-12);
+        assert!((s.lost_update_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!SiteStats::default().to_string().is_empty());
+    }
+}

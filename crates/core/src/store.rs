@@ -1,0 +1,1444 @@
+//! The per-site object store: model-object state, composite
+//! materialization, path resolution, and straggler re-folding.
+
+use std::collections::HashMap;
+
+use decaf_vt::{SiteId, VirtualTime};
+
+use crate::error::DecafError;
+use crate::graph::{NodeRef, PrimarySelector, ReplicationGraph};
+use crate::message::{AssocSnapshot, ObjectAddr, Path, PathElem, TreeSnapshot, WireOp};
+use crate::object::{
+    Blueprint, ListEntry, ListOp, ModelObject, ObjectKind, ObjectName, ObjectValue,
+    PropagationMode, TupleOp,
+};
+use crate::value::ScalarValue;
+
+/// Why a wire operation could not (yet) be applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ApplyBlocked {
+    /// The update's path or tag references a structural update (at the
+    /// given VT, if known) that has not arrived yet; buffer and retry.
+    /// (Paper §3.2.1: "the propagation will block until the earlier update
+    /// is received".)
+    MissingDependency(Option<VirtualTime>),
+    /// A hard error (bad kind, unknown object) — drop the update.
+    Fatal(DecafError),
+}
+
+impl From<DecafError> for ApplyBlocked {
+    fn from(e: DecafError) -> Self {
+        ApplyBlocked::Fatal(e)
+    }
+}
+
+/// The per-site collection of model objects.
+#[derive(Debug)]
+pub(crate) struct Store {
+    site: SiteId,
+    objects: HashMap<ObjectName, ModelObject>,
+    next_seq: u64,
+    pub selector: PrimarySelector,
+}
+
+impl Store {
+    pub fn new(site: SiteId) -> Self {
+        Store {
+            site,
+            objects: HashMap::new(),
+            next_seq: 0,
+            selector: PrimarySelector::default(),
+        }
+    }
+
+    fn alloc_name(&mut self) -> ObjectName {
+        let n = ObjectName::new(self.site, self.next_seq);
+        self.next_seq += 1;
+        n
+    }
+
+    pub fn get(&self, name: ObjectName) -> Result<&ModelObject, DecafError> {
+        self.objects
+            .get(&name)
+            .ok_or(DecafError::NoSuchObject(name))
+    }
+
+    pub fn get_mut(&mut self, name: ObjectName) -> Result<&mut ModelObject, DecafError> {
+        self.objects
+            .get_mut(&name)
+            .ok_or(DecafError::NoSuchObject(name))
+    }
+
+    pub fn contains(&self, name: ObjectName) -> bool {
+        self.objects.contains_key(&name)
+    }
+
+    pub fn objects(&self) -> impl Iterator<Item = &ModelObject> {
+        self.objects.values()
+    }
+
+    pub fn objects_mut(&mut self) -> impl Iterator<Item = &mut ModelObject> {
+        self.objects.values_mut()
+    }
+
+    /// Name-allocation counter (persistence support).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Restores the name-allocation counter (persistence support).
+    pub fn set_next_seq(&mut self, seq: u64) {
+        self.next_seq = seq;
+    }
+
+    /// Installs a fully-formed object (persistence support).
+    pub fn insert_object(&mut self, obj: ModelObject) {
+        self.objects.insert(obj.name, obj);
+    }
+
+    /// Creates a standalone (root, direct-mode) object with a committed
+    /// initial value at `VirtualTime::ZERO`.
+    pub fn create_root(&mut self, kind: ObjectKind, value: ObjectValue) -> ObjectName {
+        let name = self.alloc_name();
+        let mut obj = ModelObject::new(name, kind);
+        obj.values.insert_committed(VirtualTime::ZERO, value);
+        obj.graphs.insert_committed(
+            VirtualTime::ZERO,
+            ReplicationGraph::singleton(NodeRef::new(self.site, name)),
+        );
+        self.objects.insert(name, obj);
+        name
+    }
+
+    /// Instantiates `bp` (and its subtree) at `vt` as a child embedded
+    /// under `parent` (indirect propagation by default, §3.2).
+    pub fn instantiate(
+        &mut self,
+        bp: &Blueprint,
+        vt: VirtualTime,
+        parent: ObjectName,
+    ) -> ObjectName {
+        let name = self.alloc_name();
+        let value = match bp {
+            Blueprint::Int(v) => ObjectValue::Scalar(ScalarValue::Int(*v)),
+            Blueprint::Real(v) => ObjectValue::Scalar(ScalarValue::Real(*v)),
+            Blueprint::Str(v) => ObjectValue::Scalar(ScalarValue::Str(v.clone())),
+            Blueprint::List(children) => {
+                let entries = children
+                    .iter()
+                    .map(|c| ListEntry {
+                        tag: vt,
+                        child: self.instantiate(c, vt, name),
+                    })
+                    .collect();
+                ObjectValue::List {
+                    entries,
+                    ops: Vec::new(),
+                }
+            }
+            Blueprint::Tuple(children) => {
+                let entries = children
+                    .iter()
+                    .map(|(k, c)| (k.clone(), self.instantiate(c, vt, name)))
+                    .collect();
+                ObjectValue::Tuple {
+                    entries,
+                    ops: Vec::new(),
+                }
+            }
+        };
+        let mut obj = ModelObject::new(name, bp.kind());
+        obj.parent = Some(parent);
+        obj.propagation = PropagationMode::Indirect;
+        obj.values.insert(vt, value);
+        self.objects.insert(name, obj);
+        name
+    }
+
+    /// Instantiates a [`TreeSnapshot`] at `vt` (join-value adoption),
+    /// preserving the snapshot's embedding tags.
+    pub fn instantiate_tree(
+        &mut self,
+        snap: &TreeSnapshot,
+        vt: VirtualTime,
+        parent: ObjectName,
+    ) -> ObjectName {
+        let name = self.alloc_name();
+        let value = self.tree_value(snap, vt, name);
+        let kind = kind_of_snapshot(snap);
+        let mut obj = ModelObject::new(name, kind);
+        obj.parent = Some(parent);
+        obj.propagation = PropagationMode::Indirect;
+        obj.values.insert(vt, value);
+        self.objects.insert(name, obj);
+        name
+    }
+
+    fn tree_value(
+        &mut self,
+        snap: &TreeSnapshot,
+        vt: VirtualTime,
+        owner: ObjectName,
+    ) -> ObjectValue {
+        match snap {
+            TreeSnapshot::Scalar(s) => ObjectValue::Scalar(s.clone()),
+            TreeSnapshot::List(children) => {
+                let entries: Vec<ListEntry> = children
+                    .iter()
+                    .map(|(tag, c)| ListEntry {
+                        tag: *tag,
+                        child: self.instantiate_tree(c, vt, owner),
+                    })
+                    .collect();
+                ObjectValue::List {
+                    entries: entries.clone(),
+                    ops: vec![ListOp::ReplaceAll { entries }],
+                }
+            }
+            TreeSnapshot::Tuple(children) => {
+                let entries: std::collections::BTreeMap<String, ObjectName> = children
+                    .iter()
+                    .map(|(k, c)| (k.clone(), self.instantiate_tree(c, vt, owner)))
+                    .collect();
+                ObjectValue::Tuple {
+                    entries: entries.clone(),
+                    ops: vec![TupleOp::ReplaceAll { entries }],
+                }
+            }
+            TreeSnapshot::Assoc(a) => ObjectValue::Assoc(a.0.clone()),
+        }
+    }
+
+    /// Deep snapshot of `name`'s subtree as of `at` (`None` = current).
+    pub fn tree_snapshot(
+        &self,
+        name: ObjectName,
+        at: Option<VirtualTime>,
+    ) -> Result<TreeSnapshot, DecafError> {
+        let obj = self.get(name)?;
+        let entry = match at {
+            Some(vt) => obj.values.value_at(vt),
+            None => obj.values.current(),
+        }
+        .ok_or(DecafError::Uninitialized(name))?;
+        Ok(match &entry.value {
+            ObjectValue::Scalar(s) => TreeSnapshot::Scalar(s.clone()),
+            ObjectValue::List { entries, .. } => TreeSnapshot::List(
+                entries
+                    .iter()
+                    .map(|e| Ok((e.tag, self.tree_snapshot(e.child, at)?)))
+                    .collect::<Result<_, DecafError>>()?,
+            ),
+            ObjectValue::Tuple { entries, .. } => TreeSnapshot::Tuple(
+                entries
+                    .iter()
+                    .map(|(k, c)| Ok((k.clone(), self.tree_snapshot(*c, at)?)))
+                    .collect::<Result<_, DecafError>>()?,
+            ),
+            ObjectValue::Assoc(a) => TreeSnapshot::Assoc(AssocSnapshot(a.clone())),
+        })
+    }
+
+    // ---- roots, paths, graphs -------------------------------------------
+
+    /// Walks `parent` links up to the nearest direct-propagation object
+    /// (the "effective root" whose replication graph governs `name`).
+    pub fn effective_root(&self, name: ObjectName) -> Result<ObjectName, DecafError> {
+        let mut cur = name;
+        loop {
+            let obj = self.get(cur)?;
+            match (obj.propagation, obj.parent) {
+                (PropagationMode::Direct, _) | (PropagationMode::Indirect, None) => {
+                    return Ok(cur)
+                }
+                (PropagationMode::Indirect, Some(p)) => cur = p,
+            }
+        }
+    }
+
+    /// The VT-tagged path from `name`'s effective root down to `name`.
+    pub fn path_to(&self, name: ObjectName) -> Result<(ObjectName, Path), DecafError> {
+        let root = self.effective_root(name)?;
+        let mut elems = Vec::new();
+        let mut cur = name;
+        while cur != root {
+            let parent = self
+                .get(cur)?
+                .parent
+                .ok_or(DecafError::NoSuchObject(cur))?;
+            let pobj = self.get(parent)?;
+            let pval = pobj
+                .values
+                .current()
+                .ok_or(DecafError::Uninitialized(parent))?;
+            let elem = match &pval.value {
+                ObjectValue::List { entries, .. } => {
+                    let (index, entry) = entries
+                        .iter()
+                        .enumerate()
+                        .find(|(_, e)| e.child == cur)
+                        .ok_or_else(|| DecafError::NoSuchChild {
+                            object: parent,
+                            detail: format!("{cur}"),
+                        })?;
+                    PathElem::Index {
+                        index,
+                        tag: entry.tag,
+                    }
+                }
+                ObjectValue::Tuple { entries, .. } => {
+                    let key = entries
+                        .iter()
+                        .find(|(_, c)| **c == cur)
+                        .map(|(k, _)| k.clone())
+                        .ok_or_else(|| DecafError::NoSuchChild {
+                            object: parent,
+                            detail: format!("{cur}"),
+                        })?;
+                    PathElem::Key(key)
+                }
+                _ => {
+                    return Err(DecafError::KindMismatch {
+                        object: parent,
+                        expected: "composite",
+                    })
+                }
+            };
+            elems.push(elem);
+            cur = parent;
+        }
+        elems.reverse();
+        Ok((root, Path(elems)))
+    }
+
+    /// Resolves an incoming address to the local object it names.
+    ///
+    /// For indirect addresses the tag is authoritative: if a path element's
+    /// tag has not been applied here yet, resolution blocks
+    /// ([`ApplyBlocked::MissingDependency`]) until the structural straggler
+    /// arrives (§3.2.1).
+    pub fn resolve(&self, addr: &ObjectAddr) -> Result<ObjectName, ApplyBlocked> {
+        match addr {
+            ObjectAddr::Direct(name) => {
+                if self.contains(*name) {
+                    Ok(*name)
+                } else {
+                    Err(ApplyBlocked::Fatal(DecafError::NoSuchObject(*name)))
+                }
+            }
+            ObjectAddr::Indirect { root, path } => {
+                let mut cur = *root;
+                if !self.contains(cur) {
+                    return Err(ApplyBlocked::Fatal(DecafError::NoSuchObject(cur)));
+                }
+                for elem in &path.0 {
+                    let obj = self.get(cur)?;
+                    let val = obj
+                        .values
+                        .current()
+                        .ok_or(DecafError::Uninitialized(cur))?;
+                    cur = match (elem, &val.value) {
+                        (PathElem::Index { tag, index }, ObjectValue::List { entries, .. }) => {
+                            // Index is a hint; the tag decides. A child that
+                            // was concurrently *removed* must still resolve
+                            // (§3.2.1: propagation proceeds "regardless of
+                            // the order in which it has received other
+                            // structure-changing operations"), so fall back
+                            // to scanning the retained history.
+                            let hit = entries
+                                .get(*index)
+                                .filter(|e| e.tag == *tag)
+                                .or_else(|| entries.iter().find(|e| e.tag == *tag))
+                                .map(|e| e.child)
+                                .or_else(|| self.find_list_child_by_tag(cur, *tag));
+                            match hit {
+                                Some(child) => child,
+                                None => {
+                                    return Err(ApplyBlocked::MissingDependency(Some(*tag)))
+                                }
+                            }
+                        }
+                        (PathElem::Key(k), ObjectValue::Tuple { entries, .. }) => {
+                            match entries.get(k) {
+                                Some(c) => *c,
+                                None => return Err(ApplyBlocked::MissingDependency(None)),
+                            }
+                        }
+                        _ => {
+                            return Err(ApplyBlocked::Fatal(DecafError::KindMismatch {
+                                object: cur,
+                                expected: "composite matching path element",
+                            }))
+                        }
+                    };
+                }
+                Ok(cur)
+            }
+        }
+    }
+
+    /// Finds the child a list embedded under `tag`, even if a later
+    /// removal took it out of the current state, by scanning the retained
+    /// history (materialized states and insert ops).
+    pub fn find_list_child_by_tag(
+        &self,
+        list: ObjectName,
+        tag: VirtualTime,
+    ) -> Option<ObjectName> {
+        let obj = self.objects.get(&list)?;
+        obj.embeddings.get(&tag).copied()
+    }
+
+    /// The replication graph governing `name` (its own if direct, its
+    /// effective root's if indirect), plus the VT at which that graph last
+    /// changed (`tG`).
+    pub fn effective_graph(
+        &self,
+        name: ObjectName,
+    ) -> Result<(&ReplicationGraph, VirtualTime), DecafError> {
+        let root = self.effective_root(name)?;
+        let obj = self.get(root)?;
+        let entry = obj
+            .graphs
+            .current()
+            .ok_or(DecafError::Uninitialized(root))?;
+        Ok((&entry.value, entry.vt))
+    }
+
+    /// The primary copy of the graph governing `name`.
+    pub fn primary_of(&self, name: ObjectName) -> Result<NodeRef, DecafError> {
+        let (graph, _) = self.effective_graph(name)?;
+        self.selector
+            .primary(graph)
+            .ok_or(DecafError::UnknownRelation)
+    }
+
+    // ---- reading --------------------------------------------------------
+
+    /// The scalar value of `name` as of `at` (`None` = current).
+    pub fn scalar_at(
+        &self,
+        name: ObjectName,
+        at: Option<VirtualTime>,
+    ) -> Result<(ScalarValue, VirtualTime, bool), DecafError> {
+        let obj = self.get(name)?;
+        let entry = match at {
+            Some(vt) => obj.values.value_at(vt),
+            None => obj.values.current(),
+        }
+        .ok_or(DecafError::Uninitialized(name))?;
+        match &entry.value {
+            ObjectValue::Scalar(s) => Ok((s.clone(), entry.vt, entry.committed)),
+            _ => Err(DecafError::KindMismatch {
+                object: name,
+                expected: "scalar",
+            }),
+        }
+    }
+
+    // ---- applying wire operations ---------------------------------------
+
+    /// Applies `op` to `target` at `vt`, creating children as needed.
+    ///
+    /// Returns the list of objects whose value changed (for view
+    /// notification).
+    pub fn apply_wire_op(
+        &mut self,
+        target: ObjectName,
+        vt: VirtualTime,
+        op: &WireOp,
+    ) -> Result<Vec<ObjectName>, ApplyBlocked> {
+        match op {
+            WireOp::SetScalar(s) => {
+                let obj = self.get_mut(target)?;
+                if !matches!(obj.kind, ObjectKind::Int | ObjectKind::Real | ObjectKind::Str) {
+                    return Err(DecafError::KindMismatch {
+                        object: target,
+                        expected: "scalar",
+                    }
+                    .into());
+                }
+                obj.values.insert(vt, ObjectValue::Scalar(s.clone()));
+                Ok(vec![target])
+            }
+            WireOp::ListInsert { index, child } => {
+                self.require_kind(target, ObjectKind::List)?;
+                let child_name = self.instantiate(child, vt, target);
+                if let Ok(obj) = self.get_mut(target) {
+                    obj.embeddings.insert(vt, child_name);
+                }
+                self.apply_list_op(
+                    target,
+                    vt,
+                    ListOp::Insert {
+                        index: *index,
+                        tag: vt,
+                        child: child_name,
+                    },
+                )?;
+                let mut changed = vec![target];
+                changed.extend(self.subtree(child_name));
+                Ok(changed)
+            }
+            WireOp::ListRemove { tag } => {
+                self.require_kind(target, ObjectKind::List)?;
+                // Block until the embedding at `tag` has been seen here —
+                // but a tag that existed *historically* (e.g. already
+                // removed by a concurrent transaction) is fine: the fold is
+                // a no-op for it.
+                let known = self.find_list_child_by_tag(target, *tag).is_some();
+                let already = self.get(target)?.values.entry_at(vt).is_some();
+                if !known && !already {
+                    return Err(ApplyBlocked::MissingDependency(Some(*tag)));
+                }
+                self.apply_list_op(target, vt, ListOp::Remove { tag: *tag })?;
+                Ok(vec![target])
+            }
+            WireOp::TuplePut { key, child } => {
+                self.require_kind(target, ObjectKind::Tuple)?;
+                let child_name = self.instantiate(child, vt, target);
+                self.apply_tuple_op(
+                    target,
+                    vt,
+                    TupleOp::Put {
+                        key: key.clone(),
+                        child: child_name,
+                    },
+                )?;
+                let mut changed = vec![target];
+                changed.extend(self.subtree(child_name));
+                Ok(changed)
+            }
+            WireOp::TupleRemove { key } => {
+                self.require_kind(target, ObjectKind::Tuple)?;
+                self.apply_tuple_op(target, vt, TupleOp::Remove { key: key.clone() })?;
+                Ok(vec![target])
+            }
+            WireOp::SetAssoc(a) => {
+                self.require_kind(target, ObjectKind::Association)?;
+                let obj = self.get_mut(target)?;
+                obj.values.insert(vt, ObjectValue::Assoc(a.0.clone()));
+                Ok(vec![target])
+            }
+            WireOp::SetTree(snap) => {
+                self.apply_tree(target, vt, snap)?;
+                Ok(self.subtree(target))
+            }
+        }
+    }
+
+    fn require_kind(&self, target: ObjectName, kind: ObjectKind) -> Result<(), ApplyBlocked> {
+        let obj = self.get(target)?;
+        if obj.kind == kind {
+            Ok(())
+        } else {
+            Err(DecafError::KindMismatch {
+                object: target,
+                expected: match kind {
+                    ObjectKind::List => "list",
+                    ObjectKind::Tuple => "tuple",
+                    ObjectKind::Association => "association",
+                    _ => "scalar",
+                },
+            }
+            .into())
+        }
+    }
+
+    /// Overwrites `target`'s subtree with `snap` at `vt`.
+    fn apply_tree(
+        &mut self,
+        target: ObjectName,
+        vt: VirtualTime,
+        snap: &TreeSnapshot,
+    ) -> Result<Vec<ObjectName>, ApplyBlocked> {
+        let value = self.tree_value(snap, vt, target);
+        let obj = self.get_mut(target)?;
+        match (&value, obj.kind) {
+            (ObjectValue::Scalar(_), ObjectKind::Int | ObjectKind::Real | ObjectKind::Str)
+            | (ObjectValue::List { .. }, ObjectKind::List)
+            | (ObjectValue::Tuple { .. }, ObjectKind::Tuple)
+            | (ObjectValue::Assoc(_), ObjectKind::Association) => {}
+            _ => {
+                return Err(DecafError::KindMismatch {
+                    object: target,
+                    expected: "snapshot-compatible kind",
+                }
+                .into())
+            }
+        }
+        match value {
+            ObjectValue::List { entries, ops } => {
+                self.apply_list_op(
+                    target,
+                    vt,
+                    ops.into_iter().next().unwrap_or(ListOp::ReplaceAll {
+                        entries: entries.clone(),
+                    }),
+                )?;
+            }
+            ObjectValue::Tuple { entries, ops } => {
+                self.apply_tuple_op(
+                    target,
+                    vt,
+                    ops.into_iter().next().unwrap_or(TupleOp::ReplaceAll {
+                        entries: entries.clone(),
+                    }),
+                )?;
+            }
+            v => {
+                self.get_mut(target)?.values.insert(vt, v);
+            }
+        }
+        Ok(vec![target])
+    }
+
+    /// Applies one list op at `vt`, re-folding later materialized states
+    /// (handles stragglers arriving out of VT order).
+    fn apply_list_op(
+        &mut self,
+        target: ObjectName,
+        vt: VirtualTime,
+        op: ListOp,
+    ) -> Result<(), ApplyBlocked> {
+        let obj = self.get_mut(target)?;
+        // Base = materialized entries strictly before vt.
+        let base: Vec<ListEntry> = obj
+            .values
+            .iter()
+            .rev()
+            .find(|e| e.vt < vt)
+            .and_then(|e| e.value.as_list().map(|s| s.to_vec()))
+            .unwrap_or_default();
+        // Keep the embedding registry complete (adoptions included).
+        match &op {
+            ListOp::Insert { tag, child, .. } => {
+                obj.embeddings.insert(*tag, *child);
+            }
+            ListOp::ReplaceAll { entries } => {
+                for e in entries {
+                    obj.embeddings.insert(e.tag, e.child);
+                }
+            }
+            ListOp::Remove { .. } => {}
+        }
+        // Record the op at vt (idempotent against redelivery).
+        match obj.values.entry_at(vt) {
+            Some(_) => {
+                // Extend the existing same-VT entry's ops (multi-op txns).
+                for e in obj.values.iter_mut_values() {
+                    if e.vt == vt {
+                        if let ObjectValue::List { ops, .. } = &mut e.value {
+                            if !ops.contains(&op) {
+                                ops.push(op.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            None => {
+                obj.values.insert(
+                    vt,
+                    ObjectValue::List {
+                        entries: Vec::new(),
+                        ops: vec![op.clone()],
+                    },
+                );
+            }
+        }
+        // Re-fold every entry at or after vt.
+        let mut state = base;
+        for e in obj.values.iter_mut_values() {
+            if e.vt < vt {
+                continue;
+            }
+            if let ObjectValue::List { entries, ops } = &mut e.value {
+                for op in ops.iter() {
+                    fold_list_op(&mut state, op);
+                }
+                *entries = state.clone();
+            }
+        }
+        // Maintain parent links for any children now present.
+        let current_children: Vec<ObjectName> = self
+            .get(target)?
+            .values
+            .current()
+            .and_then(|e| e.value.as_list().map(|s| s.iter().map(|le| le.child).collect()))
+            .unwrap_or_default();
+        for c in current_children {
+            if let Ok(child) = self.get_mut(c) {
+                child.parent = Some(target);
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_tuple_op(
+        &mut self,
+        target: ObjectName,
+        vt: VirtualTime,
+        op: TupleOp,
+    ) -> Result<(), ApplyBlocked> {
+        let obj = self.get_mut(target)?;
+        let base: std::collections::BTreeMap<String, ObjectName> = obj
+            .values
+            .iter()
+            .rev()
+            .find(|e| e.vt < vt)
+            .and_then(|e| e.value.as_tuple().cloned())
+            .unwrap_or_default();
+        match obj.values.entry_at(vt) {
+            Some(_) => {
+                for e in obj.values.iter_mut_values() {
+                    if e.vt == vt {
+                        if let ObjectValue::Tuple { ops, .. } = &mut e.value {
+                            if !ops.contains(&op) {
+                                ops.push(op.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            None => {
+                obj.values.insert(
+                    vt,
+                    ObjectValue::Tuple {
+                        entries: Default::default(),
+                        ops: vec![op.clone()],
+                    },
+                );
+            }
+        }
+        let mut state = base;
+        for e in obj.values.iter_mut_values() {
+            if e.vt < vt {
+                continue;
+            }
+            if let ObjectValue::Tuple { entries, ops } = &mut e.value {
+                for op in ops.iter() {
+                    fold_tuple_op(&mut state, op);
+                }
+                *entries = state.clone();
+            }
+        }
+        let current_children: Vec<ObjectName> = self
+            .get(target)?
+            .values
+            .current()
+            .and_then(|e| e.value.as_tuple().map(|m| m.values().copied().collect()))
+            .unwrap_or_default();
+        for c in current_children {
+            if let Ok(child) = self.get_mut(c) {
+                child.parent = Some(target);
+            }
+        }
+        Ok(())
+    }
+
+    /// Rolls back the write to `target` at `vt` (abort), destroying any
+    /// children it created and re-folding composites.
+    pub fn purge_write(&mut self, target: ObjectName, vt: VirtualTime) {
+        let Ok(obj) = self.get_mut(target) else {
+            return;
+        };
+        let Some(purged) = obj.values.purge(vt) else {
+            return;
+        };
+        let mut orphans: Vec<ObjectName> = Vec::new();
+        let mut withdrawn_tags: Vec<VirtualTime> = Vec::new();
+        match purged {
+            ObjectValue::List { ops, .. } => {
+                for op in &ops {
+                    match op {
+                        ListOp::Insert { tag, child, .. } => {
+                            orphans.push(*child);
+                            withdrawn_tags.push(*tag);
+                        }
+                        ListOp::ReplaceAll { entries } => {
+                            for e in entries {
+                                orphans.push(e.child);
+                                withdrawn_tags.push(e.tag);
+                            }
+                        }
+                        ListOp::Remove { .. } => {}
+                    }
+                }
+                self.refold_list(target, vt);
+            }
+            ObjectValue::Tuple { ops, .. } => {
+                for op in &ops {
+                    match op {
+                        TupleOp::Put { child, .. } => orphans.push(*child),
+                        TupleOp::ReplaceAll { entries } => {
+                            orphans.extend(entries.values().copied())
+                        }
+                        TupleOp::Remove { .. } => {}
+                    }
+                }
+                self.refold_tuple(target, vt);
+            }
+            _ => {}
+        }
+        if let Ok(obj) = self.get_mut(target) {
+            for tag in withdrawn_tags {
+                obj.embeddings.remove(&tag);
+            }
+        }
+        for o in orphans {
+            self.destroy_subtree(o);
+        }
+    }
+
+    fn refold_list(&mut self, target: ObjectName, from: VirtualTime) {
+        let Ok(obj) = self.get_mut(target) else {
+            return;
+        };
+        let base: Vec<ListEntry> = obj
+            .values
+            .iter()
+            .rev()
+            .find(|e| e.vt < from)
+            .and_then(|e| e.value.as_list().map(|s| s.to_vec()))
+            .unwrap_or_default();
+        let mut state = base;
+        for e in obj.values.iter_mut_values() {
+            if e.vt < from {
+                continue;
+            }
+            if let ObjectValue::List { entries, ops } = &mut e.value {
+                for op in ops.iter() {
+                    fold_list_op(&mut state, op);
+                }
+                *entries = state.clone();
+            }
+        }
+    }
+
+    fn refold_tuple(&mut self, target: ObjectName, from: VirtualTime) {
+        let Ok(obj) = self.get_mut(target) else {
+            return;
+        };
+        let base: std::collections::BTreeMap<String, ObjectName> = obj
+            .values
+            .iter()
+            .rev()
+            .find(|e| e.vt < from)
+            .and_then(|e| e.value.as_tuple().cloned())
+            .unwrap_or_default();
+        let mut state = base;
+        for e in obj.values.iter_mut_values() {
+            if e.vt < from {
+                continue;
+            }
+            if let ObjectValue::Tuple { entries, ops } = &mut e.value {
+                for op in ops.iter() {
+                    fold_tuple_op(&mut state, op);
+                }
+                *entries = state.clone();
+            }
+        }
+    }
+
+    /// Removes an object and its entire (current) subtree from the store.
+    pub fn destroy_subtree(&mut self, name: ObjectName) {
+        let children: Vec<ObjectName> = match self.objects.get(&name) {
+            Some(obj) => obj
+                .values
+                .iter()
+                .flat_map(|e| match &e.value {
+                    ObjectValue::List { entries, .. } => {
+                        entries.iter().map(|le| le.child).collect::<Vec<_>>()
+                    }
+                    ObjectValue::Tuple { entries, .. } => entries.values().copied().collect(),
+                    _ => Vec::new(),
+                })
+                .collect(),
+            None => return,
+        };
+        self.objects.remove(&name);
+        for c in children {
+            self.destroy_subtree(c);
+        }
+    }
+
+    /// `name` plus every object currently embedded (transitively) under it
+    /// — the read set of a view snapshot attached at `name`.
+    pub fn subtree(&self, name: ObjectName) -> Vec<ObjectName> {
+        let mut out = vec![name];
+        let mut frontier = vec![name];
+        while let Some(cur) = frontier.pop() {
+            let children: Vec<ObjectName> = match self.objects.get(&cur) {
+                Some(obj) => match obj.values.current().map(|e| &e.value) {
+                    Some(ObjectValue::List { entries, .. }) => {
+                        entries.iter().map(|e| e.child).collect()
+                    }
+                    Some(ObjectValue::Tuple { entries, .. }) => {
+                        entries.values().copied().collect()
+                    }
+                    _ => Vec::new(),
+                },
+                None => Vec::new(),
+            };
+            for c in children {
+                out.push(c);
+                frontier.push(c);
+            }
+        }
+        out
+    }
+
+    /// All ancestors of `name` (nearest first), for ancestor view
+    /// notification ("a view attached to a composite receives notifications
+    /// for changes to any of its children", §2.5).
+    pub fn ancestors(&self, name: ObjectName) -> Vec<ObjectName> {
+        let mut out = Vec::new();
+        let mut cur = name;
+        while let Some(p) = self.objects.get(&cur).and_then(|o| o.parent) {
+            out.push(p);
+            cur = p;
+        }
+        out
+    }
+}
+
+fn fold_list_op(state: &mut Vec<ListEntry>, op: &ListOp) {
+    match op {
+        ListOp::Insert { index, tag, child } => {
+            if state.iter().any(|e| e.tag == *tag && e.child == *child) {
+                return; // idempotent redelivery
+            }
+            let pos = (*index).min(state.len());
+            state.insert(
+                pos,
+                ListEntry {
+                    tag: *tag,
+                    child: *child,
+                },
+            );
+        }
+        ListOp::Remove { tag } => {
+            state.retain(|e| e.tag != *tag);
+        }
+        ListOp::ReplaceAll { entries } => {
+            *state = entries.clone();
+        }
+    }
+}
+
+fn fold_tuple_op(state: &mut std::collections::BTreeMap<String, ObjectName>, op: &TupleOp) {
+    match op {
+        TupleOp::Put { key, child } => {
+            state.insert(key.clone(), *child);
+        }
+        TupleOp::Remove { key } => {
+            state.remove(key);
+        }
+        TupleOp::ReplaceAll { entries } => {
+            *state = entries.clone();
+        }
+    }
+}
+
+fn kind_of_snapshot(snap: &TreeSnapshot) -> ObjectKind {
+    match snap {
+        TreeSnapshot::Scalar(ScalarValue::Int(_)) => ObjectKind::Int,
+        TreeSnapshot::Scalar(ScalarValue::Real(_)) => ObjectKind::Real,
+        TreeSnapshot::Scalar(ScalarValue::Str(_)) => ObjectKind::Str,
+        TreeSnapshot::List(_) => ObjectKind::List,
+        TreeSnapshot::Tuple(_) => ObjectKind::Tuple,
+        TreeSnapshot::Assoc(_) => ObjectKind::Association,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vt(n: u64) -> VirtualTime {
+        VirtualTime::new(n, SiteId(1))
+    }
+
+    fn store() -> Store {
+        Store::new(SiteId(1))
+    }
+
+    #[test]
+    fn create_root_has_committed_value_and_singleton_graph() {
+        let mut s = store();
+        let n = s.create_root(ObjectKind::Int, ObjectValue::Scalar(ScalarValue::Int(5)));
+        let (v, wvt, committed) = s.scalar_at(n, None).unwrap();
+        assert_eq!(v, ScalarValue::Int(5));
+        assert_eq!(wvt, VirtualTime::ZERO);
+        assert!(committed);
+        let (g, tg) = s.effective_graph(n).unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(tg, VirtualTime::ZERO);
+        assert_eq!(s.primary_of(n).unwrap().site, SiteId(1));
+    }
+
+    #[test]
+    fn scalar_set_and_read_back() {
+        let mut s = store();
+        let n = s.create_root(ObjectKind::Int, ObjectValue::Scalar(ScalarValue::Int(0)));
+        s.apply_wire_op(n, vt(10), &WireOp::SetScalar(ScalarValue::Int(7)))
+            .unwrap();
+        assert_eq!(s.scalar_at(n, None).unwrap().0, ScalarValue::Int(7));
+        assert_eq!(
+            s.scalar_at(n, Some(vt(5))).unwrap().0,
+            ScalarValue::Int(0),
+            "as-of read sees the older value"
+        );
+    }
+
+    #[test]
+    fn list_insert_creates_child_with_parent_link() {
+        let mut s = store();
+        let l = s.create_root(
+            ObjectKind::List,
+            ObjectValue::List {
+                entries: vec![],
+                ops: vec![],
+            },
+        );
+        s.apply_wire_op(
+            l,
+            vt(10),
+            &WireOp::ListInsert {
+                index: usize::MAX,
+                child: Blueprint::Int(1),
+            },
+        )
+        .unwrap();
+        let entries = {
+            let obj = s.get(l).unwrap();
+            obj.values.current().unwrap().value.as_list().unwrap().to_vec()
+        };
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].tag, vt(10));
+        let child = entries[0].child;
+        assert_eq!(s.get(child).unwrap().parent, Some(l));
+        assert_eq!(s.effective_root(child).unwrap(), l);
+        let (root, path) = s.path_to(child).unwrap();
+        assert_eq!(root, l);
+        assert_eq!(
+            path.0,
+            vec![PathElem::Index {
+                index: 0,
+                tag: vt(10)
+            }]
+        );
+    }
+
+    #[test]
+    fn straggler_insert_refolds_earlier_position() {
+        let mut s = store();
+        let l = s.create_root(
+            ObjectKind::List,
+            ObjectValue::List {
+                entries: vec![],
+                ops: vec![],
+            },
+        );
+        // Append at vt 20 arrives first...
+        s.apply_wire_op(
+            l,
+            vt(20),
+            &WireOp::ListInsert {
+                index: 0,
+                child: Blueprint::Int(2),
+            },
+        )
+        .unwrap();
+        // ... then a straggling insert at vt 10, also at position 0.
+        s.apply_wire_op(
+            l,
+            vt(10),
+            &WireOp::ListInsert {
+                index: 0,
+                child: Blueprint::Int(1),
+            },
+        )
+        .unwrap();
+        let obj = s.get(l).unwrap();
+        let cur = obj.values.current().unwrap().value.as_list().unwrap();
+        // Folding in VT order: [1] then insert 2 at 0 → [2, 1].
+        assert_eq!(cur.len(), 2);
+        assert_eq!(cur[0].tag, vt(20));
+        assert_eq!(cur[1].tag, vt(10));
+        // The as-of state at vt 15 contains only the vt-10 entry.
+        let at15 = obj.values.value_at(vt(15)).unwrap().value.as_list().unwrap();
+        assert_eq!(at15.len(), 1);
+        assert_eq!(at15[0].tag, vt(10));
+    }
+
+    #[test]
+    fn list_remove_by_tag_and_blocking_on_unknown_tag() {
+        let mut s = store();
+        let l = s.create_root(
+            ObjectKind::List,
+            ObjectValue::List {
+                entries: vec![],
+                ops: vec![],
+            },
+        );
+        // Removing a tag we have never seen blocks (straggler ordering).
+        let blocked = s.apply_wire_op(l, vt(30), &WireOp::ListRemove { tag: vt(10) });
+        assert_eq!(
+            blocked.unwrap_err(),
+            ApplyBlocked::MissingDependency(Some(vt(10)))
+        );
+        s.apply_wire_op(
+            l,
+            vt(10),
+            &WireOp::ListInsert {
+                index: 0,
+                child: Blueprint::Int(1),
+            },
+        )
+        .unwrap();
+        s.apply_wire_op(l, vt(30), &WireOp::ListRemove { tag: vt(10) })
+            .unwrap();
+        let obj = s.get(l).unwrap();
+        assert!(obj.values.current().unwrap().value.as_list().unwrap().is_empty());
+    }
+
+    #[test]
+    fn purge_rolls_back_composite_and_destroys_children() {
+        let mut s = store();
+        let l = s.create_root(
+            ObjectKind::List,
+            ObjectValue::List {
+                entries: vec![],
+                ops: vec![],
+            },
+        );
+        s.apply_wire_op(
+            l,
+            vt(10),
+            &WireOp::ListInsert {
+                index: 0,
+                child: Blueprint::List(vec![Blueprint::Int(1), Blueprint::Int(2)]),
+            },
+        )
+        .unwrap();
+        let child = s.get(l).unwrap().values.current().unwrap().value.as_list().unwrap()[0].child;
+        assert!(s.contains(child));
+        s.purge_write(l, vt(10));
+        assert!(!s.contains(child), "aborted insert's subtree destroyed");
+        assert!(s
+            .get(l)
+            .unwrap()
+            .values
+            .current()
+            .unwrap()
+            .value
+            .as_list()
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn tuple_put_get_remove_roundtrip() {
+        let mut s = store();
+        let t = s.create_root(
+            ObjectKind::Tuple,
+            ObjectValue::Tuple {
+                entries: Default::default(),
+                ops: vec![],
+            },
+        );
+        s.apply_wire_op(
+            t,
+            vt(10),
+            &WireOp::TuplePut {
+                key: "name".into(),
+                child: Blueprint::str("alice"),
+            },
+        )
+        .unwrap();
+        let child = *s
+            .get(t)
+            .unwrap()
+            .values
+            .current()
+            .unwrap()
+            .value
+            .as_tuple()
+            .unwrap()
+            .get("name")
+            .unwrap();
+        assert_eq!(
+            s.scalar_at(child, None).unwrap().0,
+            ScalarValue::from("alice")
+        );
+        let (root, path) = s.path_to(child).unwrap();
+        assert_eq!(root, t);
+        assert_eq!(path.0, vec![PathElem::Key("name".into())]);
+        s.apply_wire_op(t, vt(20), &WireOp::TupleRemove { key: "name".into() })
+            .unwrap();
+        assert!(s
+            .get(t)
+            .unwrap()
+            .values
+            .current()
+            .unwrap()
+            .value
+            .as_tuple()
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn resolve_indirect_by_tag_not_index() {
+        let mut s = store();
+        let l = s.create_root(
+            ObjectKind::List,
+            ObjectValue::List {
+                entries: vec![],
+                ops: vec![],
+            },
+        );
+        for (i, t) in [(0usize, 10u64), (0, 20), (0, 30)] {
+            s.apply_wire_op(
+                l,
+                vt(t),
+                &WireOp::ListInsert {
+                    index: i,
+                    child: Blueprint::Int(t as i64),
+                },
+            )
+            .unwrap();
+        }
+        // Current order: [30, 20, 10]. An address formed when 10 was at
+        // index 0 still resolves via its tag.
+        let addr = ObjectAddr::Indirect {
+            root: l,
+            path: Path(vec![PathElem::Index {
+                index: 0,
+                tag: vt(10),
+            }]),
+        };
+        let resolved = s.resolve(&addr).unwrap();
+        assert_eq!(s.scalar_at(resolved, None).unwrap().0, ScalarValue::Int(10));
+        // Unknown tag blocks.
+        let addr2 = ObjectAddr::Indirect {
+            root: l,
+            path: Path(vec![PathElem::Index {
+                index: 0,
+                tag: vt(99),
+            }]),
+        };
+        assert!(matches!(
+            s.resolve(&addr2),
+            Err(ApplyBlocked::MissingDependency(Some(t))) if t == vt(99)
+        ));
+    }
+
+    #[test]
+    fn tree_snapshot_roundtrip_through_instantiate() {
+        let mut s = store();
+        let l = s.create_root(
+            ObjectKind::List,
+            ObjectValue::List {
+                entries: vec![],
+                ops: vec![],
+            },
+        );
+        s.apply_wire_op(
+            l,
+            vt(10),
+            &WireOp::ListInsert {
+                index: 0,
+                child: Blueprint::Tuple(vec![("x".into(), Blueprint::Int(7))]),
+            },
+        )
+        .unwrap();
+        let snap = s.tree_snapshot(l, None).unwrap();
+        // Adopt into a second store, as join does.
+        let mut s2 = Store::new(SiteId(2));
+        let l2 = s2.create_root(
+            ObjectKind::List,
+            ObjectValue::List {
+                entries: vec![],
+                ops: vec![],
+            },
+        );
+        s2.apply_wire_op(l2, vt(40), &WireOp::SetTree(snap)).unwrap();
+        let entries = s2
+            .get(l2)
+            .unwrap()
+            .values
+            .current()
+            .unwrap()
+            .value
+            .as_list()
+            .unwrap()
+            .to_vec();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].tag, vt(10), "embedding tags preserved");
+        let tuple = entries[0].child;
+        let x = *s2
+            .get(tuple)
+            .unwrap()
+            .values
+            .current()
+            .unwrap()
+            .value
+            .as_tuple()
+            .unwrap()
+            .get("x")
+            .unwrap();
+        assert_eq!(s2.scalar_at(x, None).unwrap().0, ScalarValue::Int(7));
+    }
+
+    #[test]
+    fn kind_mismatch_is_fatal() {
+        let mut s = store();
+        let n = s.create_root(ObjectKind::Int, ObjectValue::Scalar(ScalarValue::Int(0)));
+        let err = s
+            .apply_wire_op(
+                n,
+                vt(10),
+                &WireOp::ListInsert {
+                    index: 0,
+                    child: Blueprint::Int(1),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, ApplyBlocked::Fatal(_)));
+    }
+
+    #[test]
+    fn ancestors_walk_to_root() {
+        let mut s = store();
+        let l = s.create_root(
+            ObjectKind::List,
+            ObjectValue::List {
+                entries: vec![],
+                ops: vec![],
+            },
+        );
+        s.apply_wire_op(
+            l,
+            vt(10),
+            &WireOp::ListInsert {
+                index: 0,
+                child: Blueprint::List(vec![Blueprint::Int(3)]),
+            },
+        )
+        .unwrap();
+        let mid = s.get(l).unwrap().values.current().unwrap().value.as_list().unwrap()[0].child;
+        let leaf = s.get(mid).unwrap().values.current().unwrap().value.as_list().unwrap()[0].child;
+        assert_eq!(s.ancestors(leaf), vec![mid, l]);
+        assert!(s.ancestors(l).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod embedding_tests {
+    use super::*;
+
+    fn vt(n: u64) -> VirtualTime {
+        VirtualTime::new(n, SiteId(1))
+    }
+
+    fn list_store() -> (Store, ObjectName) {
+        let mut s = Store::new(SiteId(1));
+        let l = s.create_root(
+            ObjectKind::List,
+            ObjectValue::List {
+                entries: vec![],
+                ops: vec![],
+            },
+        );
+        (s, l)
+    }
+
+    #[test]
+    fn registry_tracks_inserts_and_survives_removal() {
+        let (mut s, l) = list_store();
+        s.apply_wire_op(
+            l,
+            vt(10),
+            &WireOp::ListInsert {
+                index: 0,
+                child: Blueprint::Int(1),
+            },
+        )
+        .unwrap();
+        let child = s.find_list_child_by_tag(l, vt(10)).expect("registered");
+        s.apply_wire_op(l, vt(20), &WireOp::ListRemove { tag: vt(10) })
+            .unwrap();
+        assert_eq!(
+            s.find_list_child_by_tag(l, vt(10)),
+            Some(child),
+            "registry survives removal (tombstone resolution)"
+        );
+        assert!(s.contains(child), "removed child object is retained");
+    }
+
+    #[test]
+    fn registry_withdraws_aborted_embeddings() {
+        let (mut s, l) = list_store();
+        s.apply_wire_op(
+            l,
+            vt(10),
+            &WireOp::ListInsert {
+                index: 0,
+                child: Blueprint::Int(1),
+            },
+        )
+        .unwrap();
+        s.purge_write(l, vt(10)); // the embedding transaction aborted
+        assert_eq!(
+            s.find_list_child_by_tag(l, vt(10)),
+            None,
+            "aborted embeddings must not resolve"
+        );
+    }
+
+    #[test]
+    fn registry_survives_history_gc() {
+        let (mut s, l) = list_store();
+        s.apply_wire_op(
+            l,
+            vt(10),
+            &WireOp::ListInsert {
+                index: 0,
+                child: Blueprint::Int(1),
+            },
+        )
+        .unwrap();
+        s.apply_wire_op(l, vt(20), &WireOp::ListRemove { tag: vt(10) })
+            .unwrap();
+        {
+            let obj = s.get_mut(l).unwrap();
+            obj.values.mark_committed(vt(10));
+            obj.values.mark_committed(vt(20));
+            obj.values.gc(vt(100));
+        }
+        assert_eq!(s.get(l).unwrap().values.len(), 1, "history collapsed");
+        assert!(
+            s.find_list_child_by_tag(l, vt(10)).is_some(),
+            "tag still resolves after GC"
+        );
+    }
+
+    #[test]
+    fn subtree_lists_every_descendant() {
+        let (mut s, l) = list_store();
+        s.apply_wire_op(
+            l,
+            vt(10),
+            &WireOp::ListInsert {
+                index: 0,
+                child: Blueprint::List(vec![Blueprint::Int(1), Blueprint::Int(2)]),
+            },
+        )
+        .unwrap();
+        let tree = s.subtree(l);
+        assert_eq!(tree.len(), 4, "root + inner list + two ints: {tree:?}");
+        assert_eq!(tree[0], l, "root first");
+    }
+}

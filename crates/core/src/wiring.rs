@@ -1,0 +1,123 @@
+//! Test and example scaffolding: direct replica wiring and zero-latency
+//! message pumping.
+//!
+//! Production collaborations are established dynamically through
+//! invitations and [`Site::join`] (paper §2.6, §3.3). For unit tests,
+//! examples, and benchmarks it is convenient to *pre-wire* replica
+//! relationships — installing the same committed replication graph at every
+//! participant, exactly the state a committed join would have produced —
+//! and to pump messages between in-process sites without a transport.
+
+use decaf_vt::VirtualTime;
+
+use crate::collab::RelationId;
+use crate::engine::Site;
+use crate::graph::{NodeRef, ReplicationGraph};
+use crate::object::ObjectName;
+
+/// Installs a committed replica relationship between objects hosted by the
+/// given sites (the post-state of a committed join, without the protocol).
+///
+/// All objects should have been created with the same initial value; the
+/// relationship takes effect from `VirtualTime::ZERO`.
+///
+/// # Panics
+///
+/// Panics if fewer than two participants are given or an object is unknown
+/// at its site.
+pub fn wire_replicas(parts: &mut [(&mut Site, ObjectName)]) {
+    assert!(parts.len() >= 2, "a replica relationship needs two members");
+    let nodes: Vec<NodeRef> = parts
+        .iter()
+        .map(|(site, obj)| NodeRef::new(site.id(), *obj))
+        .collect();
+    let mut graph = ReplicationGraph::singleton(nodes[0]);
+    for w in nodes.windows(2) {
+        graph = graph.joined_with(
+            &ReplicationGraph::singleton(w[1]),
+            w[0],
+            w[1],
+            RelationId(0),
+        );
+    }
+    for (site, obj) in parts.iter_mut() {
+        site.install_replica_graph(*obj, graph.clone());
+    }
+}
+
+/// Convenience for the common two-party case.
+///
+/// # Panics
+///
+/// Panics if an object is unknown at its site.
+pub fn wire_pair(a: &mut Site, obj_a: ObjectName, b: &mut Site, obj_b: ObjectName) {
+    wire_replicas(&mut [(a, obj_a), (b, obj_b)]);
+}
+
+/// Delivers all queued messages between the given sites with zero latency
+/// until the system quiesces. Returns the number of messages delivered.
+///
+/// Messages addressed to sites outside the slice are dropped (useful for
+/// simulating a disconnected participant in tests).
+pub fn run_to_quiescence(sites: &mut [&mut Site]) -> usize {
+    let mut delivered = 0;
+    loop {
+        let mut envelopes = Vec::new();
+        for site in sites.iter_mut() {
+            envelopes.extend(site.drain_outbox());
+        }
+        if envelopes.is_empty() {
+            return delivered;
+        }
+        for env in envelopes {
+            if let Some(site) = sites.iter_mut().find(|s| s.id() == env.to) {
+                site.handle_message(env);
+                delivered += 1;
+            }
+        }
+    }
+}
+
+impl Site {
+    /// Installs `graph` as `obj`'s committed replication graph from
+    /// `VirtualTime::ZERO` (wiring only — production code joins instead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obj` does not exist at this site.
+    pub fn install_replica_graph(&mut self, obj: ObjectName, graph: ReplicationGraph) {
+        let o = self
+            .store_mut()
+            .get_mut(obj)
+            .expect("install_replica_graph: unknown object");
+        o.graphs = decaf_vt::History::new();
+        o.graphs.insert_committed(VirtualTime::ZERO, graph);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decaf_vt::SiteId;
+
+    #[test]
+    fn wire_replicas_installs_identical_graphs() {
+        let mut a = Site::new(SiteId(1));
+        let mut b = Site::new(SiteId(2));
+        let mut c = Site::new(SiteId(3));
+        let (oa, ob, oc) = (a.create_int(0), b.create_int(0), c.create_int(0));
+        wire_replicas(&mut [(&mut a, oa), (&mut b, ob), (&mut c, oc)]);
+        let ga = a.replication_graph(oa).unwrap();
+        let gb = b.replication_graph(ob).unwrap();
+        assert_eq!(ga, gb);
+        assert_eq!(ga.len(), 3);
+        assert_eq!(a.primary_of(oa).unwrap(), b.primary_of(ob).unwrap());
+        let _ = c;
+    }
+
+    #[test]
+    fn run_to_quiescence_empty_is_zero() {
+        let mut a = Site::new(SiteId(1));
+        assert_eq!(run_to_quiescence(&mut [&mut a]), 0);
+    }
+}

@@ -1,0 +1,349 @@
+//! Dynamic collaboration establishment tests (paper §2.6, §3.3): relations,
+//! invitations, joins (including value adoption and association membership
+//! updates), leaves, and authorization monitors.
+
+use decaf_core::{
+    wiring, EngineEvent, ObjectName, RecordingView, ScalarValue, Site, Transaction, TxnCtx,
+    TxnError, ViewEvent, ViewMode,
+};
+use decaf_vt::SiteId;
+
+struct SetInt(ObjectName, i64);
+impl Transaction for SetInt {
+    fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+        ctx.write_int(self.0, self.1)
+    }
+}
+
+struct Incr(ObjectName);
+impl Transaction for Incr {
+    fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+        let v = ctx.read_int(self.0)?;
+        ctx.write_int(self.0, v + 1)
+    }
+}
+
+fn join_completed(site: &mut Site) -> Option<bool> {
+    site.drain_events().into_iter().find_map(|e| match e {
+        EngineEvent::JoinCompleted { ok, .. } => Some(ok),
+        _ => None,
+    })
+}
+
+/// Full §2.6 flow: A creates an association + relation + invitation;
+/// B imports the invitation and joins.
+#[test]
+fn end_to_end_join_establishes_replication() {
+    let mut a = Site::new(SiteId(1));
+    let mut b = Site::new(SiteId(2));
+
+    let shared_a = a.create_int(41);
+    let assoc = a.create_association();
+    let rel = a.create_relation(assoc, "budget sharing", shared_a).unwrap();
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    let invitation = a.make_invitation(assoc, rel).unwrap();
+
+    // B instantiates its own object and joins.
+    let shared_b = b.create_int(0);
+    b.join(invitation, shared_b).unwrap();
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    assert_eq!(join_completed(&mut b), Some(true));
+
+    // B adopted A's value...
+    assert_eq!(b.read_int_committed(shared_b), Some(41));
+    // ... and the graphs now span both sites.
+    assert_eq!(a.replication_graph(shared_a).unwrap().len(), 2);
+    assert_eq!(b.replication_graph(shared_b).unwrap().len(), 2);
+
+    // Updates flow in both directions.
+    b.execute(Box::new(Incr(shared_b)));
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    assert_eq!(a.read_int_committed(shared_a), Some(42));
+    a.execute(Box::new(Incr(shared_a)));
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    assert_eq!(b.read_int_committed(shared_b), Some(43));
+}
+
+#[test]
+fn join_updates_association_membership() {
+    let mut a = Site::new(SiteId(1));
+    let mut b = Site::new(SiteId(2));
+    let shared_a = a.create_int(0);
+    let assoc = a.create_association();
+    let rel = a.create_relation(assoc, "session", shared_a).unwrap();
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+
+    // "Changes in membership in associations are signaled as update
+    // notifications in exactly the same way as changes in values" (§2.6).
+    let view = RecordingView::new(vec![]);
+    let log = view.log();
+    a.attach_view(Box::new(view), &[assoc], ViewMode::Pessimistic);
+
+    let invitation = a.make_invitation(assoc, rel).unwrap();
+    let shared_b = b.create_int(0);
+    b.join(invitation, shared_b).unwrap();
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+
+    // The association at A now lists B's object as a member.
+    struct ReadMembers(ObjectName, std::sync::Arc<std::sync::Mutex<usize>>);
+    impl Transaction for ReadMembers {
+        fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+            let rels = ctx.read_assoc(self.0)?;
+            *self.1.lock().unwrap() = rels.first().map(|r| r.members.len()).unwrap_or(0);
+            Ok(())
+        }
+    }
+    let count = std::sync::Arc::new(std::sync::Mutex::new(0));
+    a.execute(Box::new(ReadMembers(assoc, std::sync::Arc::clone(&count))));
+    assert_eq!(*count.lock().unwrap(), 2, "both members listed");
+    assert!(
+        log.lock()
+            .unwrap()
+            .iter()
+            .any(|e| matches!(e, ViewEvent::Update { .. })),
+        "membership change notified the association's view"
+    );
+}
+
+#[test]
+fn third_party_joins_existing_collaboration() {
+    // A and B collaborate; C joins through A's invitation → three-way graph.
+    let mut a = Site::new(SiteId(1));
+    let mut b = Site::new(SiteId(2));
+    let mut c = Site::new(SiteId(3));
+
+    let oa = a.create_int(5);
+    let assoc = a.create_association();
+    let rel = a.create_relation(assoc, "doc", oa).unwrap();
+    let invitation = a.make_invitation(assoc, rel).unwrap();
+
+    let ob = b.create_int(0);
+    b.join(invitation, ob).unwrap();
+    wiring::run_to_quiescence(&mut [&mut a, &mut b, &mut c]);
+    assert_eq!(join_completed(&mut b), Some(true));
+
+    let oc = c.create_int(0);
+    c.join(invitation, oc).unwrap();
+    wiring::run_to_quiescence(&mut [&mut a, &mut b, &mut c]);
+    assert_eq!(join_completed(&mut c), Some(true));
+
+    assert_eq!(a.replication_graph(oa).unwrap().len(), 3);
+    assert_eq!(b.replication_graph(ob).unwrap().len(), 3);
+    assert_eq!(c.replication_graph(oc).unwrap().len(), 3);
+    assert_eq!(c.read_int_committed(oc), Some(5), "C adopted the value");
+
+    c.execute(Box::new(SetInt(oc, 100)));
+    wiring::run_to_quiescence(&mut [&mut a, &mut b, &mut c]);
+    for (s, o) in [(&a, oa), (&b, ob), (&c, oc)] {
+        assert_eq!(s.read_int_committed(o), Some(100));
+    }
+}
+
+#[test]
+fn join_adopts_composite_subtree() {
+    use decaf_core::Blueprint;
+    struct Push(ObjectName, i64);
+    impl Transaction for Push {
+        fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+            ctx.list_push(self.0, Blueprint::Int(self.1))?;
+            Ok(())
+        }
+    }
+    let mut a = Site::new(SiteId(1));
+    let mut b = Site::new(SiteId(2));
+    let list_a = a.create_list();
+    for v in [1, 2, 3] {
+        a.execute(Box::new(Push(list_a, v)));
+    }
+    let assoc = a.create_association();
+    let rel = a.create_relation(assoc, "board", list_a).unwrap();
+    let invitation = a.make_invitation(assoc, rel).unwrap();
+
+    let list_b = b.create_list();
+    b.join(invitation, list_b).unwrap();
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    assert_eq!(join_completed(&mut b), Some(true));
+    let values: Vec<i64> = b
+        .list_children_current(list_b)
+        .into_iter()
+        .filter_map(|c| b.read_int_committed(c))
+        .collect();
+    assert_eq!(values, vec![1, 2, 3]);
+
+    // Indirect propagation works across the adopted subtree.
+    struct WriteChild(ObjectName, usize, i64);
+    impl Transaction for WriteChild {
+        fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+            let child = ctx.list_child(self.0, self.1)?;
+            ctx.write_int(child, self.2)
+        }
+    }
+    b.execute(Box::new(WriteChild(list_b, 1, 22)));
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    let values_a: Vec<i64> = a
+        .list_children_current(list_a)
+        .into_iter()
+        .filter_map(|c| a.read_int_committed(c))
+        .collect();
+    assert_eq!(values_a, vec![1, 22, 3]);
+}
+
+#[test]
+fn authorizer_can_refuse_join() {
+    let mut a = Site::new(SiteId(1));
+    let mut b = Site::new(SiteId(2));
+    let oa = a.create_int(0);
+    let assoc = a.create_association();
+    let rel = a.create_relation(assoc, "private", oa).unwrap();
+    let invitation = a.make_invitation(assoc, rel).unwrap();
+    // Only site 3 may join.
+    a.set_authorizer(|_inv, joiner| joiner.site == SiteId(3));
+
+    let ob = b.create_int(0);
+    b.join(invitation, ob).unwrap();
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    assert_eq!(join_completed(&mut b), Some(false), "join refused");
+    assert_eq!(a.replication_graph(oa).unwrap().len(), 1);
+    assert_eq!(b.replication_graph(ob).unwrap().len(), 1);
+}
+
+#[test]
+fn leave_shrinks_remaining_graphs() {
+    let mut a = Site::new(SiteId(1));
+    let mut b = Site::new(SiteId(2));
+    let mut c = Site::new(SiteId(3));
+    let oa = a.create_int(0);
+    let ob = b.create_int(0);
+    let oc = c.create_int(0);
+    wiring::wire_replicas(&mut [(&mut a, oa), (&mut b, ob), (&mut c, oc)]);
+
+    c.leave(oc).unwrap();
+    wiring::run_to_quiescence(&mut [&mut a, &mut b, &mut c]);
+    assert_eq!(a.replication_graph(oa).unwrap().len(), 2);
+    assert_eq!(b.replication_graph(ob).unwrap().len(), 2);
+    assert_eq!(c.replication_graph(oc).unwrap().len(), 1);
+
+    // Updates no longer reach the leaver.
+    a.execute(Box::new(SetInt(oa, 8)));
+    wiring::run_to_quiescence(&mut [&mut a, &mut b, &mut c]);
+    assert_eq!(b.read_int_committed(ob), Some(8));
+    assert_eq!(c.read_int_committed(oc), Some(0), "c left before the write");
+    // And the leaver's own updates stay local.
+    c.execute(Box::new(SetInt(oc, 77)));
+    wiring::run_to_quiescence(&mut [&mut a, &mut b, &mut c]);
+    assert_eq!(c.read_int_committed(oc), Some(77));
+    assert_eq!(a.read_int_committed(oa), Some(8));
+}
+
+#[test]
+fn transactions_during_join_still_converge() {
+    // A keeps updating while B's join is in flight.
+    let mut a = Site::new(SiteId(1));
+    let mut b = Site::new(SiteId(2));
+    let oa = a.create_int(0);
+    let assoc = a.create_association();
+    let rel = a.create_relation(assoc, "live", oa).unwrap();
+    let invitation = a.make_invitation(assoc, rel).unwrap();
+
+    let ob = b.create_int(0);
+    b.join(invitation, ob).unwrap();
+    // Before any join message is delivered, A updates the object.
+    a.execute(Box::new(SetInt(oa, 5)));
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    // The join either adopted the pre-update or post-update value, but
+    // after quiescence both replicas agree.
+    assert_eq!(
+        a.read_int_committed(oa),
+        b.read_int_committed(ob),
+        "replicas agree after join + concurrent update"
+    );
+    assert_eq!(a.read_int_committed(oa), Some(5));
+}
+
+#[test]
+fn scalar_equality_after_many_post_join_updates() {
+    let mut a = Site::new(SiteId(1));
+    let mut b = Site::new(SiteId(2));
+    let oa = a.create_int(0);
+    let assoc = a.create_association();
+    let rel = a.create_relation(assoc, "counter", oa).unwrap();
+    let invitation = a.make_invitation(assoc, rel).unwrap();
+    let ob = b.create_int(0);
+    b.join(invitation, ob).unwrap();
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+
+    for _ in 0..10 {
+        a.execute(Box::new(Incr(oa)));
+        wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+        b.execute(Box::new(Incr(ob)));
+        wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    }
+    assert_eq!(a.read_int_committed(oa), Some(20));
+    assert_eq!(b.read_int_committed(ob), Some(20));
+}
+
+#[test]
+fn str_and_real_objects_replicate_after_join() {
+    struct SetStr(ObjectName, &'static str);
+    impl Transaction for SetStr {
+        fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+            ctx.write_str(self.0, self.1)
+        }
+    }
+    let mut a = Site::new(SiteId(1));
+    let mut b = Site::new(SiteId(2));
+    let sa = a.create_str("hello");
+    let assoc = a.create_association();
+    let rel = a.create_relation(assoc, "title", sa).unwrap();
+    let invitation = a.make_invitation(assoc, rel).unwrap();
+    let sb = b.create_str("");
+    b.join(invitation, sb).unwrap();
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    assert_eq!(b.read_str_committed(sb).as_deref(), Some("hello"));
+    b.execute(Box::new(SetStr(sb, "goodbye")));
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    assert_eq!(a.read_str_committed(sa).as_deref(), Some("goodbye"));
+    let _ = ScalarValue::Int(0);
+}
+
+#[test]
+fn joiners_old_replicas_adopt_at_original_value_vt() {
+    // Sites 1+2 already collaborate on a counter; site 3 owns a counter
+    // with real history. Site 1 joins site 3's relationship; site 2 (the
+    // joiner's old replica) adopts the value through the GraphUpdate path.
+    // Its subsequent read-modify-write must commit without livelocking —
+    // which requires the adopted value to carry site 3's original VT.
+    let mut s1 = Site::new(SiteId(1));
+    let mut s2 = Site::new(SiteId(2));
+    let mut s3 = Site::new(SiteId(3));
+
+    let c3 = s3.create_int(0);
+    // Give site 3's object real history at non-trivial VTs.
+    for _ in 0..5 {
+        s3.execute(Box::new(Incr(c3)));
+    }
+    let assoc = s3.create_association();
+    let rel = s3.create_relation(assoc, "tally", c3).unwrap();
+    wiring::run_to_quiescence(&mut [&mut s1, &mut s2, &mut s3]);
+    let invitation = s3.make_invitation(assoc, rel).unwrap();
+
+    // Sites 1+2 pre-wire their own pair.
+    let c1 = s1.create_int(0);
+    let c2 = s2.create_int(0);
+    wiring::wire_pair(&mut s1, c1, &mut s2, c2);
+
+    // Site 1 joins site 3's relationship with the already-replicated c1.
+    s1.join(invitation, c1).unwrap();
+    wiring::run_to_quiescence(&mut [&mut s1, &mut s2, &mut s3]);
+    assert_eq!(join_completed(&mut s1), Some(true));
+    assert_eq!(s1.read_int_committed(c1), Some(5), "joiner adopted");
+    assert_eq!(s2.read_int_committed(c2), Some(5), "old replica adopted");
+
+    // The old replica immediately increments — must commit, not livelock.
+    let h = s2.execute(Box::new(Incr(c2)));
+    wiring::run_to_quiescence(&mut [&mut s1, &mut s2, &mut s3]);
+    assert_eq!(s2.txn_outcome(h), Some(decaf_core::TxnOutcome::Committed));
+    for (s, c) in [(&s1, c1), (&s2, c2), (&s3, c3)] {
+        assert_eq!(s.read_int_committed(c), Some(6));
+    }
+}

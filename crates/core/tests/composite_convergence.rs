@@ -1,0 +1,178 @@
+//! Property-based convergence for composite objects: random structural and
+//! child-value operations from multiple sites, delivered in random (but
+//! per-link FIFO) order, must leave all replicas with identical committed
+//! lists (§3.2's indirect propagation under stress).
+
+use proptest::prelude::*;
+
+use decaf_core::{
+    wiring, Blueprint, Envelope, ObjectName, Site, Transaction, TxnCtx, TxnError,
+};
+use decaf_vt::SiteId;
+
+struct PushVal(ObjectName, i64);
+impl Transaction for PushVal {
+    fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+        ctx.list_push(self.0, Blueprint::Int(self.1))?;
+        Ok(())
+    }
+}
+
+struct InsertAt(ObjectName, usize, i64);
+impl Transaction for InsertAt {
+    fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+        let len = ctx.list_len(self.0)?;
+        ctx.list_insert(self.0, self.1 % (len + 1), Blueprint::Int(self.2))?;
+        Ok(())
+    }
+}
+
+struct RemoveAt(ObjectName, usize);
+impl Transaction for RemoveAt {
+    fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+        let len = ctx.list_len(self.0)?;
+        if len == 0 {
+            return Err(TxnError::app("empty"));
+        }
+        ctx.list_remove(self.0, self.1 % len)
+    }
+}
+
+struct WriteChild(ObjectName, usize, i64);
+impl Transaction for WriteChild {
+    fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+        let len = ctx.list_len(self.0)?;
+        if len == 0 {
+            return Err(TxnError::app("empty"));
+        }
+        let child = ctx.list_child(self.0, self.1 % len)?;
+        ctx.write_int(child, self.2)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push { who: usize, v: i64 },
+    Insert { who: usize, at: usize, v: i64 },
+    Remove { who: usize, at: usize },
+    Write { who: usize, at: usize, v: i64 },
+    Deliver { nth: usize },
+}
+
+fn arb_ops(sites: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..sites, 0i64..100).prop_map(|(who, v)| Op::Push { who, v }),
+            (0..sites, 0usize..8, 0i64..100)
+                .prop_map(|(who, at, v)| Op::Insert { who, at, v }),
+            (0..sites, 0usize..8).prop_map(|(who, at)| Op::Remove { who, at }),
+            (0..sites, 0usize..8, 0i64..100)
+                .prop_map(|(who, at, v)| Op::Write { who, at, v }),
+            (0usize..64).prop_map(|nth| Op::Deliver { nth }),
+        ],
+        1..50,
+    )
+}
+
+fn committed_ints(site: &Site, list: ObjectName) -> Vec<Option<i64>> {
+    site.list_children_current(list)
+        .into_iter()
+        .map(|c| site.read_int_current(c))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn composite_replicas_converge(ops in arb_ops(3)) {
+        let n = 3;
+        let mut sites: Vec<Site> = (0..n).map(|i| Site::new(SiteId(i as u32 + 1))).collect();
+        let lists: Vec<ObjectName> = sites.iter_mut().map(Site::create_list).collect();
+        {
+            let mut parts: Vec<(&mut Site, ObjectName)> = sites
+                .iter_mut()
+                .zip(lists.iter().copied())
+                .collect();
+            wiring::wire_replicas(&mut parts);
+        }
+        let mut queues: std::collections::BTreeMap<(SiteId, SiteId), std::collections::VecDeque<Envelope>> =
+            Default::default();
+        macro_rules! drain {
+            () => {
+                for s in sites.iter_mut() {
+                    for e in s.drain_outbox() {
+                        queues.entry((e.from, e.to)).or_default().push_back(e);
+                    }
+                }
+            };
+        }
+        for op in &ops {
+            match op {
+                Op::Push { who, v } => {
+                    sites[*who].execute(Box::new(PushVal(lists[*who], *v)));
+                }
+                Op::Insert { who, at, v } => {
+                    sites[*who].execute(Box::new(InsertAt(lists[*who], *at, *v)));
+                }
+                Op::Remove { who, at } => {
+                    sites[*who].execute(Box::new(RemoveAt(lists[*who], *at)));
+                }
+                Op::Write { who, at, v } => {
+                    sites[*who].execute(Box::new(WriteChild(lists[*who], *at, *v)));
+                }
+                Op::Deliver { nth } => {
+                    let keys: Vec<(SiteId, SiteId)> = queues
+                        .keys()
+                        .copied()
+                        .filter(|k| !queues[k].is_empty())
+                        .collect();
+                    if keys.is_empty() {
+                        continue;
+                    }
+                    let key = keys[nth % keys.len()];
+                    if let Some(env) = queues.get_mut(&key).and_then(|q| q.pop_front()) {
+                        let idx = (env.to.0 - 1) as usize;
+                        sites[idx].handle_message(env);
+                    }
+                }
+            }
+            drain!();
+        }
+        // Flush to quiescence, FIFO per link.
+        loop {
+            drain!();
+            let mut any = false;
+            let keys: Vec<(SiteId, SiteId)> = queues.keys().copied().collect();
+            for key in keys {
+                while let Some(env) = queues.get_mut(&key).and_then(|q| q.pop_front()) {
+                    any = true;
+                    let idx = (env.to.0 - 1) as usize;
+                    sites[idx].handle_message(env);
+                    drain!();
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        // Every site is internally quiescent (no wedged buffered stragglers).
+        for s in &sites {
+            prop_assert!(
+                s.is_quiescent(),
+                "site {} not quiescent: {}",
+                s.id(),
+                s.debug_stuck()
+            );
+        }
+        // Replicas hold identical list contents.
+        let reference = committed_ints(&sites[0], lists[0]);
+        for (i, s) in sites.iter().enumerate().skip(1) {
+            let got = committed_ints(s, lists[i]);
+            prop_assert_eq!(
+                &got, &reference,
+                "replica {} diverged", i + 1
+            );
+        }
+    }
+}

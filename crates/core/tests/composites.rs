@@ -1,0 +1,300 @@
+//! Composite-object tests (paper §3.2): indirect propagation with VT-tagged
+//! paths, structural convergence, straggler blocking, and child-value
+//! replication.
+
+use decaf_core::{
+    wiring, Blueprint, ObjectName, Site, Transaction, TxnCtx, TxnError, TxnOutcome,
+};
+use decaf_vt::SiteId;
+
+struct Push(ObjectName, i64);
+impl Transaction for Push {
+    fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+        ctx.list_push(self.0, Blueprint::Int(self.1))?;
+        Ok(())
+    }
+}
+
+struct InsertAt(ObjectName, usize, i64);
+impl Transaction for InsertAt {
+    fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+        ctx.list_insert(self.0, self.1, Blueprint::Int(self.2))?;
+        Ok(())
+    }
+}
+
+struct RemoveAt(ObjectName, usize);
+impl Transaction for RemoveAt {
+    fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+        ctx.list_remove(self.0, self.1)
+    }
+}
+
+struct WriteChild(ObjectName, usize, i64);
+impl Transaction for WriteChild {
+    fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+        let child = ctx.list_child(self.0, self.1)?;
+        ctx.write_int(child, self.2)
+    }
+}
+
+struct PutKey(ObjectName, &'static str, &'static str);
+impl Transaction for PutKey {
+    fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+        ctx.tuple_put(self.0, self.1, Blueprint::str(self.2))?;
+        Ok(())
+    }
+}
+
+fn list_pair() -> (Site, Site, ObjectName, ObjectName) {
+    let mut a = Site::new(SiteId(1));
+    let mut b = Site::new(SiteId(2));
+    let la = a.create_list();
+    let lb = b.create_list();
+    wiring::wire_pair(&mut a, la, &mut b, lb);
+    (a, b, la, lb)
+}
+
+fn list_ints(site: &Site, list: ObjectName) -> Vec<i64> {
+    site.list_children_current(list)
+        .into_iter()
+        .filter_map(|c| site.read_int_current(c))
+        .collect()
+}
+
+#[test]
+fn pushed_child_replicates_with_value() {
+    let (mut a, mut b, la, lb) = list_pair();
+    let h = a.execute(Box::new(Push(la, 7)));
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    assert_eq!(a.txn_outcome(h), Some(TxnOutcome::Committed));
+    assert_eq!(list_ints(&a, la), vec![7]);
+    assert_eq!(list_ints(&b, lb), vec![7]);
+    // The replica's child is a distinct local object, embedded indirect.
+    let ca = a.list_children_current(la)[0];
+    let cb = b.list_children_current(lb)[0];
+    assert_ne!(ca, cb, "each site instantiates its own child object");
+}
+
+#[test]
+fn child_value_update_propagates_by_path() {
+    let (mut a, mut b, la, lb) = list_pair();
+    a.execute(Box::new(Push(la, 1)));
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    // Update the child at the NON-originating site: the path must resolve
+    // back at a.
+    b.execute(Box::new(WriteChild(lb, 0, 99)));
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    assert_eq!(list_ints(&a, la), vec![99]);
+    assert_eq!(list_ints(&b, lb), vec![99]);
+}
+
+#[test]
+fn concurrent_blind_appends_converge() {
+    let (mut a, mut b, la, lb) = list_pair();
+    a.execute(Box::new(Push(la, 1)));
+    b.execute(Box::new(Push(lb, 2)));
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    let va = list_ints(&a, la);
+    let vb = list_ints(&b, lb);
+    assert_eq!(va, vb, "replicas converge");
+    assert_eq!(va.len(), 2);
+    assert_eq!(
+        a.stats().txns_aborted_conflict + b.stats().txns_aborted_conflict,
+        0,
+        "blind appends never conflict"
+    );
+}
+
+#[test]
+fn read_dependent_inserts_conflict_and_serialize() {
+    let (mut a, mut b, la, lb) = list_pair();
+    a.execute(Box::new(InsertAt(la, 0, 1)));
+    b.execute(Box::new(InsertAt(lb, 0, 2)));
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    assert_eq!(list_ints(&a, la), list_ints(&b, lb));
+    assert_eq!(list_ints(&a, la).len(), 2);
+    assert!(
+        a.stats().retries + b.stats().retries >= 1,
+        "index-dependent inserts are read-dependent: one retried"
+    );
+}
+
+#[test]
+fn remove_propagates_by_tag_not_index() {
+    let (mut a, mut b, la, lb) = list_pair();
+    for v in [10, 20, 30] {
+        a.execute(Box::new(Push(la, v)));
+        wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    }
+    a.execute(Box::new(RemoveAt(la, 1)));
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    assert_eq!(list_ints(&a, la), vec![10, 30]);
+    assert_eq!(list_ints(&b, lb), vec![10, 30]);
+}
+
+#[test]
+fn paper_example_delete_below_does_not_conflict_with_child_write() {
+    // §3.2.1: a transaction may modify A[1][..] without having seen that an
+    // earlier transaction deleted A[0]; tags keep the path stable and this
+    // is NOT a concurrency-control conflict.
+    let (mut a, mut b, la, lb) = list_pair();
+    for v in [100, 200] {
+        a.execute(Box::new(Push(la, v)));
+        wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    }
+    // Concurrently: a removes index 0 (the 100), b writes into what b still
+    // sees as index 1 (the 200).
+    a.execute(Box::new(RemoveAt(la, 0)));
+    b.execute(Box::new(WriteChild(lb, 1, 222)));
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    assert_eq!(list_ints(&a, la), vec![222]);
+    assert_eq!(list_ints(&b, lb), vec![222]);
+}
+
+#[test]
+fn straggling_path_update_blocks_until_structure_arrives() {
+    // b learns about a child-value update before the structural insert that
+    // created the child: the update must buffer, then apply (§3.2.1).
+    let (mut a, mut b, la, lb) = list_pair();
+    // Insert at a; hold the structural message to b.
+    a.execute(Box::new(Push(la, 5)));
+    let structural: Vec<_> = a.drain_outbox();
+    // Child-value update at a (reads its own committed? the push is still
+    // uncommitted — the value write reads the pending child: fine).
+    a.execute(Box::new(WriteChild(la, 0, 50)));
+    let value_update: Vec<_> = a.drain_outbox();
+    // Deliver the value update FIRST.
+    for e in value_update {
+        if e.to == SiteId(2) {
+            b.handle_message(e);
+        }
+    }
+    assert_eq!(list_ints(&b, lb), Vec::<i64>::new(), "buffered, not applied");
+    // Now the structural insert arrives; the buffered update applies.
+    for e in structural {
+        if e.to == SiteId(2) {
+            b.handle_message(e);
+        }
+    }
+    assert_eq!(list_ints(&b, lb), vec![50]);
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    assert_eq!(list_ints(&b, lb), vec![50]);
+}
+
+#[test]
+fn nested_composites_replicate() {
+    struct PushTuple(ObjectName);
+    impl Transaction for PushTuple {
+        fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+            ctx.list_push(
+                self.0,
+                Blueprint::Tuple(vec![
+                    ("author".into(), Blueprint::str("alice")),
+                    ("score".into(), Blueprint::Int(3)),
+                ]),
+            )?;
+            Ok(())
+        }
+    }
+    struct BumpScore(ObjectName);
+    impl Transaction for BumpScore {
+        fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+            let tuple = ctx.list_child(self.0, 0)?;
+            let score = ctx
+                .tuple_get(tuple, "score")?
+                .ok_or_else(|| TxnError::app("no score"))?;
+            let v = ctx.read_int(score)?;
+            ctx.write_int(score, v + 1)
+        }
+    }
+    let (mut a, mut b, la, lb) = list_pair();
+    a.execute(Box::new(PushTuple(la)));
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    // Bump the nested score from the replica side.
+    b.execute(Box::new(BumpScore(lb)));
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    for (site, list) in [(&a, la), (&b, lb)] {
+        let tuple = site.list_children_current(list)[0];
+        let children = site.tuple_children_current(tuple);
+        let score = children
+            .iter()
+            .find(|(k, _)| k == "score")
+            .map(|(_, c)| *c)
+            .unwrap();
+        assert_eq!(site.read_int_committed(score), Some(4));
+        let author = children
+            .iter()
+            .find(|(k, _)| k == "author")
+            .map(|(_, c)| *c)
+            .unwrap();
+        assert_eq!(site.read_str_committed(author).as_deref(), Some("alice"));
+    }
+}
+
+#[test]
+fn tuple_put_and_remove_replicate() {
+    let mut a = Site::new(SiteId(1));
+    let mut b = Site::new(SiteId(2));
+    let ta = a.create_tuple();
+    let tb = b.create_tuple();
+    wiring::wire_pair(&mut a, ta, &mut b, tb);
+
+    a.execute(Box::new(PutKey(ta, "name", "bob")));
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    let name_b = b
+        .tuple_children_current(tb)
+        .iter()
+        .find(|(k, _)| k == "name")
+        .map(|(_, c)| *c)
+        .unwrap();
+    assert_eq!(b.read_str_committed(name_b).as_deref(), Some("bob"));
+
+    struct RemoveKey(ObjectName, &'static str);
+    impl Transaction for RemoveKey {
+        fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+            ctx.tuple_remove(self.0, self.1)
+        }
+    }
+    b.execute(Box::new(RemoveKey(tb, "name")));
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    assert!(a.tuple_children_current(ta).is_empty());
+    assert!(b.tuple_children_current(tb).is_empty());
+}
+
+#[test]
+fn abort_rolls_back_structural_change_and_children() {
+    let (mut a, mut b, la, _lb) = list_pair();
+    struct PushThenFail(ObjectName);
+    impl Transaction for PushThenFail {
+        fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+            ctx.list_push(self.0, Blueprint::Int(13))?;
+            Err(TxnError::app("changed my mind"))
+        }
+    }
+    let h = a.execute(Box::new(PushThenFail(la)));
+    assert_eq!(a.txn_outcome(h), Some(TxnOutcome::Aborted));
+    assert!(a.list_children_current(la).is_empty());
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    assert!(b.list_children_current(_lb).is_empty());
+}
+
+#[test]
+fn three_site_composite_convergence_under_concurrency() {
+    let mut a = Site::new(SiteId(1));
+    let mut b = Site::new(SiteId(2));
+    let mut c = Site::new(SiteId(3));
+    let la = a.create_list();
+    let lb = b.create_list();
+    let lc = c.create_list();
+    wiring::wire_replicas(&mut [(&mut a, la), (&mut b, lb), (&mut c, lc)]);
+
+    a.execute(Box::new(Push(la, 1)));
+    b.execute(Box::new(Push(lb, 2)));
+    c.execute(Box::new(Push(lc, 3)));
+    wiring::run_to_quiescence(&mut [&mut a, &mut b, &mut c]);
+    let va = list_ints(&a, la);
+    assert_eq!(va.len(), 3);
+    assert_eq!(va, list_ints(&b, lb));
+    assert_eq!(va, list_ints(&c, lc));
+}

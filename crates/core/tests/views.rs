@@ -1,0 +1,397 @@
+//! View-notification integration tests (paper §4): optimistic and
+//! pessimistic delivery, commit notifications, rollback reruns, lost
+//! updates, and monotonicity.
+
+use decaf_core::{
+    wiring, ObjectName, RecordingView, ScalarValue, Site, Transaction, TxnCtx, TxnError,
+    ViewEvent, ViewMode,
+};
+use decaf_vt::SiteId;
+
+struct SetInt(ObjectName, i64);
+impl Transaction for SetInt {
+    fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+        ctx.write_int(self.0, self.1)
+    }
+}
+
+struct Incr(ObjectName);
+impl Transaction for Incr {
+    fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+        let v = ctx.read_int(self.0)?;
+        ctx.write_int(self.0, v + 1)
+    }
+}
+
+fn pair() -> (Site, Site, ObjectName, ObjectName) {
+    let mut a = Site::new(SiteId(1));
+    let mut b = Site::new(SiteId(2));
+    let oa = a.create_int(0);
+    let ob = b.create_int(0);
+    wiring::wire_pair(&mut a, oa, &mut b, ob);
+    (a, b, oa, ob)
+}
+
+fn values_of(events: &[ViewEvent]) -> Vec<i64> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            ViewEvent::Update { values, .. } => values.first().and_then(|(_, v)| match v {
+                ScalarValue::Int(i) => Some(*i),
+                _ => None,
+            }),
+            ViewEvent::Commit => None,
+        })
+        .collect()
+}
+
+#[test]
+fn optimistic_view_notified_immediately_then_committed() {
+    // Originate at site 2 so the primary (site 1) is remote: the update
+    // notification precedes the commit by a full round trip.
+    let (mut a, mut b, _oa, ob) = pair();
+    let view = RecordingView::new(vec![ob]);
+    let log = view.log();
+    b.attach_view(Box::new(view), &[ob], ViewMode::Optimistic);
+
+    b.execute(Box::new(Incr(ob)));
+    // Update notification fires before any message is delivered (§4.1).
+    {
+        let events = log.lock().unwrap();
+        assert_eq!(values_of(&events), vec![1]);
+        assert!(!events.contains(&ViewEvent::Commit), "not yet committed");
+    }
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    let events = log.lock().unwrap();
+    assert_eq!(events.last(), Some(&ViewEvent::Commit));
+    assert_eq!(b.stats().opt_notifications, 1);
+    assert_eq!(b.stats().opt_commits, 1);
+}
+
+#[test]
+fn optimistic_view_at_replica_sees_remote_update() {
+    let (mut a, mut b, _oa, ob) = pair();
+    let view = RecordingView::new(vec![ob]);
+    let log = view.log();
+    b.attach_view(Box::new(view), &[ob], ViewMode::Optimistic);
+
+    a.execute(Box::new(SetInt(_oa, 9)));
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    let events = log.lock().unwrap();
+    assert_eq!(values_of(&events), vec![9]);
+    assert_eq!(events.last(), Some(&ViewEvent::Commit));
+}
+
+#[test]
+fn pessimistic_view_sees_only_committed_values_in_order() {
+    let (mut a, mut b, _oa, ob) = pair();
+    let view = RecordingView::new(vec![ob]);
+    let log = view.log();
+    b.attach_view(Box::new(view), &[ob], ViewMode::Pessimistic);
+
+    for i in 1..=4 {
+        a.execute(Box::new(SetInt(_oa, i)));
+        wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    }
+    let events = log.lock().unwrap();
+    // Lossless, monotonic, no Commit events (pessimistic views never get
+    // them — every shown value is committed).
+    assert_eq!(values_of(&events), vec![1, 2, 3, 4]);
+    assert!(!events.contains(&ViewEvent::Commit));
+    assert_eq!(b.stats().pess_notifications, 4);
+}
+
+#[test]
+fn pessimistic_view_not_notified_of_uncommitted_update() {
+    let (mut a, mut b, _oa, ob) = pair();
+    let view = RecordingView::new(vec![ob]);
+    let log = view.log();
+    b.attach_view(Box::new(view), &[ob], ViewMode::Pessimistic);
+
+    a.execute(Box::new(SetInt(_oa, 5)));
+    // Deliver only the WRITE to b, not the commit.
+    let writes = a.drain_outbox();
+    for e in writes {
+        b.handle_message(e);
+    }
+    assert_eq!(
+        b.read_int_current(ob),
+        Some(5),
+        "update applied optimistically"
+    );
+    assert!(
+        log.lock().unwrap().is_empty(),
+        "pessimistic view must wait for the commit"
+    );
+    // Now let the commit flow.
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    assert_eq!(values_of(&log.lock().unwrap()), vec![5]);
+}
+
+#[test]
+fn pessimistic_view_at_originator_notified_on_local_commit() {
+    let (mut a, mut b, oa, _ob) = pair();
+    let view = RecordingView::new(vec![oa]);
+    let log = view.log();
+    a.attach_view(Box::new(view), &[oa], ViewMode::Pessimistic);
+
+    // A blind write whose primary is this very site commits immediately
+    // (§5.1.1), so the pessimistic notification is also immediate.
+    a.execute(Box::new(SetInt(oa, 7)));
+    assert_eq!(values_of(&log.lock().unwrap()), vec![7]);
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    assert_eq!(values_of(&log.lock().unwrap()), vec![7]);
+}
+
+#[test]
+fn optimistic_update_inconsistency_counted_on_abort() {
+    // Site 2's optimistic view shows its own uncommitted increment; a
+    // conflicting increment from site 1 wins at the primary, so site 2's
+    // transaction aborts and the view reruns with the corrected value.
+    let (mut a, mut b, oa, ob) = pair();
+    let view = RecordingView::new(vec![ob]);
+    let log = view.log();
+    b.attach_view(Box::new(view), &[ob], ViewMode::Optimistic);
+
+    a.execute(Box::new(Incr(oa))); // will win at primary (site 1)
+    b.execute(Box::new(Incr(ob))); // shown optimistically, then aborted
+    {
+        let events = log.lock().unwrap();
+        assert_eq!(values_of(&events), vec![1], "optimistic first view");
+    }
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    assert_eq!(b.read_int_committed(ob), Some(2));
+    let events = log.lock().unwrap();
+    // The view eventually shows the correct value 2 and commits.
+    assert_eq!(*values_of(&events).last().unwrap(), 2);
+    assert_eq!(events.last(), Some(&ViewEvent::Commit));
+    assert!(
+        b.stats().update_inconsistencies >= 1,
+        "the aborted value had been shown: {:?}",
+        b.stats()
+    );
+    assert!(b.stats().snapshot_reruns >= 1);
+}
+
+#[test]
+fn lost_update_counted_for_straggler() {
+    // Three sites; site 3 watches optimistically. Updates from sites 1 and
+    // 2 race; we deliver the later-VT one first so the earlier becomes a
+    // straggler at site 3.
+    let mut a = Site::new(SiteId(1));
+    let mut b = Site::new(SiteId(2));
+    let mut c = Site::new(SiteId(3));
+    let oa = a.create_int(0);
+    let ob = b.create_int(0);
+    let oc = c.create_int(0);
+    wiring::wire_replicas(&mut [(&mut a, oa), (&mut b, ob), (&mut c, oc)]);
+    let view = RecordingView::new(vec![oc]);
+    let log = view.log();
+    c.attach_view(Box::new(view), &[oc], ViewMode::Optimistic);
+
+    // Both blind-write concurrently. a's VT (1@S1) < b's VT (1@S2).
+    a.execute(Box::new(SetInt(oa, 10)));
+    b.execute(Box::new(SetInt(ob, 20)));
+    let a_out = a.drain_outbox();
+    let b_out = b.drain_outbox();
+    // Deliver b's (later VT) write to c first...
+    for e in b_out {
+        match e.to {
+            SiteId(1) => a.handle_message(e),
+            SiteId(3) => c.handle_message(e),
+            _ => unreachable!(),
+        }
+    }
+    assert_eq!(values_of(&log.lock().unwrap()), vec![20]);
+    // ... then a's earlier write arrives: a straggler, no new notification.
+    for e in a_out {
+        match e.to {
+            SiteId(2) => b.handle_message(e),
+            SiteId(3) => c.handle_message(e),
+            _ => unreachable!(),
+        }
+    }
+    assert_eq!(
+        values_of(&log.lock().unwrap()),
+        vec![20],
+        "the straggler yields no notification (lost update, §5.1.2)"
+    );
+    assert_eq!(c.stats().lost_updates, 1);
+    wiring::run_to_quiescence(&mut [&mut a, &mut b, &mut c]);
+    assert_eq!(c.read_int_committed(oc), Some(20));
+}
+
+#[test]
+fn multi_object_snapshot_is_consistent() {
+    // A view attached to two objects updated by one transaction sees both
+    // new values in a single notification.
+    struct SetBoth(ObjectName, ObjectName);
+    impl Transaction for SetBoth {
+        fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+            ctx.write_int(self.0, 1)?;
+            ctx.write_int(self.1, 2)
+        }
+    }
+    let mut a = Site::new(SiteId(1));
+    let x = a.create_int(0);
+    let y = a.create_int(0);
+    let view = RecordingView::new(vec![x, y]);
+    let log = view.log();
+    a.attach_view(Box::new(view), &[x, y], ViewMode::Optimistic);
+
+    a.execute(Box::new(SetBoth(x, y)));
+    let events = log.lock().unwrap();
+    match &events[0] {
+        ViewEvent::Update { changed, values } => {
+            assert_eq!(changed.len(), 2, "both objects on the changed list");
+            assert_eq!(
+                values,
+                &vec![(x, ScalarValue::Int(1)), (y, ScalarValue::Int(2))]
+            );
+        }
+        e => panic!("expected update, got {e:?}"),
+    }
+}
+
+#[test]
+fn changed_list_excludes_unchanged_objects() {
+    let mut a = Site::new(SiteId(1));
+    let x = a.create_int(0);
+    let y = a.create_int(0);
+    let view = RecordingView::new(vec![x, y]);
+    let log = view.log();
+    a.attach_view(Box::new(view), &[x, y], ViewMode::Optimistic);
+
+    a.execute(Box::new(SetInt(x, 5)));
+    let events = log.lock().unwrap();
+    match &events[0] {
+        ViewEvent::Update { changed, .. } => {
+            assert_eq!(changed, &vec![x], "only x changed (§2.5)");
+        }
+        e => panic!("expected update, got {e:?}"),
+    }
+}
+
+#[test]
+fn view_on_list_notified_of_child_changes() {
+    use decaf_core::Blueprint;
+    struct Push(ObjectName, i64);
+    impl Transaction for Push {
+        fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+            ctx.list_push(self.0, Blueprint::Int(self.1))?;
+            Ok(())
+        }
+    }
+    struct WriteChild(ObjectName, i64);
+    impl Transaction for WriteChild {
+        fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+            let child = ctx.list_child(self.0, 0)?;
+            ctx.write_int(child, self.1)
+        }
+    }
+    let mut a = Site::new(SiteId(1));
+    let list = a.create_list();
+    let view = RecordingView::new(vec![]);
+    let log = view.log();
+    a.attach_view(Box::new(view), &[list], ViewMode::Optimistic);
+
+    a.execute(Box::new(Push(list, 1)));
+    a.execute(Box::new(WriteChild(list, 42)));
+    let events = log.lock().unwrap();
+    let updates = events
+        .iter()
+        .filter(|e| matches!(e, ViewEvent::Update { .. }))
+        .count();
+    assert_eq!(
+        updates, 2,
+        "structural change and child change both notify the list's view"
+    );
+}
+
+#[test]
+fn detached_view_stops_receiving() {
+    let mut a = Site::new(SiteId(1));
+    let x = a.create_int(0);
+    let view = RecordingView::new(vec![x]);
+    let log = view.log();
+    let vid = a.attach_view(Box::new(view), &[x], ViewMode::Optimistic);
+    a.execute(Box::new(SetInt(x, 1)));
+    assert_eq!(log.lock().unwrap().len(), 2, "update + commit");
+    a.detach_view(vid);
+    a.execute(Box::new(SetInt(x, 2)));
+    assert_eq!(log.lock().unwrap().len(), 2, "no events after detach");
+}
+
+#[test]
+fn view_initiated_transaction_runs() {
+    // A view that mirrors x into y via a spawned transaction (§2.5: "the
+    // update method may initiate new transactions").
+    struct Mirror {
+        src: ObjectName,
+        dst: ObjectName,
+    }
+    impl decaf_core::View for Mirror {
+        fn update(&mut self, n: &decaf_core::UpdateNotification<'_>) {
+            if let Ok(v) = n.read_int(self.src) {
+                n.initiate(Box::new(SetInt(self.dst, v * 10)));
+            }
+        }
+    }
+    let mut a = Site::new(SiteId(1));
+    let x = a.create_int(0);
+    let y = a.create_int(0);
+    a.attach_view(Box::new(Mirror { src: x, dst: y }), &[x], ViewMode::Optimistic);
+    a.execute(Box::new(SetInt(x, 3)));
+    assert_eq!(a.read_int_committed(y), Some(30));
+}
+
+#[test]
+fn pessimistic_monotonic_despite_delivery_order() {
+    // Two committed updates reach the watcher out of VT order; the
+    // pessimistic view must still deliver them in VT order.
+    let mut a = Site::new(SiteId(1));
+    let mut b = Site::new(SiteId(2));
+    let mut c = Site::new(SiteId(3));
+    let oa = a.create_int(0);
+    let ob = b.create_int(0);
+    let oc = c.create_int(0);
+    wiring::wire_replicas(&mut [(&mut a, oa), (&mut b, ob), (&mut c, oc)]);
+    let view = RecordingView::new(vec![oc]);
+    let log = view.log();
+    c.attach_view(Box::new(view), &[oc], ViewMode::Pessimistic);
+
+    // Two sequential committed updates; hold site 3's copies.
+    a.execute(Box::new(SetInt(oa, 1)));
+    let mut held_c: Vec<_> = Vec::new();
+    let pass = |a: &mut Site, b: &mut Site, held_c: &mut Vec<decaf_core::Envelope>| loop {
+        let mut moved = false;
+        for e in a.drain_outbox().into_iter().chain(b.drain_outbox()) {
+            moved = true;
+            match e.to {
+                SiteId(1) => a.handle_message(e),
+                SiteId(2) => b.handle_message(e),
+                SiteId(3) => held_c.push(e),
+                _ => unreachable!(),
+            }
+        }
+        if !moved {
+            break;
+        }
+    };
+    pass(&mut a, &mut b, &mut held_c);
+    a.execute(Box::new(SetInt(oa, 2)));
+    pass(&mut a, &mut b, &mut held_c);
+
+    // Deliver to site 3 in REVERSE order.
+    held_c.reverse();
+    for e in held_c {
+        c.handle_message(e);
+    }
+    wiring::run_to_quiescence(&mut [&mut a, &mut b, &mut c]);
+    let events = log.lock().unwrap();
+    assert_eq!(
+        values_of(&events),
+        vec![1, 2],
+        "monotonic order despite reversed delivery"
+    );
+}

@@ -1,0 +1,702 @@
+//! Deterministic discrete-event network simulator.
+//!
+//! The simulator carries opaque messages of type `M` between sites with a
+//! configurable [`LatencyModel`], plus two auxiliary event kinds the DECAF
+//! experiments need:
+//!
+//! * **timers** — the workload generators schedule "user gesture" events as
+//!   timers ([`SimNet::set_timer`]);
+//! * **fail-stop failure notification** — the paper assumes "the underlying
+//!   communication infrastructure provides notification of such failures
+//!   and, as common in systems such as ISIS, presents them to the
+//!   application as fail-stop failures" (§3.4). [`SimNet::fail_site`]
+//!   reproduces that: the failed site's traffic is cut off and every
+//!   surviving observer receives a [`Event::SiteFailed`] notification.
+//!
+//! Determinism: events at equal simulated times are delivered in the order
+//! they were scheduled (a per-net sequence number breaks ties), and latency
+//! jitter comes from a seeded RNG, so a run is a pure function of its
+//! inputs.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use decaf_vt::SiteId;
+
+/// A point in simulated time, with microsecond resolution.
+///
+/// # Example
+///
+/// ```
+/// use decaf_net::sim::SimTime;
+///
+/// let t = SimTime::from_millis(3) + SimTime::from_micros(500);
+/// assert_eq!(t.as_micros(), 3_500);
+/// assert_eq!(t.as_millis_f64(), 3.5);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero — the start of every simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs a time from whole microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Constructs a time from whole milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Constructs a time from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// This time as whole microseconds.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// This time as (possibly fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This time as (possibly fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+/// Per-link message latency model.
+///
+/// The paper's performance analysis is parameterized by "the average network
+/// latency of a single point-to-point message, `t` ms" (§5.1.1). The model
+/// supports a uniform `t`, per-link overrides, and optional bounded uniform
+/// jitter from a seeded RNG.
+///
+/// # Example
+///
+/// ```
+/// use decaf_net::sim::{LatencyModel, SimTime};
+/// use decaf_vt::SiteId;
+///
+/// let mut m = LatencyModel::uniform(SimTime::from_millis(20))
+///     .with_link(SiteId(1), SiteId(2), SimTime::from_millis(5));
+/// assert_eq!(m.sample(SiteId(1), SiteId(2)), SimTime::from_millis(5));
+/// assert_eq!(m.sample(SiteId(1), SiteId(3)), SimTime::from_millis(20));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    default: SimTime,
+    links: HashMap<(SiteId, SiteId), SimTime>,
+    /// Jitter as a fraction of the base latency (0.0 = none).
+    jitter_frac: f64,
+    rng: SmallRng,
+}
+
+impl LatencyModel {
+    /// Every message takes exactly `t`, matching the paper's analysis.
+    pub fn uniform(t: SimTime) -> Self {
+        LatencyModel {
+            default: t,
+            links: HashMap::new(),
+            jitter_frac: 0.0,
+            rng: SmallRng::seed_from_u64(0),
+        }
+    }
+
+    /// Overrides the latency of the (directed) pair `from -> to` and its
+    /// reverse.
+    pub fn with_link(mut self, a: SiteId, b: SiteId, t: SimTime) -> Self {
+        self.links.insert((a, b), t);
+        self.links.insert((b, a), t);
+        self
+    }
+
+    /// Adds symmetric uniform jitter of `frac` (e.g. `0.1` = ±10%) drawn
+    /// from a RNG seeded with `seed`.
+    pub fn with_jitter(mut self, frac: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&frac), "jitter fraction must be in [0,1)");
+        self.jitter_frac = frac;
+        self.rng = SmallRng::seed_from_u64(seed);
+        self
+    }
+
+    /// Samples the latency of one message on the link `from -> to`.
+    pub fn sample(&mut self, from: SiteId, to: SiteId) -> SimTime {
+        let base = *self.links.get(&(from, to)).unwrap_or(&self.default);
+        if self.jitter_frac == 0.0 {
+            return base;
+        }
+        let us = base.as_micros() as f64;
+        let delta = self.rng.gen_range(-self.jitter_frac..=self.jitter_frac);
+        SimTime::from_micros((us * (1.0 + delta)).max(1.0) as u64)
+    }
+}
+
+/// What happens to messages already in flight when a site fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailMode {
+    /// In-flight messages to and from the failed site are discarded
+    /// (strict fail-stop cut-off; the default).
+    #[default]
+    DropInFlight,
+    /// Messages the failed site sent before failing are still delivered;
+    /// messages addressed to it are discarded.
+    DeliverInFlight,
+}
+
+/// An event surfaced by [`SimNet::step`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event<M> {
+    /// A message arrived at `to`.
+    Deliver {
+        /// Simulated delivery time.
+        at: SimTime,
+        /// Sending site.
+        from: SiteId,
+        /// Receiving site.
+        to: SiteId,
+        /// The payload.
+        msg: M,
+    },
+    /// A timer set by [`SimNet::set_timer`] expired at `site`.
+    Timer {
+        /// Simulated expiry time.
+        at: SimTime,
+        /// Site the timer belongs to.
+        site: SiteId,
+        /// Caller-chosen token identifying the timer's purpose.
+        token: u64,
+    },
+    /// The communication layer notifies `observer` that `failed` has
+    /// fail-stopped (paper §3.4).
+    SiteFailed {
+        /// Simulated notification time.
+        at: SimTime,
+        /// Surviving site receiving the notification.
+        observer: SiteId,
+        /// The site that failed.
+        failed: SiteId,
+    },
+}
+
+impl<M> Event<M> {
+    /// The simulated time at which this event occurs.
+    pub fn at(&self) -> SimTime {
+        match self {
+            Event::Deliver { at, .. } | Event::Timer { at, .. } | Event::SiteFailed { at, .. } => {
+                *at
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Payload<M> {
+    Msg { from: SiteId, to: SiteId, msg: M },
+    Timer { site: SiteId, token: u64 },
+    FailNotice { observer: SiteId, failed: SiteId },
+}
+
+#[derive(Debug)]
+struct Queued<M> {
+    at: SimTime,
+    seq: u64,
+    payload: Payload<M>,
+}
+
+impl<M> PartialEq for Queued<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Queued<M> {}
+impl<M> PartialOrd for Queued<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Queued<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Counters describing a finished (or in-progress) simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages handed to [`SimNet::send`].
+    pub sent: u64,
+    /// Messages delivered to a live site.
+    pub delivered: u64,
+    /// Messages discarded because an endpoint had failed.
+    pub dropped: u64,
+}
+
+/// The deterministic event-driven network.
+///
+/// Drive it in a loop: inject initial messages/timers, then repeatedly call
+/// [`step`](SimNet::step), hand each [`Event`] to the owning site's state
+/// machine, and [`send`](SimNet::send) whatever the site emits.
+///
+/// # Example
+///
+/// ```
+/// use decaf_net::sim::{Event, LatencyModel, SimNet, SimTime};
+/// use decaf_vt::SiteId;
+///
+/// let mut net: SimNet<u32> = SimNet::new(LatencyModel::uniform(SimTime::from_millis(5)));
+/// net.set_timer(SiteId(1), SimTime::from_millis(1), 42);
+/// net.send(SiteId(1), SiteId(2), 7);
+/// // Timer at 1ms fires before the 5ms delivery:
+/// assert!(matches!(net.step(), Some(Event::Timer { token: 42, .. })));
+/// assert!(matches!(net.step(), Some(Event::Deliver { msg: 7, .. })));
+/// assert!(net.step().is_none());
+/// ```
+#[derive(Debug)]
+pub struct SimNet<M> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Queued<M>>,
+    latency: LatencyModel,
+    failed: HashSet<SiteId>,
+    fail_mode: FailMode,
+    /// Bidirectionally severed links (network partition). Messages sent
+    /// while a link is down are dropped; in-flight messages still arrive.
+    down_links: HashSet<(SiteId, SiteId)>,
+    stats: NetStats,
+}
+
+impl<M> SimNet<M> {
+    /// Creates a network with the given latency model.
+    pub fn new(latency: LatencyModel) -> Self {
+        SimNet {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            latency,
+            failed: HashSet::new(),
+            fail_mode: FailMode::default(),
+            down_links: HashSet::new(),
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Sets the policy for in-flight messages on failure.
+    pub fn set_fail_mode(&mut self, mode: FailMode) {
+        self.fail_mode = mode;
+    }
+
+    /// Current simulated time (the time of the last event stepped).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Whether `site` has fail-stopped.
+    pub fn is_failed(&self, site: SiteId) -> bool {
+        self.failed.contains(&site)
+    }
+
+    /// Sends `msg` from `from` to `to`; it will be delivered after the
+    /// link's sampled latency. Messages involving failed sites are counted
+    /// as dropped.
+    pub fn send(&mut self, from: SiteId, to: SiteId, msg: M) {
+        self.stats.sent += 1;
+        if self.failed.contains(&from)
+            || self.failed.contains(&to)
+            || self.down_links.contains(&link_key(from, to))
+        {
+            self.stats.dropped += 1;
+            return;
+        }
+        let delay = self.latency.sample(from, to);
+        self.push(self.now + delay, Payload::Msg { from, to, msg });
+    }
+
+    /// Schedules a timer for `site`, expiring `delay` after the current
+    /// simulated time, carrying a caller-chosen `token`.
+    pub fn set_timer(&mut self, site: SiteId, delay: SimTime, token: u64) {
+        self.push(self.now + delay, Payload::Timer { site, token });
+    }
+
+    /// Severs the (bidirectional) link between `a` and `b`: subsequent
+    /// sends on it are dropped until [`set_link_up`](SimNet::set_link_up).
+    /// Messages already in flight still arrive.
+    ///
+    /// The DECAF protocol assumes reliable FIFO links with fail-stop
+    /// disconnection (§3.4), so a lasting partition should be surfaced to
+    /// the sites as a failure notification; transient use is for testing
+    /// loss behaviour.
+    pub fn set_link_down(&mut self, a: SiteId, b: SiteId) {
+        self.down_links.insert(link_key(a, b));
+    }
+
+    /// Restores a severed link.
+    pub fn set_link_up(&mut self, a: SiteId, b: SiteId) {
+        self.down_links.remove(&link_key(a, b));
+    }
+
+    /// Whether the link between `a` and `b` is currently severed.
+    pub fn is_link_down(&self, a: SiteId, b: SiteId) -> bool {
+        self.down_links.contains(&link_key(a, b))
+    }
+
+    /// Fail-stops `site` now.
+    ///
+    /// In-flight traffic is handled per [`FailMode`]; every site in
+    /// `observers` receives an [`Event::SiteFailed`] notification after the
+    /// failed-link latency (modelling the communication layer's failure
+    /// detector).
+    pub fn fail_site(&mut self, site: SiteId, observers: impl IntoIterator<Item = SiteId>) {
+        self.failed.insert(site);
+        if self.fail_mode == FailMode::DropInFlight {
+            // Discard queued deliveries involving the failed site.
+            let drained = std::mem::take(&mut self.queue);
+            let mut dropped = 0;
+            self.queue = drained
+                .into_iter()
+                .filter(|q| match &q.payload {
+                    Payload::Msg { from, to, .. } if *from == site || *to == site => {
+                        dropped += 1;
+                        false
+                    }
+                    _ => true,
+                })
+                .collect();
+            self.stats.dropped += dropped;
+        } else {
+            // Only discard deliveries *to* the failed site.
+            let drained = std::mem::take(&mut self.queue);
+            let mut dropped = 0;
+            self.queue = drained
+                .into_iter()
+                .filter(|q| match &q.payload {
+                    Payload::Msg { to, .. } if *to == site => {
+                        dropped += 1;
+                        false
+                    }
+                    _ => true,
+                })
+                .collect();
+            self.stats.dropped += dropped;
+        }
+        for observer in observers {
+            if observer == site || self.failed.contains(&observer) {
+                continue;
+            }
+            let delay = self.latency.sample(site, observer);
+            self.push(
+                self.now + delay,
+                Payload::FailNotice {
+                    observer,
+                    failed: site,
+                },
+            );
+        }
+    }
+
+    /// Pops the next event, advancing simulated time to it.
+    ///
+    /// Returns `None` when the queue is empty (the system has quiesced).
+    pub fn step(&mut self) -> Option<Event<M>> {
+        loop {
+            let q = self.queue.pop()?;
+            self.now = q.at;
+            match q.payload {
+                Payload::Msg { from, to, msg } => {
+                    let from_dead =
+                        self.fail_mode == FailMode::DropInFlight && self.failed.contains(&from);
+                    if self.failed.contains(&to) || from_dead {
+                        self.stats.dropped += 1;
+                        continue;
+                    }
+                    self.stats.delivered += 1;
+                    return Some(Event::Deliver {
+                        at: q.at,
+                        from,
+                        to,
+                        msg,
+                    });
+                }
+                Payload::Timer { site, token } => {
+                    if self.failed.contains(&site) {
+                        continue;
+                    }
+                    return Some(Event::Timer {
+                        at: q.at,
+                        site,
+                        token,
+                    });
+                }
+                Payload::FailNotice { observer, failed } => {
+                    if self.failed.contains(&observer) {
+                        continue;
+                    }
+                    return Some(Event::SiteFailed {
+                        at: q.at,
+                        observer,
+                        failed,
+                    });
+                }
+            }
+        }
+    }
+
+    /// The simulated time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|q| q.at)
+    }
+
+    /// Number of events still queued.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn push(&mut self, at: SimTime, payload: Payload<M>) {
+        self.seq += 1;
+        self.queue.push(Queued {
+            at,
+            seq: self.seq,
+            payload,
+        });
+    }
+}
+
+/// Canonical (sorted) key for an undirected link.
+fn link_key(a: SiteId, b: SiteId) -> (SiteId, SiteId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(ms: u64) -> SimNet<u32> {
+        SimNet::new(LatencyModel::uniform(SimTime::from_millis(ms)))
+    }
+
+    #[test]
+    fn delivery_after_uniform_latency() {
+        let mut n = net(10);
+        n.send(SiteId(1), SiteId(2), 99);
+        let e = n.step().unwrap();
+        assert_eq!(e.at(), SimTime::from_millis(10));
+        assert!(matches!(
+            e,
+            Event::Deliver {
+                from: SiteId(1),
+                to: SiteId(2),
+                msg: 99,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn fifo_order_among_equal_times() {
+        let mut n = net(10);
+        n.send(SiteId(1), SiteId(2), 1);
+        n.send(SiteId(1), SiteId(2), 2);
+        n.send(SiteId(1), SiteId(2), 3);
+        let order: Vec<u32> = (0..3)
+            .map(|_| match n.step().unwrap() {
+                Event::Deliver { msg, .. } => msg,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn time_advances_monotonically() {
+        let mut n = net(10);
+        n.send(SiteId(1), SiteId(2), 1);
+        n.step().unwrap();
+        // A send at now=10ms lands at 20ms.
+        n.send(SiteId(2), SiteId(1), 2);
+        let e = n.step().unwrap();
+        assert_eq!(e.at(), SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn per_link_override() {
+        let model = LatencyModel::uniform(SimTime::from_millis(50)).with_link(
+            SiteId(1),
+            SiteId(2),
+            SimTime::from_millis(5),
+        );
+        let mut n: SimNet<u32> = SimNet::new(model);
+        n.send(SiteId(1), SiteId(3), 0);
+        n.send(SiteId(2), SiteId(1), 1);
+        let first = n.step().unwrap();
+        assert!(
+            matches!(first, Event::Deliver { msg: 1, .. }),
+            "short link delivers first"
+        );
+    }
+
+    #[test]
+    fn timers_interleave_with_messages() {
+        let mut n = net(10);
+        n.send(SiteId(1), SiteId(2), 7);
+        n.set_timer(SiteId(1), SimTime::from_millis(3), 42);
+        assert!(matches!(n.step(), Some(Event::Timer { token: 42, .. })));
+        assert!(matches!(n.step(), Some(Event::Deliver { .. })));
+    }
+
+    #[test]
+    fn failed_site_traffic_dropped_and_observers_notified() {
+        let mut n = net(10);
+        n.send(SiteId(1), SiteId(2), 7); // in flight to the failing site
+        n.fail_site(SiteId(2), [SiteId(1), SiteId(3)]);
+        let mut notices = 0;
+        while let Some(e) = n.step() {
+            match e {
+                Event::SiteFailed { failed, .. } => {
+                    assert_eq!(failed, SiteId(2));
+                    notices += 1;
+                }
+                Event::Deliver { .. } => panic!("delivery to failed site"),
+                _ => {}
+            }
+        }
+        assert_eq!(notices, 2);
+        assert_eq!(n.stats().dropped, 1);
+        // Sends to a failed site are dropped immediately.
+        n.send(SiteId(3), SiteId(2), 8);
+        assert_eq!(n.stats().dropped, 2);
+    }
+
+    #[test]
+    fn deliver_in_flight_mode_keeps_outbound() {
+        let mut n = net(10);
+        n.set_fail_mode(FailMode::DeliverInFlight);
+        n.send(SiteId(2), SiteId(1), 7); // from the failing site
+        n.fail_site(SiteId(2), []);
+        // step() still filters by the `from` check... in DeliverInFlight the
+        // queue keeps it, but delivery-time filtering must allow it.
+        let mut delivered = false;
+        while let Some(e) = n.step() {
+            if matches!(e, Event::Deliver { msg: 7, .. }) {
+                delivered = true;
+            }
+        }
+        // Documented behaviour: DeliverInFlight retains the queue entry, but
+        // final delivery also requires the sender to be alive at delivery
+        // time only in DropInFlight mode.
+        assert!(delivered, "pre-failure sends delivered in DeliverInFlight");
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds_and_is_deterministic() {
+        let mk = || {
+            LatencyModel::uniform(SimTime::from_millis(100)).with_jitter(0.2, 7)
+        };
+        let mut a = mk();
+        let mut b = mk();
+        for _ in 0..100 {
+            let la = a.sample(SiteId(1), SiteId(2));
+            let lb = b.sample(SiteId(1), SiteId(2));
+            assert_eq!(la, lb, "same seed, same samples");
+            assert!(la >= SimTime::from_millis(80) && la <= SimTime::from_millis(120));
+        }
+    }
+
+    #[test]
+    fn quiesces_when_queue_empty() {
+        let mut n = net(10);
+        assert!(n.step().is_none());
+        assert_eq!(n.pending(), 0);
+        assert_eq!(n.peek_time(), None);
+    }
+
+    #[test]
+    fn severed_link_drops_new_sends_but_not_in_flight() {
+        let mut n = net(10);
+        n.send(SiteId(1), SiteId(2), 1); // in flight before the cut
+        n.set_link_down(SiteId(1), SiteId(2));
+        assert!(n.is_link_down(SiteId(2), SiteId(1)), "undirected");
+        n.send(SiteId(1), SiteId(2), 2); // dropped
+        n.send(SiteId(2), SiteId(1), 3); // dropped (bidirectional)
+        n.send(SiteId(1), SiteId(3), 4); // unaffected link
+        let mut delivered = Vec::new();
+        while let Some(e) = n.step() {
+            if let Event::Deliver { msg, .. } = e {
+                delivered.push(msg);
+            }
+        }
+        delivered.sort_unstable();
+        assert_eq!(delivered, vec![1, 4]);
+        assert_eq!(n.stats().dropped, 2);
+        // Healing restores traffic.
+        n.set_link_up(SiteId(1), SiteId(2));
+        n.send(SiteId(1), SiteId(2), 5);
+        assert!(matches!(n.step(), Some(Event::Deliver { msg: 5, .. })));
+    }
+
+    #[test]
+    fn simtime_arithmetic() {
+        let a = SimTime::from_millis(5);
+        let b = SimTime::from_micros(2500);
+        assert_eq!((a + b).as_micros(), 7_500);
+        assert_eq!((a - b).as_micros(), 2_500);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs(1).as_millis_f64(), 1000.0);
+        assert_eq!(a.to_string(), "5.000ms");
+    }
+}

@@ -1,0 +1,387 @@
+//! Multi-threaded transport: real threads, crossbeam channels, injected
+//! point-to-point delays.
+//!
+//! The simulator in [`crate::sim`] is the primary experimental substrate;
+//! this transport exists to exercise the same sans-I/O site engine under
+//! true parallelism (integration tests and examples), the way the paper's
+//! Java prototype ran one JVM per user.
+
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use decaf_vt::SiteId;
+
+/// A message annotated with its sender, as received from an [`Endpoint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Incoming<M> {
+    /// The sending site.
+    pub from: SiteId,
+    /// The payload.
+    pub msg: M,
+}
+
+enum RouterCmd<M> {
+    Send {
+        from: SiteId,
+        to: SiteId,
+        msg: M,
+    },
+    Disconnect(SiteId),
+    Shutdown,
+}
+
+struct Pending<M> {
+    due: Instant,
+    seq: u64,
+    from: SiteId,
+    to: SiteId,
+    msg: M,
+}
+
+impl<M> PartialEq for Pending<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<M> Eq for Pending<M> {}
+impl<M> PartialOrd for Pending<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Pending<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Earliest due first (min-heap via reversal).
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
+}
+
+/// One site's handle onto a [`ThreadedNet`].
+///
+/// Cloneable; typically moved into the site's thread.
+pub struct Endpoint<M> {
+    site: SiteId,
+    to_router: Sender<RouterCmd<M>>,
+    inbox: Receiver<Incoming<M>>,
+}
+
+impl<M> fmt::Debug for Endpoint<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Endpoint").field("site", &self.site).finish()
+    }
+}
+
+impl<M> Clone for Endpoint<M> {
+    fn clone(&self) -> Self {
+        Endpoint {
+            site: self.site,
+            to_router: self.to_router.clone(),
+            inbox: self.inbox.clone(),
+        }
+    }
+}
+
+impl<M: Send + 'static> Endpoint<M> {
+    /// The site this endpoint belongs to.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Sends `msg` to `to`; it is delivered after the network's configured
+    /// delay. Sends after shutdown are silently discarded.
+    pub fn send(&self, to: SiteId, msg: M) {
+        let _ = self.to_router.send(RouterCmd::Send {
+            from: self.site,
+            to,
+            msg,
+        });
+    }
+
+    /// Blocks until a message arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` once the network has shut down and the inbox drained.
+    pub fn recv(&self) -> Result<Incoming<M>, crossbeam_channel::RecvError> {
+        self.inbox.recv()
+    }
+
+    /// Receives with a timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` on timeout or after shutdown.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Incoming<M>, RecvTimeoutError> {
+        self.inbox.recv_timeout(timeout)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Incoming<M>> {
+        self.inbox.try_recv().ok()
+    }
+}
+
+/// A real-time message router between a fixed set of sites.
+///
+/// Every message is held for `delay` before delivery, emulating a network
+/// with uniform point-to-point latency — the paper's "artificially induced
+/// network delays" (§5.2.2) — under real thread concurrency.
+///
+/// # Example
+///
+/// ```
+/// use decaf_net::threaded::ThreadedNet;
+/// use decaf_vt::SiteId;
+/// use std::time::Duration;
+///
+/// let mut net: ThreadedNet<String> = ThreadedNet::new(2, Duration::from_millis(1));
+/// let a = net.endpoint(SiteId(0));
+/// let b = net.endpoint(SiteId(1));
+/// a.send(SiteId(1), "hi".to_string());
+/// let got = b.recv().unwrap();
+/// assert_eq!(got.from, SiteId(0));
+/// assert_eq!(got.msg, "hi");
+/// net.shutdown();
+/// ```
+pub struct ThreadedNet<M> {
+    endpoints: Vec<Endpoint<M>>,
+    to_router: Sender<RouterCmd<M>>,
+    router: Option<JoinHandle<u64>>,
+    delivered: Arc<Mutex<u64>>,
+}
+
+impl<M> fmt::Debug for ThreadedNet<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadedNet")
+            .field("sites", &self.endpoints.len())
+            .finish()
+    }
+}
+
+impl<M: Send + 'static> ThreadedNet<M> {
+    /// Creates a network of `n` sites (ids `0..n`) with uniform `delay`.
+    pub fn new(n: usize, delay: Duration) -> Self {
+        let (to_router, cmds) = unbounded::<RouterCmd<M>>();
+        let mut inboxes = Vec::with_capacity(n);
+        let mut endpoints = Vec::with_capacity(n);
+        for i in 0..n {
+            let (tx, rx) = unbounded::<Incoming<M>>();
+            inboxes.push(tx);
+            endpoints.push(Endpoint {
+                site: SiteId(i as u32),
+                to_router: to_router.clone(),
+                inbox: rx,
+            });
+        }
+        let delivered = Arc::new(Mutex::new(0u64));
+        let counter = Arc::clone(&delivered);
+        let router = std::thread::Builder::new()
+            .name("decaf-net-router".into())
+            .spawn(move || Self::route(cmds, inboxes, delay, counter))
+            .expect("spawn router thread");
+        ThreadedNet {
+            endpoints,
+            to_router,
+            router: Some(router),
+            delivered,
+        }
+    }
+
+    fn route(
+        cmds: Receiver<RouterCmd<M>>,
+        inboxes: Vec<Sender<Incoming<M>>>,
+        delay: Duration,
+        delivered: Arc<Mutex<u64>>,
+    ) -> u64 {
+        let mut pending: BinaryHeap<Pending<M>> = BinaryHeap::new();
+        let mut disconnected = std::collections::HashSet::new();
+        let mut seq = 0u64;
+        let mut count = 0u64;
+        let mut shutting_down = false;
+        loop {
+            // Deliver everything due.
+            let now = Instant::now();
+            while pending.peek().map(|p| p.due <= now).unwrap_or(false) {
+                let p = pending.pop().expect("peeked entry exists");
+                if disconnected.contains(&p.from) || disconnected.contains(&p.to) {
+                    continue;
+                }
+                if let Some(tx) = inboxes.get(p.to.0 as usize) {
+                    if tx
+                        .send(Incoming {
+                            from: p.from,
+                            msg: p.msg,
+                        })
+                        .is_ok()
+                    {
+                        count += 1;
+                        *delivered.lock() = count;
+                    }
+                }
+            }
+            if shutting_down && pending.is_empty() {
+                return count;
+            }
+            let timeout = pending
+                .peek()
+                .map(|p| p.due.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::from_millis(50));
+            match cmds.recv_timeout(timeout) {
+                Ok(RouterCmd::Send { from, to, msg }) => {
+                    if disconnected.contains(&from) || disconnected.contains(&to) {
+                        continue;
+                    }
+                    seq += 1;
+                    pending.push(Pending {
+                        due: Instant::now() + delay,
+                        seq,
+                        from,
+                        to,
+                        msg,
+                    });
+                }
+                Ok(RouterCmd::Disconnect(site)) => {
+                    disconnected.insert(site);
+                }
+                Ok(RouterCmd::Shutdown) | Err(RecvTimeoutError::Disconnected) => {
+                    shutting_down = true;
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+            }
+        }
+    }
+
+    /// The endpoint for `site`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range for this network.
+    pub fn endpoint(&self, site: SiteId) -> Endpoint<M> {
+        self.endpoints
+            .get(site.0 as usize)
+            .cloned()
+            .unwrap_or_else(|| panic!("no such site {site}"))
+    }
+
+    /// Emulates a fail-stop of `site`: its pending and future traffic is
+    /// discarded. (Failure *notification* delivery is the harness's job on
+    /// this transport.)
+    pub fn disconnect(&self, site: SiteId) {
+        let _ = self.to_router.send(RouterCmd::Disconnect(site));
+    }
+
+    /// Total messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        *self.delivered.lock()
+    }
+
+    /// Flushes remaining traffic and stops the router thread.
+    pub fn shutdown(&mut self) {
+        let _ = self.to_router.send(RouterCmd::Shutdown);
+        if let Some(h) = self.router.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<M> Drop for ThreadedNet<M> {
+    fn drop(&mut self) {
+        // Non-blocking best effort; `shutdown` is the clean teardown path.
+        let _ = self.to_router.send(RouterCmd::Shutdown);
+        if let Some(h) = self.router.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_between_two_sites() {
+        let mut net: ThreadedNet<u32> = ThreadedNet::new(2, Duration::from_millis(1));
+        let a = net.endpoint(SiteId(0));
+        let b = net.endpoint(SiteId(1));
+        a.send(SiteId(1), 5);
+        let got = b.recv().unwrap();
+        assert_eq!(got.msg, 5);
+        b.send(SiteId(0), got.msg * 2);
+        assert_eq!(a.recv().unwrap().msg, 10);
+        net.shutdown();
+        assert_eq!(net.delivered(), 2);
+    }
+
+    #[test]
+    fn delay_is_enforced() {
+        let mut net: ThreadedNet<()> = ThreadedNet::new(2, Duration::from_millis(30));
+        let a = net.endpoint(SiteId(0));
+        let b = net.endpoint(SiteId(1));
+        let start = Instant::now();
+        a.send(SiteId(1), ());
+        b.recv().unwrap();
+        assert!(
+            start.elapsed() >= Duration::from_millis(25),
+            "message should be delayed ~30ms, took {:?}",
+            start.elapsed()
+        );
+        net.shutdown();
+    }
+
+    #[test]
+    fn fifo_per_link() {
+        let mut net: ThreadedNet<u32> = ThreadedNet::new(2, Duration::from_millis(1));
+        let a = net.endpoint(SiteId(0));
+        let b = net.endpoint(SiteId(1));
+        for i in 0..20 {
+            a.send(SiteId(1), i);
+        }
+        for i in 0..20 {
+            assert_eq!(b.recv().unwrap().msg, i);
+        }
+        net.shutdown();
+    }
+
+    #[test]
+    fn disconnect_drops_traffic() {
+        let mut net: ThreadedNet<u32> = ThreadedNet::new(3, Duration::from_millis(5));
+        let a = net.endpoint(SiteId(0));
+        let b = net.endpoint(SiteId(1));
+        net.disconnect(SiteId(2));
+        a.send(SiteId(2), 1); // dropped
+        a.send(SiteId(1), 2); // delivered
+        assert_eq!(b.recv().unwrap().msg, 2);
+        net.shutdown();
+        assert_eq!(net.delivered(), 1);
+    }
+
+    #[test]
+    fn concurrent_senders() {
+        let mut net: ThreadedNet<u32> = ThreadedNet::new(4, Duration::from_millis(1));
+        let sink = net.endpoint(SiteId(0));
+        let mut handles = Vec::new();
+        for s in 1..4u32 {
+            let ep = net.endpoint(SiteId(s));
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    ep.send(SiteId(0), s * 1000 + i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got = 0;
+        while got < 150 {
+            sink.recv().unwrap();
+            got += 1;
+        }
+        net.shutdown();
+    }
+}

@@ -1,0 +1,48 @@
+//! Virtual time primitives for the DECAF collaborative replicated-object
+//! framework.
+//!
+//! DECAF (Strom et al., *Concurrency Control and View Notification Algorithms
+//! for Collaborative Replicated Objects*, ICDCS '97 / IEEE TC 47(4) 1998)
+//! totally orders every transaction in the system by a *virtual time* (VT): a
+//! Lamport timestamp extended with a site identifier to guarantee uniqueness
+//! (paper §3). Everything else in the system — value histories, replication
+//! graph histories, write-free reservations, view snapshots — is indexed by
+//! VT.
+//!
+//! This crate provides those primitives:
+//!
+//! * [`SiteId`] — identifies a participating site (one user's application).
+//! * [`VirtualTime`] — a unique, totally ordered transaction timestamp.
+//! * [`LamportClock`] — per-site clock that issues fresh [`VirtualTime`]s and
+//!   witnesses remote ones.
+//! * [`History`] — a VT-indexed value history supporting current-value
+//!   lookup, lookup *as of* a VT, purging of aborted entries, and
+//!   garbage-collection below a commit horizon.
+//! * [`ReservationSet`] — the write-free interval reservations kept at
+//!   primary copies to validate *read-latest* (RL) and *no-conflict* (NC)
+//!   guesses.
+//!
+//! # Example
+//!
+//! ```
+//! use decaf_vt::{LamportClock, SiteId};
+//!
+//! let mut clock = LamportClock::new(SiteId(2));
+//! let t1 = clock.next();
+//! let t2 = clock.next();
+//! assert!(t1 < t2);
+//! assert_eq!(t1.site, SiteId(2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod history;
+mod reservation;
+mod time;
+
+pub use clock::LamportClock;
+pub use history::{History, HistoryEntry};
+pub use reservation::{Reservation, ReservationConflict, ReservationSet};
+pub use time::{SiteId, VirtualTime};

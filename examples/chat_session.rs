@@ -1,0 +1,168 @@
+//! Multi-user chat with dynamic collaboration establishment (§2.6, §3.3).
+//!
+//! A chat room is a replicated list of messages. The host creates the room,
+//! publishes an invitation through an association object, and other users
+//! join mid-session — adopting the full backlog — and later leave. A view
+//! on the association object announces membership changes "in exactly the
+//! same way as changes in values of data objects".
+//!
+//! Run with: `cargo run -p decaf-apps --example chat_session`
+
+use decaf_core::{
+    Blueprint, EngineEvent, ObjectName, Transaction, TxnCtx, TxnError, UpdateNotification, View,
+    ViewMode,
+};
+use decaf_net::sim::{LatencyModel, SimTime};
+use decaf_vt::SiteId;
+use decaf_workload::SimWorld;
+
+struct Say {
+    room: ObjectName,
+    who: &'static str,
+    text: &'static str,
+}
+
+impl Transaction for Say {
+    fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+        ctx.list_push(
+            self.room,
+            Blueprint::Tuple(vec![
+                ("who".into(), Blueprint::str(self.who)),
+                ("text".into(), Blueprint::str(self.text)),
+            ]),
+        )?;
+        Ok(())
+    }
+}
+
+/// Announces membership changes from the association object.
+struct MembershipBanner {
+    assoc: ObjectName,
+}
+
+impl View for MembershipBanner {
+    fn update(&mut self, n: &UpdateNotification<'_>) {
+        if let Ok(rels) = n.read_assoc(self.assoc) {
+            for rel in rels {
+                println!(
+                    "  ** room '{}' now has {} member(s)",
+                    rel.description,
+                    rel.members.len()
+                );
+            }
+        }
+    }
+}
+
+fn transcript(world: &mut SimWorld, site: SiteId, room: ObjectName) -> Vec<String> {
+    let msgs = world.site(site).list_children_current(room);
+    msgs.into_iter()
+        .map(|m| {
+            let fields = world.site(site).tuple_children_current(m);
+            let mut get = |key: &str| {
+                fields
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .and_then(|(_, c)| world.site(site).read_str_committed(*c))
+                    .unwrap_or_default()
+            };
+            format!("<{}> {}", get("who"), get("text"))
+        })
+        .collect()
+}
+
+fn main() {
+    println!("Chat session with dynamic joins: 3 users, 50 ms latency\n");
+    let mut world = SimWorld::new(3, LatencyModel::uniform(SimTime::from_millis(50)));
+
+    // The host (site 1) creates the room and publishes an invitation.
+    let room1 = world.site(SiteId(1)).create_list();
+    let assoc = world.site(SiteId(1)).create_association();
+    let rel = world
+        .site(SiteId(1))
+        .create_relation(assoc, "rust-chat", room1)
+        .expect("create relation");
+    world.site(SiteId(1)).attach_view(
+        Box::new(MembershipBanner { assoc }),
+        &[assoc],
+        ViewMode::Pessimistic,
+    );
+    world.run_to_quiescence();
+    let invitation = world
+        .site(SiteId(1))
+        .make_invitation(assoc, rel)
+        .expect("make invitation");
+
+    world.site(SiteId(1)).execute(Box::new(Say {
+        room: room1,
+        who: "host",
+        text: "welcome to the room",
+    }));
+    world.run_to_quiescence();
+
+    // Bob imports the invitation and joins; he adopts the backlog.
+    println!("\nbob joins:");
+    let room2 = world.site(SiteId(2)).create_list();
+    world
+        .site(SiteId(2))
+        .join(invitation, room2)
+        .expect("join starts");
+    world.run_to_quiescence();
+    let joined = world.log.iter().any(|e| {
+        matches!(e.event, EngineEvent::JoinCompleted { ok: true, .. }) && e.site == SiteId(2)
+    });
+    assert!(joined, "bob's join must complete");
+    println!("  bob's backlog: {:?}", transcript(&mut world, SiteId(2), room2));
+
+    world.site(SiteId(2)).execute(Box::new(Say {
+        room: room2,
+        who: "bob",
+        text: "hi all!",
+    }));
+    world.run_to_quiescence();
+
+    // Carol joins through the same invitation.
+    println!("\ncarol joins:");
+    let room3 = world.site(SiteId(3)).create_list();
+    world
+        .site(SiteId(3))
+        .join(invitation, room3)
+        .expect("join starts");
+    world.run_to_quiescence();
+    world.site(SiteId(3)).execute(Box::new(Say {
+        room: room3,
+        who: "carol",
+        text: "made it!",
+    }));
+    world.run_to_quiescence();
+
+    println!("\ntranscripts (all identical):");
+    for (who, site, room) in [
+        ("host", SiteId(1), room1),
+        ("bob", SiteId(2), room2),
+        ("carol", SiteId(3), room3),
+    ] {
+        println!("  {who}: {:?}", transcript(&mut world, site, room));
+    }
+    let t1 = transcript(&mut world, SiteId(1), room1);
+    let t2 = transcript(&mut world, SiteId(2), room2);
+    let t3 = transcript(&mut world, SiteId(3), room3);
+    assert_eq!(t1, t2);
+    assert_eq!(t2, t3);
+
+    // Bob leaves; messages no longer reach him.
+    println!("\nbob leaves; host keeps chatting:");
+    world.site(SiteId(2)).leave(room2).expect("leave");
+    world.run_to_quiescence();
+    world.site(SiteId(1)).execute(Box::new(Say {
+        room: room1,
+        who: "host",
+        text: "bye bob",
+    }));
+    world.run_to_quiescence();
+    println!(
+        "  host sees {} messages; bob still {}",
+        transcript(&mut world, SiteId(1), room1).len(),
+        transcript(&mut world, SiteId(2), room2).len()
+    );
+}

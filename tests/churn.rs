@@ -1,0 +1,175 @@
+//! Churn stress: members join and leave a live collaboration while updates
+//! keep flowing — the paper's "users join and leave collaborative sessions"
+//! motivation (§1) exercised end to end over the simulator.
+
+use decaf_core::{EngineEvent, ObjectName, Transaction, TxnCtx, TxnError};
+use decaf_net::sim::{LatencyModel, SimTime};
+use decaf_vt::SiteId;
+use decaf_workload::{ArrivalProcess, SimWorld, WorldStep};
+
+struct Add(ObjectName, i64);
+impl Transaction for Add {
+    fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+        let v = ctx.read_int(self.0)?;
+        ctx.write_int(self.0, v + self.1)
+    }
+}
+
+#[test]
+fn members_join_and_leave_under_sustained_load() {
+    let mut world = SimWorld::new(5, LatencyModel::uniform(SimTime::from_millis(20)));
+
+    // Site 1 hosts the session; sites 2..=5 will churn through it.
+    let counter1 = world.site(SiteId(1)).create_int(0);
+    let assoc = world.site(SiteId(1)).create_association();
+    let rel = world
+        .site(SiteId(1))
+        .create_relation(assoc, "session", counter1)
+        .expect("relation");
+    world.run_to_quiescence();
+    let invitation = world
+        .site(SiteId(1))
+        .make_invitation(assoc, rel)
+        .expect("invitation");
+
+    // Host updates continuously.
+    let mut host_arrivals = ArrivalProcess::poisson(2.0, 7);
+    let d = host_arrivals.next_delay();
+    world.set_timer(SiteId(1), d, 0);
+
+    let mut member_objs: Vec<Option<ObjectName>> = vec![None; 6];
+    let mut expected = 0i64;
+    let mut phase = 0u32;
+    let deadline = SimTime::from_secs(40);
+
+    // Churn script on a coarse timer at site 1 (token 99): every 4 s a
+    // membership event happens.
+    world.set_timer(SiteId(1), SimTime::from_secs(4), 99);
+
+    while let Some(step) = world.step() {
+        if world.now() > deadline {
+            break;
+        }
+        match step {
+            WorldStep::Timer { site: SiteId(1), token: 0, .. } => {
+                world.site(SiteId(1)).execute(Box::new(Add(counter1, 1)));
+                expected += 1;
+                let d = host_arrivals.next_delay();
+                world.set_timer(SiteId(1), d, 0);
+            }
+            WorldStep::Timer { token: 99, .. } => {
+                phase += 1;
+                match phase {
+                    // Sites 2, 3, 4 join in turn.
+                    1..=3 => {
+                        let sid = SiteId(phase + 1);
+                        let local = world.site(sid).create_int(0);
+                        member_objs[sid.0 as usize] = Some(local);
+                        world.site(sid).join(invitation, local).expect("join");
+                    }
+                    // Site 3 leaves; site 5 joins.
+                    4 => {
+                        let local = member_objs[3].expect("site 3 joined");
+                        world.site(SiteId(3)).leave(local).expect("leave");
+                    }
+                    5 => {
+                        let sid = SiteId(5);
+                        let local = world.site(sid).create_int(0);
+                        member_objs[5] = Some(local);
+                        world.site(sid).join(invitation, local).expect("join");
+                    }
+                    // A joined member contributes updates.
+                    6..=8 => {
+                        if let Some(obj) = member_objs[2] {
+                            world.site(SiteId(2)).execute(Box::new(Add(obj, 1)));
+                            expected += 1;
+                        }
+                    }
+                    _ => {}
+                }
+                world.set_timer(SiteId(1), SimTime::from_secs(4), 99);
+            }
+            _ => {}
+        }
+    }
+    world.run_to_quiescence();
+
+    // Every join that started completed.
+    let failed_joins = world
+        .log
+        .iter()
+        .filter(|e| matches!(e.event, EngineEvent::JoinCompleted { ok: false, .. }))
+        .count();
+    assert_eq!(failed_joins, 0, "no join may fail in this script");
+
+    // All *current* members agree on the committed value.
+    let host_value = world.site(SiteId(1)).read_int_committed(counter1);
+    assert_eq!(host_value, Some(expected), "host has every update");
+    for sid in [SiteId(2), SiteId(4), SiteId(5)] {
+        if let Some(obj) = member_objs[sid.0 as usize] {
+            assert_eq!(
+                world.site(sid).read_int_committed(obj),
+                host_value,
+                "member {sid} diverged"
+            );
+        }
+    }
+    // The leaver froze at its departure-time value (≤ the final value).
+    if let Some(obj3) = member_objs[3] {
+        let left_at = world.site(SiteId(3)).read_int_committed(obj3);
+        assert!(left_at <= host_value, "leaver cannot be ahead");
+    }
+    // Graph reflects the final membership: sites 1, 2, 4, 5.
+    assert_eq!(
+        world
+            .site(SiteId(1))
+            .replication_graph(counter1)
+            .expect("graph")
+            .len(),
+        4
+    );
+}
+
+#[test]
+fn rapid_sequential_joins_preserve_graph_consistency() {
+    let mut world = SimWorld::new(6, LatencyModel::uniform(SimTime::from_millis(10)));
+    let counter1 = world.site(SiteId(1)).create_int(42);
+    let assoc = world.site(SiteId(1)).create_association();
+    let rel = world
+        .site(SiteId(1))
+        .create_relation(assoc, "burst", counter1)
+        .expect("relation");
+    world.run_to_quiescence();
+    let invitation = world
+        .site(SiteId(1))
+        .make_invitation(assoc, rel)
+        .expect("invitation");
+
+    // Five joins back-to-back, each waiting only for its own completion.
+    let mut objs = vec![counter1];
+    for sid in 2..=6u32 {
+        let local = world.site(SiteId(sid)).create_int(0);
+        world.site(SiteId(sid)).join(invitation, local).expect("join");
+        world.run_to_quiescence();
+        objs.push(local);
+    }
+    for (i, obj) in objs.iter().enumerate() {
+        let sid = SiteId(i as u32 + 1);
+        assert_eq!(
+            world.site(sid).replication_graph(*obj).expect("graph").len(),
+            6,
+            "graph at {sid}"
+        );
+        assert_eq!(world.site(sid).read_int_committed(*obj), Some(42));
+    }
+    // One update fans out to all six members.
+    let o6 = objs[5];
+    world.site(SiteId(6)).execute(Box::new(Add(o6, 8)));
+    world.run_to_quiescence();
+    for (i, obj) in objs.iter().enumerate() {
+        assert_eq!(
+            world.site(SiteId(i as u32 + 1)).read_int_committed(*obj),
+            Some(50)
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Integration: the full collaboration lifecycle over the simulator —
+//! create, invite, join (with backlog adoption), collaborate, leave, fail —
+//! across crates (§2.6, §3.3, §3.4).
+
+use decaf_core::{
+    Blueprint, EngineEvent, ObjectName, Transaction, TxnCtx, TxnError,
+};
+use decaf_net::sim::{LatencyModel, SimTime};
+use decaf_vt::SiteId;
+use decaf_workload::SimWorld;
+
+struct Push(ObjectName, i64);
+impl Transaction for Push {
+    fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+        ctx.list_push(self.0, Blueprint::Int(self.1))?;
+        Ok(())
+    }
+}
+
+struct Add(ObjectName, i64);
+impl Transaction for Add {
+    fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+        let v = ctx.read_int(self.0)?;
+        ctx.write_int(self.0, v + self.1)
+    }
+}
+
+fn list_ints(world: &mut SimWorld, site: SiteId, list: ObjectName) -> Vec<i64> {
+    let children = world.site(site).list_children_current(list);
+    children
+        .into_iter()
+        .filter_map(|c| world.site(site).read_int_committed(c))
+        .collect()
+}
+
+#[test]
+fn full_lifecycle_over_simulated_network() {
+    let mut world = SimWorld::new(4, LatencyModel::uniform(SimTime::from_millis(35)));
+
+    // Host builds a document and publishes an invitation.
+    let doc1 = world.site(SiteId(1)).create_list();
+    for v in [10, 20] {
+        world.site(SiteId(1)).execute(Box::new(Push(doc1, v)));
+    }
+    let assoc = world.site(SiteId(1)).create_association();
+    let rel = world
+        .site(SiteId(1))
+        .create_relation(assoc, "doc", doc1)
+        .expect("relation");
+    world.run_to_quiescence();
+    let invitation = world
+        .site(SiteId(1))
+        .make_invitation(assoc, rel)
+        .expect("invitation");
+
+    // Three users join in sequence over the network.
+    let mut docs = vec![doc1];
+    for site in [SiteId(2), SiteId(3), SiteId(4)] {
+        let local = world.site(site).create_list();
+        world.site(site).join(invitation, local).expect("join starts");
+        world.run_to_quiescence();
+        let ok = world.log.iter().any(|e| {
+            e.site == site && matches!(e.event, EngineEvent::JoinCompleted { ok: true, .. })
+        });
+        assert!(ok, "join from {site} must complete");
+        assert_eq!(
+            list_ints(&mut world, site, local),
+            vec![10, 20],
+            "backlog adopted at {site}"
+        );
+        docs.push(local);
+    }
+    for (i, doc) in docs.iter().enumerate() {
+        assert_eq!(
+            world
+                .site(SiteId(i as u32 + 1))
+                .replication_graph(*doc)
+                .expect("graph")
+                .len(),
+            4
+        );
+    }
+
+    // Everyone appends; all replicas converge.
+    for (i, doc) in docs.iter().enumerate() {
+        let site = SiteId(i as u32 + 1);
+        world.site(site).execute(Box::new(Push(*doc, 100 + i as i64)));
+    }
+    world.run_to_quiescence();
+    let reference = list_ints(&mut world, SiteId(1), docs[0]);
+    assert_eq!(reference.len(), 6);
+    for (i, doc) in docs.iter().enumerate() {
+        assert_eq!(
+            list_ints(&mut world, SiteId(i as u32 + 1), *doc),
+            reference,
+            "replica {i} diverged"
+        );
+    }
+
+    // Site 4 leaves; the rest keep working.
+    world.site(SiteId(4)).leave(docs[3]).expect("leave");
+    world.run_to_quiescence();
+    assert_eq!(
+        world.site(SiteId(1)).replication_graph(docs[0]).expect("graph").len(),
+        3
+    );
+    world.site(SiteId(2)).execute(Box::new(Push(docs[1], 999)));
+    world.run_to_quiescence();
+    assert_eq!(list_ints(&mut world, SiteId(1), docs[0]).len(), 7);
+    assert_eq!(
+        list_ints(&mut world, SiteId(4), docs[3]).len(),
+        6,
+        "the leaver no longer receives updates"
+    );
+
+    // Site 3 crashes; survivors repair and continue.
+    world.fail_site(SiteId(3));
+    world.run_to_quiescence();
+    assert_eq!(
+        world.site(SiteId(1)).replication_graph(docs[0]).expect("graph").len(),
+        2
+    );
+    world.site(SiteId(1)).execute(Box::new(Push(docs[0], 1234)));
+    world.run_to_quiescence();
+    assert_eq!(
+        list_ints(&mut world, SiteId(1), docs[0]),
+        list_ints(&mut world, SiteId(2), docs[1]),
+    );
+}
+
+#[test]
+fn join_and_scalar_counter_session() {
+    // A second lifecycle focused on read-write counters and a later join
+    // observing the adopted value mid-stream.
+    let mut world = SimWorld::new(3, LatencyModel::uniform(SimTime::from_millis(15)));
+    let counter1 = world.site(SiteId(1)).create_int(0);
+    let assoc = world.site(SiteId(1)).create_association();
+    let rel = world
+        .site(SiteId(1))
+        .create_relation(assoc, "tally", counter1)
+        .expect("relation");
+    world.run_to_quiescence();
+    let invitation = world
+        .site(SiteId(1))
+        .make_invitation(assoc, rel)
+        .expect("invitation");
+
+    let counter2 = world.site(SiteId(2)).create_int(0);
+    world
+        .site(SiteId(2))
+        .join(invitation, counter2)
+        .expect("join");
+    world.run_to_quiescence();
+
+    for _ in 0..5 {
+        world.site(SiteId(1)).execute(Box::new(Add(counter1, 1)));
+        world.run_to_quiescence();
+        world.site(SiteId(2)).execute(Box::new(Add(counter2, 1)));
+        world.run_to_quiescence();
+    }
+    assert_eq!(world.site(SiteId(1)).read_int_committed(counter1), Some(10));
+
+    // Third user joins late and sees 10 immediately.
+    let counter3 = world.site(SiteId(3)).create_int(0);
+    world
+        .site(SiteId(3))
+        .join(invitation, counter3)
+        .expect("join");
+    world.run_to_quiescence();
+    assert_eq!(world.site(SiteId(3)).read_int_committed(counter3), Some(10));
+
+    world.site(SiteId(3)).execute(Box::new(Add(counter3, 5)));
+    world.run_to_quiescence();
+    for (site, c) in [(SiteId(1), counter1), (SiteId(2), counter2), (SiteId(3), counter3)] {
+        assert_eq!(world.site(site).read_int_committed(c), Some(15));
+    }
+}

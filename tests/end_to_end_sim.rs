@@ -1,0 +1,354 @@
+//! Cross-crate integration: DECAF sites on the deterministic simulator
+//! under sustained mixed workloads — convergence, view guarantees, GC, and
+//! latency shapes, all in one run.
+
+use decaf_core::{RecordingView, ScalarValue, ViewEvent, ViewMode};
+use decaf_net::sim::{LatencyModel, SimTime};
+use decaf_vt::SiteId;
+use decaf_workload::{
+    ArrivalProcess, BlindWrite, LatencyTracker, ReadModifyWrite, SimWorld, WorldStep,
+};
+
+#[test]
+fn sustained_mixed_workload_converges_with_correct_views() {
+    let mut world = SimWorld::new(3, LatencyModel::uniform(SimTime::from_millis(40)));
+    let objs = world.wire_int(0);
+
+    // A pessimistic ledger at site 3 and an optimistic screen at site 1.
+    let ledger = RecordingView::new(vec![objs[2]]);
+    let ledger_log = ledger.log();
+    world
+        .site(SiteId(3))
+        .attach_view(Box::new(ledger), &[objs[2]], ViewMode::Pessimistic);
+    let screen = RecordingView::new(vec![objs[0]]);
+    world
+        .site(SiteId(1))
+        .attach_view(Box::new(screen), &[objs[0]], ViewMode::Optimistic);
+
+    // Sites 1 and 2 run read-modify-writes; site 3 blind-writes markers.
+    let mut arrivals = [
+        ArrivalProcess::poisson(1.0, 11),
+        ArrivalProcess::poisson(0.7, 22),
+        ArrivalProcess::poisson(0.3, 33),
+    ];
+    for i in 0..3u32 {
+        let d = arrivals[i as usize].next_delay();
+        world.set_timer(SiteId(i + 1), d, 0);
+    }
+    let deadline = SimTime::from_secs(60);
+    let mut marker = 1000i64;
+    while let Some(step) = world.step() {
+        if world.now() > deadline {
+            break;
+        }
+        if let WorldStep::Timer { site, .. } = step {
+            let idx = (site.0 - 1) as usize;
+            let obj = objs[idx];
+            if site == SiteId(3) {
+                marker += 1;
+                world
+                    .site(site)
+                    .execute(Box::new(BlindWrite { object: obj, value: marker }));
+            } else {
+                world
+                    .site(site)
+                    .execute(Box::new(ReadModifyWrite { object: obj, delta: 1 }));
+            }
+            let d = arrivals[idx].next_delay();
+            world.set_timer(site, d, 0);
+        }
+    }
+    world.run_to_quiescence();
+
+    // Convergence: all replicas agree on committed and current values.
+    let committed: Vec<Option<i64>> = (0..3)
+        .map(|i| world.site(SiteId(i + 1)).read_int_committed(objs[i as usize]))
+        .collect();
+    assert!(
+        committed.windows(2).all(|w| w[0] == w[1]),
+        "replicas diverged: {committed:?}"
+    );
+
+    // GC: histories stay bounded at quiescence. Retention above the
+    // peer-message horizon is by design (it is the RL/NC evidence against
+    // racing stale writes), so the bound is a small lag window — far below
+    // the hundreds of updates the run performed.
+    for i in 0..3 {
+        let len = world.site(SiteId(i + 1)).history_len(objs[i as usize]);
+        assert!(len <= 40, "history not collected at site {}: {len}", i + 1);
+    }
+
+    // The pessimistic ledger's last value equals the committed state, and
+    // it never saw a Commit event (only committed updates).
+    let events = ledger_log.lock().unwrap();
+    assert!(!events.iter().any(|e| matches!(e, ViewEvent::Commit)));
+    let last = events
+        .iter()
+        .rev()
+        .find_map(|e| match e {
+            ViewEvent::Update { values, .. } => values.first().map(|(_, v)| v.clone()),
+            _ => None,
+        })
+        .expect("ledger saw updates");
+    assert_eq!(Some(last), committed[2].map(ScalarValue::Int));
+
+    // The workload actually exercised optimism: some work committed, and
+    // there were some conflicts + retries that all resolved.
+    let totals = world.total_stats();
+    assert!(totals.txns_committed > 50, "{totals}");
+    assert_eq!(
+        totals.txns_started,
+        totals.txns_committed + totals.txns_aborted_user,
+        "every started txn eventually committed (conflict aborts retried): {totals}"
+    );
+}
+
+#[test]
+fn commit_latencies_scale_linearly_with_network_latency() {
+    // 2t at the originator across a latency sweep: the E1 shape, asserted.
+    let mut previous = 0.0;
+    for t_ms in [10u64, 20, 40] {
+        let mut world = SimWorld::new(2, LatencyModel::uniform(SimTime::from_millis(t_ms)));
+        let objs = world.wire_int(0);
+        let obj = objs[1];
+        world
+            .site(SiteId(2))
+            .execute(Box::new(ReadModifyWrite { object: obj, delta: 1 }));
+        world.run_to_quiescence();
+        let mut lt = LatencyTracker::new();
+        lt.ingest(&world.log);
+        let origin = LatencyTracker::mean_ms(&lt.at_origin);
+        assert!(
+            (origin - 2.0 * t_ms as f64).abs() < 1e-9,
+            "t={t_ms}: origin commit {origin} != 2t"
+        );
+        assert!(origin > previous);
+        previous = origin;
+    }
+}
+
+#[test]
+fn jittered_latency_still_converges() {
+    let model = LatencyModel::uniform(SimTime::from_millis(30)).with_jitter(0.3, 99);
+    let mut world = SimWorld::new(3, LatencyModel::uniform(SimTime::from_millis(30)));
+    world.net = decaf_net::sim::SimNet::new(model);
+    let objs = world.wire_int(0);
+    for round in 0..10 {
+        let site = SiteId(round % 3 + 1);
+        let obj = objs[(site.0 - 1) as usize];
+        world
+            .site(site)
+            .execute(Box::new(ReadModifyWrite { object: obj, delta: 1 }));
+        world.run_to_quiescence();
+    }
+    for i in 0..3 {
+        assert_eq!(
+            world.site(SiteId(i + 1)).read_int_committed(objs[i as usize]),
+            Some(10)
+        );
+    }
+}
+
+#[test]
+fn failure_mid_workload_recovers_and_continues() {
+    let mut world = SimWorld::new(3, LatencyModel::uniform(SimTime::from_millis(20)));
+    let objs = world.wire_int(0);
+    // Some committed traffic first.
+    for _ in 0..3 {
+        let obj = objs[1];
+        world
+            .site(SiteId(2))
+            .execute(Box::new(ReadModifyWrite { object: obj, delta: 1 }));
+        world.run_to_quiescence();
+    }
+    // Kill the primary while a transaction is in flight.
+    let obj3 = objs[2];
+    world
+        .site(SiteId(3))
+        .execute(Box::new(ReadModifyWrite { object: obj3, delta: 1 }));
+    world.fail_site(SiteId(1));
+    world.run_to_quiescence();
+
+    let v2 = world.site(SiteId(2)).read_int_committed(objs[1]);
+    let v3 = world.site(SiteId(3)).read_int_committed(objs[2]);
+    assert_eq!(v2, v3, "survivors agree after primary failure");
+    // Post-recovery progress.
+    let obj2 = objs[1];
+    world
+        .site(SiteId(2))
+        .execute(Box::new(ReadModifyWrite { object: obj2, delta: 10 }));
+    world.run_to_quiescence();
+    assert_eq!(
+        world.site(SiteId(2)).read_int_committed(objs[1]),
+        world.site(SiteId(3)).read_int_committed(objs[2]),
+    );
+}
+
+#[test]
+fn partition_surfaced_as_failure_then_rejoin() {
+    // The paper's disconnection model (§3.4): "connectivity to a client may
+    // also be lost ... presented to the application as fail-stop failures;
+    // further communication with failed or disconnected clients is
+    // prevented by the communication layer until these clients rejoin the
+    // collaboration by going through a join protocol as new members."
+    let mut world = SimWorld::new(3, LatencyModel::uniform(SimTime::from_millis(15)));
+    let objs = world.wire_int(0);
+    // An association to rejoin through later.
+    let assoc = world.site(SiteId(1)).create_association();
+    let rel = world
+        .site(SiteId(1))
+        .create_relation(assoc, "doc", objs[0])
+        .expect("relation");
+    world.run_to_quiescence();
+
+    let obj1 = objs[0];
+    world
+        .site(SiteId(1))
+        .execute(Box::new(ReadModifyWrite { object: obj1, delta: 1 }));
+    world.run_to_quiescence();
+
+    // Site 3's modem drops: sever its links, then (per the model) surface
+    // it as a fail-stop to the survivors.
+    world.net.set_link_down(SiteId(1), SiteId(3));
+    world.net.set_link_down(SiteId(2), SiteId(3));
+    world.site(SiteId(1)).notify_site_failed(SiteId(3));
+    world.site(SiteId(2)).notify_site_failed(SiteId(3));
+    world.run_to_quiescence();
+    assert_eq!(
+        world
+            .site(SiteId(1))
+            .replication_graph(objs[0])
+            .expect("graph")
+            .len(),
+        2
+    );
+
+    // Survivors continue.
+    world
+        .site(SiteId(2))
+        .execute(Box::new(ReadModifyWrite { object: objs[1], delta: 10 }));
+    world.run_to_quiescence();
+    assert_eq!(world.site(SiteId(1)).read_int_committed(objs[0]), Some(11));
+    assert_eq!(
+        world.site(SiteId(3)).read_int_committed(objs[2]),
+        Some(1),
+        "the disconnected site is frozen at its last state"
+    );
+
+    // The modem reconnects: heal the links, rejoin as a new member.
+    world.net.set_link_up(SiteId(1), SiteId(3));
+    world.net.set_link_up(SiteId(2), SiteId(3));
+    let invitation = world
+        .site(SiteId(1))
+        .make_invitation(assoc, rel)
+        .expect("invitation");
+    let fresh = world.site(SiteId(3)).create_int(0);
+    world
+        .site(SiteId(3))
+        .join(invitation, fresh)
+        .expect("join starts");
+    world.run_to_quiescence();
+    assert_eq!(
+        world.site(SiteId(3)).read_int_committed(fresh),
+        Some(11),
+        "rejoined member catches up"
+    );
+    world
+        .site(SiteId(3))
+        .execute(Box::new(ReadModifyWrite { object: fresh, delta: 100 }));
+    world.run_to_quiescence();
+    assert_eq!(world.site(SiteId(1)).read_int_committed(objs[0]), Some(111));
+    assert_eq!(world.site(SiteId(2)).read_int_committed(objs[1]), Some(111));
+}
+
+#[test]
+fn five_site_soak_with_views_everywhere() {
+    use decaf_core::RecordingView;
+    // Five sites, one shared counter, views of both modes at every site,
+    // mixed sustained workload: the full stack soaked at once.
+    let mut world = SimWorld::new(5, LatencyModel::uniform(SimTime::from_millis(30)));
+    let objs = world.wire_int(0);
+    let mut pess_logs = Vec::new();
+    for i in 0..5u32 {
+        let site = SiteId(i + 1);
+        let watch = vec![objs[i as usize]];
+        world.site(site).attach_view(
+            Box::new(RecordingView::new(watch.clone())),
+            &watch,
+            ViewMode::Optimistic,
+        );
+        let pess = RecordingView::new(watch.clone());
+        pess_logs.push(pess.log());
+        world
+            .site(site)
+            .attach_view(Box::new(pess), &watch, ViewMode::Pessimistic);
+    }
+    let mut arrivals: Vec<ArrivalProcess> = (0..5)
+        .map(|i| ArrivalProcess::poisson(0.8, 100 + i as u64))
+        .collect();
+    for i in 0..5u32 {
+        let d = arrivals[i as usize].next_delay();
+        world.set_timer(SiteId(i + 1), d, 0);
+    }
+    let deadline = SimTime::from_secs(90);
+    while let Some(step) = world.step() {
+        if world.now() > deadline {
+            break;
+        }
+        if let WorldStep::Timer { site, .. } = step {
+            let idx = (site.0 - 1) as usize;
+            let kind_blind = (site.0 + (world.now().as_micros() as u32 / 1000)) % 3 == 0;
+            let obj = objs[idx];
+            if kind_blind {
+                world
+                    .site(site)
+                    .execute(Box::new(BlindWrite { object: obj, value: site.0 as i64 }));
+            } else {
+                world
+                    .site(site)
+                    .execute(Box::new(ReadModifyWrite { object: obj, delta: 1 }));
+            }
+            let d = arrivals[idx].next_delay();
+            world.set_timer(site, d, 0);
+        }
+    }
+    world.run_to_quiescence();
+
+    // Convergence at all five sites.
+    let reference = world.site(SiteId(1)).read_int_committed(objs[0]);
+    for i in 1..5u32 {
+        assert_eq!(
+            world.site(SiteId(i + 1)).read_int_committed(objs[i as usize]),
+            reference,
+            "site {} diverged",
+            i + 1
+        );
+    }
+    // Every site quiescent and bounded.
+    for i in 0..5u32 {
+        let site = SiteId(i + 1);
+        assert!(
+            world.site(site).is_quiescent(),
+            "site {site} stuck: {}",
+            world.site(site).debug_stuck()
+        );
+        assert!(world.site(site).history_len(objs[i as usize]) <= 48);
+    }
+    // Pessimistic ledgers: each site's last shown value equals the final
+    // committed value.
+    for (i, log) in pess_logs.iter().enumerate() {
+        let events = log.lock().expect("log");
+        let last = events.iter().rev().find_map(|e| match e {
+            ViewEvent::Update { values, .. } => values.first().map(|(_, v)| v.clone()),
+            _ => None,
+        });
+        assert_eq!(
+            last,
+            reference.map(ScalarValue::Int),
+            "site {}'s ledger ended wrong",
+            i + 1
+        );
+    }
+    let totals = world.total_stats();
+    assert!(totals.txns_committed > 200, "substantial load ran: {totals}");
+}

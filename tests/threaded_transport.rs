@@ -1,0 +1,119 @@
+//! Integration: the sans-I/O engine under *real* thread concurrency on the
+//! crossbeam-channel transport, mirroring the paper's one-JVM-per-user
+//! deployment.
+
+use std::time::Duration;
+
+use decaf_core::{wiring, Envelope, ObjectName, Site, Transaction, TxnCtx, TxnError};
+use decaf_net::threaded::ThreadedNet;
+use decaf_vt::SiteId;
+
+struct Incr(ObjectName);
+impl Transaction for Incr {
+    fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+        let v = ctx.read_int(self.0)?;
+        ctx.write_int(self.0, v + 1)
+    }
+}
+
+struct Blind(ObjectName, i64);
+impl Transaction for Blind {
+    fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+        ctx.write_int(self.0, self.1)
+    }
+}
+
+/// Runs `sites` threads, each submitting `work(site_index)` transactions,
+/// then pumping until global quiescence; returns each site's committed
+/// value.
+fn run_threads(
+    n: u32,
+    per_site: i64,
+    blind: bool,
+) -> Vec<Option<i64>> {
+    let mut net: ThreadedNet<Envelope> = ThreadedNet::new(n as usize, Duration::from_millis(1));
+    let mut sites: Vec<Site> = (0..n).map(|i| Site::new(SiteId(i))).collect();
+    let objs: Vec<ObjectName> = sites.iter_mut().map(|s| s.create_int(0)).collect();
+    {
+        let mut parts: Vec<(&mut Site, ObjectName)> =
+            sites.iter_mut().zip(objs.iter().copied()).collect();
+        wiring::wire_replicas(&mut parts);
+    }
+    let mut handles = Vec::new();
+    for (idx, (mut site, obj)) in sites.into_iter().zip(objs).enumerate() {
+        let endpoint = net.endpoint(site.id());
+        handles.push(std::thread::spawn(move || {
+            let mut submitted = 0i64;
+            let mut last: Option<decaf_core::TxnHandle> = None;
+            let mut idle = 0u32;
+            loop {
+                // Pace like a user: next gesture once the previous decided.
+                let prior_done = last
+                    .map(|h| site.txn_outcome(h).is_some())
+                    .unwrap_or(true);
+                if submitted < per_site && prior_done {
+                    let h = if blind {
+                        site.execute(Box::new(Blind(obj, (idx as i64) * 1000 + submitted)))
+                    } else {
+                        site.execute(Box::new(Incr(obj)))
+                    };
+                    last = Some(h);
+                    submitted += 1;
+                }
+                for env in site.drain_outbox() {
+                    endpoint.send(env.to, env);
+                }
+                let mut got = false;
+                while let Some(incoming) = endpoint.try_recv() {
+                    got = true;
+                    site.handle_message(incoming.msg);
+                }
+                for env in site.drain_outbox() {
+                    endpoint.send(env.to, env);
+                }
+                if submitted >= per_site && !got && site.is_quiescent() {
+                    idle += 1;
+                    if idle > 300 {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                } else {
+                    idle = 0;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+            site.read_int_committed(obj)
+        }));
+    }
+    let out = handles
+        .into_iter()
+        .map(|h| h.join().expect("site thread panicked"))
+        .collect();
+    net.shutdown();
+    out
+}
+
+#[test]
+fn concurrent_increments_from_three_threads_are_exact() {
+    let values = run_threads(3, 10, false);
+    for v in &values {
+        assert_eq!(*v, Some(30), "every replica must read 3 * 10: {values:?}");
+    }
+}
+
+#[test]
+fn concurrent_blind_writes_from_four_threads_converge() {
+    let values = run_threads(4, 8, true);
+    assert!(values[0].is_some());
+    for v in &values {
+        assert_eq!(*v, values[0], "replicas must converge: {values:?}");
+    }
+}
+
+#[test]
+fn two_threads_higher_volume() {
+    let values = run_threads(2, 40, false);
+    for v in &values {
+        assert_eq!(*v, Some(80), "{values:?}");
+    }
+}

@@ -1,0 +1,261 @@
+//! `decaf-site`: one DECAF replica as a standalone OS process on the TCP
+//! mesh — the deployment shape of the paper's prototype (one JVM per user,
+//! §5.2), reproduced over [`decaf_net::tcp`].
+//!
+//! Every process hosts one [`Site`], one shared replicated integer counter
+//! (pre-wired across the mesh from the peer table, exactly the state a
+//! committed join would have produced), and a driver loop that pumps the
+//! sans-I/O engine against the socket mesh.
+//!
+//! ```text
+//! decaf-site --site 1 --listen 127.0.0.1:7101 \
+//!            --peer 2=127.0.0.1:7102 --peer 3=127.0.0.1:7103 \
+//!            --txns 5 [--on-fail-txns 2] [--linger-ms 1500]
+//! ```
+//!
+//! Phases:
+//!
+//! 1. Submit `--txns` increment transactions, paced on the previous
+//!    outcome, and wait until the committed counter reaches
+//!    `txns × sites` (override: `--phase1-target`). Prints
+//!    `phase1-done value=V`.
+//! 2. If `--on-fail-txns K` is set: on a transport `SiteFailed`
+//!    notification the failure is handed to the engine (§3.4 recovery),
+//!    `site-failed S` is printed, K more increments are submitted, and the
+//!    process waits for `phase1 + K × survivors` (override:
+//!    `--final-target`). Prints `final value=V`.
+//!
+//! After finishing it keeps pumping for `--linger-ms` so slower peers can
+//! still converge, then exits 0. Exit codes: 0 done, 1 timeout, 2 usage.
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use decaf_core::{wiring, NodeRef, ObjectName, Site, Transaction, TxnCtx, TxnError, TxnHandle};
+use decaf_net::tcp::{TcpConfig, TcpMesh};
+use decaf_net::{TransportEndpoint, TransportEvent};
+use decaf_vt::SiteId;
+
+/// The daemon's workload: increment the shared counter by one.
+struct Incr(ObjectName);
+
+impl Transaction for Incr {
+    fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+        let v = ctx.read_int(self.0)?;
+        ctx.write_int(self.0, v + 1)
+    }
+}
+
+#[derive(Debug)]
+struct Args {
+    site: u32,
+    listen: SocketAddr,
+    peers: BTreeMap<u32, SocketAddr>,
+    txns: u64,
+    on_fail_txns: u64,
+    phase1_target: Option<i64>,
+    final_target: Option<i64>,
+    linger_ms: u64,
+    max_runtime_ms: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: decaf-site --site <id> --listen <addr> [--peer <id>=<addr>]... \\\n\
+         \x20                [--txns N] [--on-fail-txns K] [--phase1-target V] \\\n\
+         \x20                [--final-target V] [--linger-ms MS] [--max-runtime-ms MS]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut site = None;
+    let mut listen = None;
+    let mut peers = BTreeMap::new();
+    let mut txns = 0u64;
+    let mut on_fail_txns = 0u64;
+    let mut phase1_target = None;
+    let mut final_target = None;
+    let mut linger_ms = 1500u64;
+    let mut max_runtime_ms = 120_000u64;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = || argv.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--site" => site = value().parse().ok(),
+            "--listen" => listen = value().parse().ok(),
+            "--peer" => {
+                let v = value();
+                let Some((id, addr)) = v.split_once('=') else {
+                    usage();
+                };
+                let (Ok(id), Ok(addr)) = (id.parse::<u32>(), addr.parse::<SocketAddr>()) else {
+                    usage();
+                };
+                peers.insert(id, addr);
+            }
+            "--txns" => txns = value().parse().unwrap_or_else(|_| usage()),
+            "--on-fail-txns" => on_fail_txns = value().parse().unwrap_or_else(|_| usage()),
+            "--phase1-target" => phase1_target = value().parse().ok(),
+            "--final-target" => final_target = value().parse().ok(),
+            "--linger-ms" => linger_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--max-runtime-ms" => max_runtime_ms = value().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    let (Some(site), Some(listen)) = (site, listen) else {
+        usage();
+    };
+    Args {
+        site,
+        listen,
+        peers,
+        txns,
+        on_fail_txns,
+        phase1_target,
+        final_target,
+        linger_ms,
+        max_runtime_ms,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let site_id = SiteId(args.site);
+
+    // --- engine: one site, one shared counter, pre-wired replicas ---
+    let mut site = Site::new(site_id);
+    let obj = site.create_int(0); // first object at each site: (site, seq 0)
+    let mut ids: Vec<u32> = args.peers.keys().copied().collect();
+    ids.push(args.site);
+    ids.sort_unstable();
+    ids.dedup();
+    let n_sites = ids.len() as i64;
+    if ids.len() >= 2 {
+        // Every process derives the identical graph from the shared peer
+        // table: replica i is the first object created at site i.
+        let nodes: Vec<NodeRef> = ids
+            .iter()
+            .map(|&i| NodeRef::new(SiteId(i), ObjectName::new(SiteId(i), 0)))
+            .collect();
+        site.install_replica_graph(obj, wiring::replica_graph_over(&nodes));
+    }
+
+    // --- transport: TCP mesh over the peer table ---
+    let mut cfg = TcpConfig::new(site_id, args.listen);
+    for (&id, &addr) in &args.peers {
+        cfg = cfg.peer(SiteId(id), addr);
+    }
+    let mut mesh = match TcpMesh::start(cfg) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("decaf-site {}: cannot bind {}: {e}", args.site, args.listen);
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "decaf-site {} listening on {}",
+        args.site,
+        mesh.local_addr()
+    );
+    let endpoint = mesh.endpoint();
+
+    let phase1_target = args.phase1_target.unwrap_or(args.txns as i64 * n_sites);
+    let start = Instant::now();
+    let max_runtime = Duration::from_millis(args.max_runtime_ms);
+
+    let mut last: Option<TxnHandle> = None;
+    let mut phase1_submitted = 0u64;
+    let mut phase2_submitted = 0u64;
+    let mut failed_sites: Vec<SiteId> = Vec::new();
+    let mut phase1_done = args.txns == 0 && phase1_target == 0;
+    let mut finished_at: Option<Instant> = None;
+
+    loop {
+        if start.elapsed() > max_runtime {
+            eprintln!(
+                "decaf-site {}: timeout after {:?}; committed={:?} transport: {}",
+                args.site,
+                start.elapsed(),
+                site.read_int_committed(obj),
+                mesh.stats()
+            );
+            std::process::exit(1);
+        }
+
+        // Submit work, paced like a user: next gesture once the previous
+        // transaction's outcome is decided.
+        let prior_done = last.map(|h| site.txn_outcome(h).is_some()).unwrap_or(true);
+        if prior_done && finished_at.is_none() {
+            if phase1_submitted < args.txns {
+                last = Some(site.execute(Box::new(Incr(obj))));
+                phase1_submitted += 1;
+            } else if phase1_done
+                && !failed_sites.is_empty()
+                && phase2_submitted < args.on_fail_txns
+            {
+                last = Some(site.execute(Box::new(Incr(obj))));
+                phase2_submitted += 1;
+            }
+        }
+
+        // Pump: engine outbox -> sockets, sockets -> engine.
+        for env in site.drain_outbox() {
+            endpoint.send(env.to, env);
+        }
+        // Block briefly for the first event (doubles as loop pacing), then
+        // drain whatever else arrived.
+        let mut events = Vec::new();
+        if let Some(first) = endpoint.recv_timeout(Duration::from_millis(1)) {
+            events.push(first);
+            while let Some(more) = endpoint.try_recv() {
+                events.push(more);
+            }
+        }
+        for event in events {
+            match event {
+                TransportEvent::Message { msg, .. } => site.handle_message(msg),
+                TransportEvent::SiteFailed { failed } => {
+                    println!("site-failed {}", failed.0);
+                    site.notify_site_failed(failed);
+                    failed_sites.push(failed);
+                }
+            }
+        }
+        for env in site.drain_outbox() {
+            endpoint.send(env.to, env);
+        }
+        let _ = site.drain_events();
+
+        // Phase transitions.
+        let committed = site.read_int_committed(obj).unwrap_or(0);
+        if !phase1_done && committed >= phase1_target {
+            phase1_done = true;
+            println!("phase1-done value={committed}");
+        }
+        if phase1_done && finished_at.is_none() {
+            let survivors = n_sites - failed_sites.len() as i64;
+            let final_target = args
+                .final_target
+                .unwrap_or(phase1_target + args.on_fail_txns as i64 * survivors);
+            let phase2_quota_met =
+                args.on_fail_txns == 0 || (!failed_sites.is_empty() && committed >= final_target);
+            if phase2_quota_met && committed >= final_target {
+                finished_at = Some(Instant::now());
+                println!("final value={committed}");
+                println!("transport: {}", mesh.stats());
+                println!("engine: {}", site.stats());
+            }
+        }
+
+        // Linger after finishing so slower peers can still converge off us.
+        if let Some(at) = finished_at {
+            if at.elapsed() > Duration::from_millis(args.linger_ms) {
+                break;
+            }
+        }
+    }
+    mesh.shutdown();
+}

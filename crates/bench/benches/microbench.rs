@@ -59,10 +59,8 @@ fn bench_fanout(c: &mut Criterion) {
             let mut sites: Vec<Site> = (1..=n).map(|i| Site::new(SiteId(i))).collect();
             let objs: Vec<ObjectName> = sites.iter_mut().map(|s| s.create_int(0)).collect();
             {
-                let mut parts: Vec<(&mut Site, ObjectName)> = sites
-                    .iter_mut()
-                    .zip(objs.iter().copied())
-                    .collect();
+                let mut parts: Vec<(&mut Site, ObjectName)> =
+                    sites.iter_mut().zip(objs.iter().copied()).collect();
                 wiring::wire_replicas(&mut parts);
             }
             b.iter(|| {
@@ -122,8 +120,9 @@ fn bench_gvt_sweep(c: &mut Criterion) {
     for n in [3u32, 9, 33] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let ring: Vec<SiteId> = (1..=n).map(SiteId).collect();
-            let mut sites: Vec<GvtSite> =
-                (1..=n).map(|i| GvtSite::new(SiteId(i), ring.clone())).collect();
+            let mut sites: Vec<GvtSite> = (1..=n)
+                .map(|i| GvtSite::new(SiteId(i), ring.clone()))
+                .collect();
             for s in sites.iter_mut() {
                 let o = s.create_int("x", 0);
                 s.add_replicas(o, vec![SiteId(1), SiteId(2)]);

@@ -22,7 +22,13 @@ fn main() {
     }
     print_table(
         "A1: delegate-commit ablation, 3-party single-remote-primary (paper §3.1)",
-        &["t(ms)", "delegate", "origin(ms)", "remote mean(ms)", "messages"],
+        &[
+            "t(ms)",
+            "delegate",
+            "origin(ms)",
+            "remote mean(ms)",
+            "messages",
+        ],
         &rows,
     );
 }

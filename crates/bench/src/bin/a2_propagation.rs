@@ -21,7 +21,13 @@ fn main() {
     }
     print_table(
         "A2: replication-graph storage & join traffic, composite of n children (paper §3.2)",
-        &["children", "graphs (indirect)", "graphs (direct)", "join bytes (indirect)", "join bytes (direct, est.)"],
+        &[
+            "children",
+            "graphs (indirect)",
+            "graphs (direct)",
+            "join bytes (indirect)",
+            "join bytes (direct, est.)",
+        ],
         &rows,
     );
     println!("\nindirect propagation keeps ONE graph per composite regardless of size;");

@@ -53,12 +53,14 @@ fn main() {
             .site(site)
             .attach_view(Box::new(view), &watch, ViewMode::Pessimistic);
     }
-    world
-        .site(SiteId(1))
-        .execute(Box::new(BlindWrite { object: color_objs[0], value: 1 }));
-    world
-        .site(SiteId(2))
-        .execute(Box::new(BlindWrite { object: pos_objs[1], value: 1 }));
+    world.site(SiteId(1)).execute(Box::new(BlindWrite {
+        object: color_objs[0],
+        value: 1,
+    }));
+    world.site(SiteId(2)).execute(Box::new(BlindWrite {
+        object: pos_objs[1],
+        value: 1,
+    }));
     world.run_to_quiescence();
 
     for (i, log) in logs.iter().enumerate() {
@@ -77,7 +79,11 @@ fn main() {
                             })
                             .unwrap_or(0)
                     };
-                    let color = if get(color_objs[i]) == 1 { "blue" } else { "red" };
+                    let color = if get(color_objs[i]) == 1 {
+                        "blue"
+                    } else {
+                        "red"
+                    };
                     let pos = if get(pos_objs[i]) == 1 { "B" } else { "A" };
                     Some(format!("{color} object at {pos}"))
                 }

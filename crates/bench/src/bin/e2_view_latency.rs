@@ -23,7 +23,14 @@ fn main() {
     }
     print_table(
         "E2: view notification latency (paper §5.1.2)",
-        &["t(ms)", "view placement", "opt(ms)", "paper", "pess(ms)", "paper"],
+        &[
+            "t(ms)",
+            "view placement",
+            "opt(ms)",
+            "paper",
+            "pess(ms)",
+            "paper",
+        ],
         &rows,
     );
 }

@@ -24,7 +24,15 @@ fn main() {
     }
     print_table(
         "E3: lost updates, two-party blind writes, 120 s (paper §5.2.2)",
-        &["t(ms)", "rate/s per party", "committed", "lost", "lost rate", "rollbacks", "upd-inconsistencies"],
+        &[
+            "t(ms)",
+            "rate/s per party",
+            "committed",
+            "lost",
+            "lost rate",
+            "rollbacks",
+            "upd-inconsistencies",
+        ],
         &rows,
     );
     println!("\npaper: at 1.0/s per party the lost-update rate was below 20.1%;");

@@ -23,7 +23,14 @@ fn main() {
     }
     print_table(
         "E4: rollback rate, A at 1/s + B at b_rate, t = 50 ms, 300 s (paper §5.2.2)",
-        &["B rate/s", "started", "rollbacks", "rollback rate", "upd-inconsistencies", "retries"],
+        &[
+            "B rate/s",
+            "started",
+            "rollbacks",
+            "rollback rate",
+            "upd-inconsistencies",
+            "retries",
+        ],
         &rows,
     );
     println!("\npaper: B at <= 1/3 per second keeps rollbacks below 2%;");

@@ -27,5 +27,7 @@ fn main() {
         &["k sets", "sites", "DECAF(ms)", "GVT sweep(ms)", "ratio"],
         &rows,
     );
-    println!("\npaper: DECAF stays O(1) in network size; a Jefferson-style GVT sweep grows linearly.");
+    println!(
+        "\npaper: DECAF stays O(1) in network size; a Jefferson-style GVT sweep grows linearly."
+    );
 }

@@ -13,8 +13,8 @@ use decaf_gvt::{GvtEnvelope, GvtEvent, GvtSite};
 use decaf_net::sim::{Event, LatencyModel, SimNet, SimTime};
 use decaf_vt::{SiteId, VirtualTime};
 use decaf_workload::{
-    ArrivalProcess, BlindWrite, LatencyTracker, NotificationTracker, RateWorkload,
-    ReadModifyWrite, SimWorld, TxnKind,
+    ArrivalProcess, BlindWrite, LatencyTracker, NotificationTracker, RateWorkload, ReadModifyWrite,
+    SimWorld, TxnKind,
 };
 
 /// Pretty-prints a table of (header, rows) with aligned columns.
@@ -108,9 +108,10 @@ pub fn e1_commit_latency(t_ms: u64) -> Vec<E1Row> {
         let mut world = SimWorld::new(2, LatencyModel::uniform(t));
         let objs = world.wire_int(0);
         let o1 = objs[0];
-        world
-            .site(SiteId(1))
-            .execute(Box::new(ReadModifyWrite { object: o1, delta: 1 }));
+        world.site(SiteId(1)).execute(Box::new(ReadModifyWrite {
+            object: o1,
+            delta: 1,
+        }));
         world.run_to_quiescence();
         let mut lt = LatencyTracker::new();
         lt.ingest(&world.log);
@@ -130,9 +131,10 @@ pub fn e1_commit_latency(t_ms: u64) -> Vec<E1Row> {
         let mut world = SimWorld::new(3, LatencyModel::uniform(t));
         let objs = world.wire_int(0);
         let o2 = objs[1];
-        world
-            .site(SiteId(2))
-            .execute(Box::new(ReadModifyWrite { object: o2, delta: 1 }));
+        world.site(SiteId(2)).execute(Box::new(ReadModifyWrite {
+            object: o2,
+            delta: 1,
+        }));
         world.run_to_quiescence();
         let mut lt = LatencyTracker::new();
         lt.ingest(&world.log);
@@ -206,9 +208,10 @@ pub fn e2_view_latency(t_ms: u64) -> Vec<E2Row> {
             ViewMode::Pessimistic,
         );
         let x2 = x[1];
-        world
-            .site(SiteId(2))
-            .execute(Box::new(ReadModifyWrite { object: x2, delta: 1 }));
+        world.site(SiteId(2)).execute(Box::new(ReadModifyWrite {
+            object: x2,
+            delta: 1,
+        }));
         world.run_to_quiescence();
         let mut nt = NotificationTracker::new();
         nt.ingest(&world.log);
@@ -269,7 +272,11 @@ pub fn e3_lost_updates(rate: f64, t_ms: u64, seconds: u64, seed: u64) -> E3Row {
     }
     RateWorkload {
         parties: vec![
-            (SiteId(1), ArrivalProcess::poisson(rate, seed), TxnKind::BlindWrite),
+            (
+                SiteId(1),
+                ArrivalProcess::poisson(rate, seed),
+                TxnKind::BlindWrite,
+            ),
             (
                 SiteId(2),
                 ArrivalProcess::poisson(rate, seed.wrapping_add(1)),
@@ -332,7 +339,11 @@ pub fn e4_rollback_rate(b_rate: f64, t_ms: u64, seconds: u64, seed: u64) -> E4Ro
     }
     RateWorkload {
         parties: vec![
-            (SiteId(1), ArrivalProcess::poisson(1.0, seed), TxnKind::ReadModifyWrite),
+            (
+                SiteId(1),
+                ArrivalProcess::poisson(1.0, seed),
+                TxnKind::ReadModifyWrite,
+            ),
             (
                 SiteId(2),
                 ArrivalProcess::poisson(b_rate, seed.wrapping_add(1)),
@@ -398,9 +409,10 @@ pub fn e5_scalability(k: usize, t_ms: u64, sweep_ms: u64) -> E5Row {
         for (members, objs) in &set_objs {
             let mid = members[1];
             let obj = objs[&mid];
-            world
-                .site(mid)
-                .execute(Box::new(BlindWrite { object: obj, value: 1 }));
+            world.site(mid).execute(Box::new(BlindWrite {
+                object: obj,
+                value: 1,
+            }));
         }
         world.run_to_quiescence();
         let mut lt = LatencyTracker::new();
@@ -516,9 +528,10 @@ pub fn a1_delegate(t_ms: u64, delegated: bool) -> A1Row {
     let mut world = SimWorld::with_config(3, LatencyModel::uniform(t), config);
     let objs = world.wire_int(0);
     let o2 = objs[1];
-    world
-        .site(SiteId(2))
-        .execute(Box::new(ReadModifyWrite { object: o2, delta: 1 }));
+    world.site(SiteId(2)).execute(Box::new(ReadModifyWrite {
+        object: o2,
+        delta: 1,
+    }));
     world.run_to_quiescence();
     let mut lt = LatencyTracker::new();
     lt.ingest(&world.log);
@@ -733,7 +746,10 @@ mod tests {
         let small = a2_propagation(2);
         let large = a2_propagation(32);
         assert_eq!(small.graphs_indirect, 1);
-        assert_eq!(large.graphs_indirect, 1, "indirect: one graph regardless of n");
+        assert_eq!(
+            large.graphs_indirect, 1,
+            "indirect: one graph regardless of n"
+        );
         assert_eq!(large.graphs_direct, 33);
         assert!(large.join_bytes_direct > large.join_bytes_indirect);
     }

@@ -18,9 +18,7 @@ use crate::object::ObjectName;
 /// spanning multiple applications, which are required to mirror one
 /// another's value. Replica relationships are symmetric and transitive"
 /// (§2.2). The id labels the multigraph edges the relationship contributes.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct RelationId(pub u64);
 
 impl fmt::Display for RelationId {

@@ -36,10 +36,7 @@ impl Site {
     /// Installs an authorization monitor: invoked on each incoming join
     /// request, it may refuse access to sensitive objects ("users may also
     /// code authorization monitors to restrict access", §1).
-    pub fn set_authorizer(
-        &mut self,
-        f: impl Fn(&Invitation, NodeRef) -> bool + Send + 'static,
-    ) {
+    pub fn set_authorizer(&mut self, f: impl Fn(&Invitation, NodeRef) -> bool + Send + 'static) {
         self.authorizer = Some(Box::new(f));
     }
 
@@ -97,13 +94,10 @@ impl Site {
             .values
             .current()
             .ok_or(DecafError::Uninitialized(assoc))?;
-        let state = entry
-            .value
-            .as_assoc()
-            .ok_or(DecafError::KindMismatch {
-                object: assoc,
-                expected: "association",
-            })?;
+        let state = entry.value.as_assoc().ok_or(DecafError::KindMismatch {
+            object: assoc,
+            expected: "association",
+        })?;
         let rel = state.get(&relation).ok_or(DecafError::UnknownRelation)?;
         let contact = rel
             .members
@@ -310,10 +304,7 @@ impl Site {
         assoc_object: Option<ObjectName>,
     ) {
         let invitation = Invitation {
-            assoc: NodeRef::new(
-                self.id,
-                assoc_object.unwrap_or(b_object),
-            ),
+            assoc: NodeRef::new(self.id, assoc_object.unwrap_or(b_object)),
             relation,
             contact: NodeRef::new(self.id, b_object),
         };
@@ -435,9 +426,7 @@ impl Site {
                 if let Some(mut state) = state {
                     let rel = state.entry(relation).or_default();
                     rel.members.insert(a_node);
-                    let op = crate::message::WireOp::SetAssoc(crate::message::AssocSnapshot(
-                        state,
-                    ));
+                    let op = crate::message::WireOp::SetAssoc(crate::message::AssocSnapshot(state));
                     let assoc_graph = self
                         .store
                         .effective_graph(assoc)
@@ -576,10 +565,11 @@ impl Site {
         };
         let mut adopted: Vec<ObjectName> = Vec::new();
         if let Some(v) = &b_value {
-            if let Ok(changed) = self
-                .store
-                .apply_wire_op(local, adopted_vt, &crate::message::WireOp::SetTree(v.clone()))
-            {
+            if let Ok(changed) = self.store.apply_wire_op(
+                local,
+                adopted_vt,
+                &crate::message::WireOp::SetTree(v.clone()),
+            ) {
                 adopted = changed;
             }
         }
@@ -627,8 +617,7 @@ impl Site {
             rc_waits.insert(b_value_vt);
         }
 
-        let mut affected: BTreeSet<SiteId> =
-            merged.sites().filter(|s| *s != self.id).collect();
+        let mut affected: BTreeSet<SiteId> = merged.sites().filter(|s| *s != self.id).collect();
         affected.extend(extra_affected);
 
         {

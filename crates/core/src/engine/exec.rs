@@ -6,9 +6,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use decaf_vt::{SiteId, VirtualTime};
 
-use crate::message::{
-    Delegate, Message, ObjectAddr, Path, ReadItem, TxnPropagate, UpdateItem,
-};
+use crate::message::{Delegate, Message, ObjectAddr, Path, ReadItem, TxnPropagate, UpdateItem};
 use crate::object::ObjectName;
 use crate::txn::{AbortReason, Recording, Transaction, TxnCtx, TxnHandle, TxnOutcome};
 
@@ -239,12 +237,16 @@ impl Site {
                     path,
                 }
             };
-            batches.entry(primary.site).or_default().reads.push(ReadItem {
-                addr,
-                t_r: r.t_r,
-                t_g: r.t_g,
-                hi: None,
-            });
+            batches
+                .entry(primary.site)
+                .or_default()
+                .reads
+                .push(ReadItem {
+                    addr,
+                    t_r: r.t_r,
+                    t_g: r.t_g,
+                    hi: None,
+                });
         }
 
         // ---- RC guesses, delegation, pending state -------------------------
@@ -260,14 +262,12 @@ impl Site {
         rc_waits.retain(|dep| !matches!(self.decided.get(dep), Some(TxnOutcome::Committed)));
 
         let affected: BTreeSet<SiteId> = batches.keys().copied().collect();
-        let delegate_to = if self.config.delegate_enabled
-            && remote_primaries.len() == 1
-            && rc_waits.is_empty()
-        {
-            remote_primaries.iter().next().copied()
-        } else {
-            None
-        };
+        let delegate_to =
+            if self.config.delegate_enabled && remote_primaries.len() == 1 && rc_waits.is_empty() {
+                remote_primaries.iter().next().copied()
+            } else {
+                None
+            };
 
         let awaiting: BTreeSet<SiteId> = if delegate_to.is_some() {
             BTreeSet::new()
@@ -506,9 +506,7 @@ impl Site {
     /// Commits a locally pending transaction once its guesses settle.
     pub(crate) fn maybe_finalize(&mut self, vt: VirtualTime) {
         let ready = match self.pending.get(&vt) {
-            Some(p) => {
-                p.delegate_site.is_none() && p.awaiting.is_empty() && p.rc_waits.is_empty()
-            }
+            Some(p) => p.delegate_site.is_none() && p.awaiting.is_empty() && p.rc_waits.is_empty(),
             None => false,
         };
         if ready {
@@ -522,7 +520,8 @@ impl Site {
             return;
         };
         self.decided.insert(vt, TxnOutcome::Committed);
-        self.handle_outcome.insert(p.handle_id, TxnOutcome::Committed);
+        self.handle_outcome
+            .insert(p.handle_id, TxnOutcome::Committed);
         self.stats.txns_committed += 1;
         for obj in &p.touched {
             if let Ok(o) = self.store.get_mut(*obj) {

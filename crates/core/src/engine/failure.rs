@@ -29,8 +29,7 @@ impl Site {
         self.repair_graphs(failed);
         self.reap_failed_from_protocols(failed);
 
-        self.events
-            .push(EngineEvent::SiteFailureHandled { failed });
+        self.events.push(EngineEvent::SiteFailureHandled { failed });
     }
 
     /// "The remaining sites, upon failure notification, simply determine if
@@ -53,8 +52,7 @@ impl Site {
                 .into_iter()
                 .filter(|s| !self.failed_sites.contains(s))
                 .collect();
-            let expecting: BTreeSet<SiteId> =
-                alive.into_iter().filter(|s| *s != self.id).collect();
+            let expecting: BTreeSet<SiteId> = alive.into_iter().filter(|s| *s != self.id).collect();
             if expecting.is_empty() {
                 // Only we survive: nothing committed here, so abort.
                 self.apply_outcome_decision(vt, TxnOutcome::Aborted, &BTreeSet::new());
@@ -86,9 +84,7 @@ impl Site {
         let stuck: Vec<VirtualTime> = self
             .pending
             .iter()
-            .filter(|(_, p)| {
-                p.awaiting.contains(&failed) || p.delegate_site == Some(failed)
-            })
+            .filter(|(_, p)| p.awaiting.contains(&failed) || p.delegate_site == Some(failed))
             .map(|(vt, _)| *vt)
             .collect();
         for vt in stuck {
@@ -455,13 +451,7 @@ impl Site {
             .filter(|s| *s != self.id && !self.failed_sites.contains(s))
             .collect();
         for site in members.iter() {
-            self.send(
-                *site,
-                Message::OutcomeDecision {
-                    txn,
-                    outcome,
-                },
-            );
+            self.send(*site, Message::OutcomeDecision { txn, outcome });
         }
         self.apply_outcome_decision(txn, outcome, &members);
     }
@@ -520,12 +510,7 @@ impl Site {
         );
     }
 
-    pub(crate) fn on_graph_ack(
-        &mut self,
-        from: SiteId,
-        ballot: u64,
-        _coord_target: ObjectName,
-    ) {
+    pub(crate) fn on_graph_ack(&mut self, from: SiteId, ballot: u64, _coord_target: ObjectName) {
         let done = {
             let Some(c) = self.consensus.get_mut(&ballot) else {
                 return;

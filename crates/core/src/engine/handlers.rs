@@ -69,7 +69,15 @@ impl Site {
                 a_graph,
                 b_object,
                 assoc_object,
-            } => self.on_join_request(txn, origin, relation, a_node, a_graph, b_object, assoc_object),
+            } => self.on_join_request(
+                txn,
+                origin,
+                relation,
+                a_node,
+                a_graph,
+                b_object,
+                assoc_object,
+            ),
             Message::JoinReply {
                 txn,
                 ok,
@@ -556,8 +564,7 @@ impl Site {
     }
 
     pub(crate) fn on_abort(&mut self, txn: VirtualTime) {
-        if self.decided.get(&txn) == Some(&TxnOutcome::Aborted)
-            && !self.pending.contains_key(&txn)
+        if self.decided.get(&txn) == Some(&TxnOutcome::Aborted) && !self.pending.contains_key(&txn)
         {
             return; // duplicate
         }

@@ -400,11 +400,7 @@ impl Site {
     /// The latest *committed* integer value of `object`, if any.
     pub fn read_int_committed(&self, object: ObjectName) -> Option<i64> {
         let obj = self.store.get(object).ok()?;
-        obj.values
-            .latest_committed()?
-            .value
-            .as_scalar()?
-            .as_int()
+        obj.values.latest_committed()?.value.as_scalar()?.as_int()
     }
 
     /// The current (possibly uncommitted) integer value of `object`.
@@ -416,11 +412,7 @@ impl Site {
     /// The latest committed real value of `object`, if any.
     pub fn read_real_committed(&self, object: ObjectName) -> Option<f64> {
         let obj = self.store.get(object).ok()?;
-        obj.values
-            .latest_committed()?
-            .value
-            .as_scalar()?
-            .as_real()
+        obj.values.latest_committed()?.value.as_scalar()?.as_real()
     }
 
     /// The current (possibly uncommitted) real value of `object`.
@@ -457,7 +449,11 @@ impl Site {
             .get(list)
             .ok()
             .and_then(|o| o.values.current())
-            .and_then(|e| e.value.as_list().map(|s| s.iter().map(|le| le.child).collect()))
+            .and_then(|e| {
+                e.value
+                    .as_list()
+                    .map(|s| s.iter().map(|le| le.child).collect())
+            })
             .unwrap_or_default()
     }
 
@@ -593,9 +589,7 @@ impl Site {
 
     // ---- persistence support (crate-internal; see `persist`) ---------------
 
-    pub(crate) fn store_objects(
-        &self,
-    ) -> impl Iterator<Item = &crate::object::ModelObject> {
+    pub(crate) fn store_objects(&self) -> impl Iterator<Item = &crate::object::ModelObject> {
         self.store.objects()
     }
 
@@ -649,7 +643,11 @@ impl Site {
         for vt in self.pending.keys() {
             low = low.min(*vt);
         }
-        for (vt, _) in self.remote.iter().filter(|(vt, _)| !self.decided.contains_key(vt)) {
+        for (vt, _) in self
+            .remote
+            .iter()
+            .filter(|(vt, _)| !self.decided.contains_key(vt))
+        {
             low = low.min(*vt);
         }
         for proxy in self.views.values() {
@@ -714,9 +712,7 @@ impl Site {
         self.remote
             .retain(|vt, _| vt.lamport >= horizon || !self.decided.contains_key(vt));
         self.decided.retain(|vt, _| {
-            vt.lamport >= horizon
-                || self.pending.contains_key(vt)
-                || self.remote.contains_key(vt)
+            vt.lamport >= horizon || self.pending.contains_key(vt) || self.remote.contains_key(vt)
         });
     }
 }

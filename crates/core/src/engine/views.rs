@@ -159,12 +159,15 @@ impl Site {
                 } else {
                     let addr = self.addr_for(*o, primary.site);
                     if let Some(addr) = addr {
-                        remote_batches.entry(primary.site).or_default().push(ReadItem {
-                            addr,
-                            t_r: entry.0,
-                            t_g: entry.0,
-                            hi: Some(ts),
-                        });
+                        remote_batches
+                            .entry(primary.site)
+                            .or_default()
+                            .push(ReadItem {
+                                addr,
+                                t_r: entry.0,
+                                t_g: entry.0,
+                                hi: Some(ts),
+                            });
                     }
                     guesses.outstanding.insert(primary.site);
                 }
@@ -369,12 +372,15 @@ impl Site {
                 let Some(addr) = self.addr_for(*o, primary.site) else {
                     continue;
                 };
-                remote_batches.entry(primary.site).or_default().push(ReadItem {
-                    addr,
-                    t_r: lo,
-                    t_g: lo,
-                    hi: Some(hi),
-                });
+                remote_batches
+                    .entry(primary.site)
+                    .or_default()
+                    .push(ReadItem {
+                        addr,
+                        t_r: lo,
+                        t_g: lo,
+                        hi: Some(hi),
+                    });
                 guesses.outstanding.insert(primary.site);
             }
         }
@@ -383,11 +389,7 @@ impl Site {
             self.snap_tokens.remove(&old_token);
         }
         self.snap_tokens.insert(token, vid);
-        if let Some(snap) = self
-            .views
-            .get_mut(&vid)
-            .and_then(|p| p.pess.get_mut(&ts))
-        {
+        if let Some(snap) = self.views.get_mut(&vid).and_then(|p| p.pess.get_mut(&ts)) {
             snap.token = token;
             snap.guesses = guesses;
             snap.issued = intervals;
@@ -539,11 +541,7 @@ impl Site {
                 ViewMode::Optimistic => {
                     // Update inconsistency: a delivered notification showed
                     // the aborted value (§5.1.2).
-                    if proxy
-                        .last_delivered_reads
-                        .iter()
-                        .any(|(_, rvt)| *rvt == vt)
-                    {
+                    if proxy.last_delivered_reads.iter().any(|(_, rvt)| *rvt == vt) {
                         self.stats.update_inconsistencies += 1;
                     }
                     // Rerun if the current snapshot depended on the aborted
@@ -567,9 +565,7 @@ impl Site {
                         for o in objects {
                             let mut chain = vec![*o];
                             chain.extend(self.store.ancestors(*o));
-                            if let Some(point) =
-                                chain.iter().find(|c| proxy.attached.contains(c))
-                            {
+                            if let Some(point) = chain.iter().find(|c| proxy.attached.contains(c)) {
                                 proxy.dirty.insert(*point);
                             }
                         }

@@ -12,9 +12,7 @@ use crate::object::ObjectName;
 
 /// A reference to one model object at one site: a node of a replication
 /// graph.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeRef {
     /// Hosting site.
     pub site: SiteId,
@@ -71,11 +69,7 @@ impl PrimarySelector {
                 .max_by_key(|n| {
                     // FNV-1a over the node bytes; deterministic across runs.
                     let mut h: u64 = 0xcbf29ce484222325;
-                    for b in [
-                        n.site.0 as u64,
-                        n.object.site.0 as u64,
-                        n.object.seq,
-                    ] {
+                    for b in [n.site.0 as u64, n.object.site.0 as u64, n.object.seq] {
                         h ^= b;
                         h = h.wrapping_mul(0x100000001b3);
                     }
@@ -193,8 +187,7 @@ impl ReplicationGraph {
     pub fn without_node(&self, node: NodeRef, keep_perspective: NodeRef) -> ReplicationGraph {
         let mut g = self.clone();
         g.nodes.remove(&node);
-        g.edges
-            .retain(|(a, b, _)| *a != node && *b != node);
+        g.edges.retain(|(a, b, _)| *a != node && *b != node);
         g.component_of(keep_perspective)
     }
 
@@ -204,8 +197,7 @@ impl ReplicationGraph {
     pub fn without_site(&self, site: SiteId, keep_perspective: NodeRef) -> ReplicationGraph {
         let mut g = self.clone();
         g.nodes.retain(|n| n.site != site);
-        g.edges
-            .retain(|(a, b, _)| a.site != site && b.site != site);
+        g.edges.retain(|(a, b, _)| a.site != site && b.site != site);
         g.component_of(keep_perspective)
     }
 

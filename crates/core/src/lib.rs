@@ -87,7 +87,7 @@ pub use message::{
 };
 pub use object::{Blueprint, ObjectKind, ObjectName};
 pub use persist::{Checkpoint, CheckpointError, ObjectCheckpoint};
-pub use stats::SiteStats;
+pub use stats::{SiteStats, TransportStats};
 pub use txn::{AbortReason, Transaction, TxnCtx, TxnHandle, TxnOutcome};
 pub use value::ScalarValue;
 pub use view::{

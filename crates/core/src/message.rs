@@ -123,9 +123,7 @@ pub enum TreeSnapshot {
 
 /// Opaque wire form of an association object's value.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
-pub struct AssocSnapshot(
-    #[serde(with = "crate::object::assoc_serde")] pub(crate) AssocState,
-);
+pub struct AssocSnapshot(pub(crate) AssocState);
 
 /// The state-update operation carried by a propagated write.
 ///

@@ -17,9 +17,7 @@ use crate::value::ScalarValue;
 /// object creation needs no coordination. Replicas of the same logical
 /// object at different sites have *different* names; the replication graph
 /// records the correspondence.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ObjectName {
     /// Site that created the object.
     pub site: SiteId,
@@ -161,8 +159,13 @@ pub(crate) enum ListOp {
 /// A structural operation on a tuple.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub(crate) enum TupleOp {
-    Put { key: String, child: ObjectName },
-    Remove { key: String },
+    Put {
+        key: String,
+        child: ObjectName,
+    },
+    Remove {
+        key: String,
+    },
     /// Replace the entire tuple state (join-value adoption via `SetTree`).
     ReplaceAll {
         entries: BTreeMap<String, ObjectName>,
@@ -183,25 +186,12 @@ pub(crate) struct Relation {
 /// are bundled together for some application purpose" (§2.1).
 pub(crate) type AssocState = BTreeMap<RelationId, Relation>;
 
-/// Serializes an [`AssocState`] as a sequence of pairs so that
-/// struct-keyed maps survive formats (like JSON) that require string map
-/// keys.
-pub(crate) mod assoc_serde {
-    use super::{AssocState, Relation, RelationId};
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    pub fn serialize<S: Serializer>(state: &AssocState, ser: S) -> Result<S::Ok, S::Error> {
-        let pairs: Vec<(&RelationId, &Relation)> = state.iter().collect();
-        pairs.serialize(ser)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(de: D) -> Result<AssocState, D::Error> {
-        let pairs: Vec<(RelationId, Relation)> = Vec::deserialize(de)?;
-        Ok(pairs.into_iter().collect())
-    }
-}
-
 /// The value of a model object, stored in its history.
+///
+/// `Assoc` relies on the derived map serialization (`RelationId`-keyed
+/// `BTreeMap`), which every serde backend we target represents losslessly;
+/// the wire type [`crate::message::AssocSnapshot`] round-trips through the
+/// same representation.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub(crate) enum ObjectValue {
     Scalar(ScalarValue),
@@ -216,7 +206,7 @@ pub(crate) enum ObjectValue {
         entries: BTreeMap<String, ObjectName>,
         ops: Vec<TupleOp>,
     },
-    Assoc(#[serde(with = "assoc_serde")] AssocState),
+    Assoc(AssocState),
 }
 
 impl ObjectValue {

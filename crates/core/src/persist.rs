@@ -156,17 +156,20 @@ impl Site {
         site.restore_clock(cp.clock);
         site.restore_decided(cp.decided.into_iter().collect());
         site.restore_relation_counter(cp.next_relation);
-        site.restore_store(cp.next_seq, cp.objects.into_iter().map(|o| {
-            let mut obj = ModelObject::new(o.name, o.kind);
-            obj.values = o.values;
-            obj.graphs = o.graphs;
-            obj.value_reservations = o.value_reservations;
-            obj.graph_reservations = o.graph_reservations;
-            obj.parent = o.parent;
-            obj.propagation = o.propagation;
-            obj.embeddings = o.embeddings.into_iter().collect();
-            obj
-        }));
+        site.restore_store(
+            cp.next_seq,
+            cp.objects.into_iter().map(|o| {
+                let mut obj = ModelObject::new(o.name, o.kind);
+                obj.values = o.values;
+                obj.graphs = o.graphs;
+                obj.value_reservations = o.value_reservations;
+                obj.graph_reservations = o.graph_reservations;
+                obj.parent = o.parent;
+                obj.propagation = o.propagation;
+                obj.embeddings = o.embeddings.into_iter().collect();
+                obj
+            }),
+        );
         site
     }
 }

@@ -1,5 +1,6 @@
 //! Per-site statistics, matching the metrics the paper's benchmarks report
-//! (§5.1.2, §5.2.2).
+//! (§5.1.2, §5.2.2), plus transport-level counters for substrates that
+//! carry the protocol over a real network.
 
 use std::fmt;
 
@@ -98,9 +99,80 @@ impl fmt::Display for SiteStats {
     }
 }
 
+/// Counters accumulated by one network transport endpoint.
+///
+/// The engine itself is sans-I/O, so byte- and frame-level accounting lives
+/// with whichever substrate carries the [`Envelope`](crate::Envelope)s. The
+/// TCP mesh in `decaf-net` fills in every field; in-process transports
+/// (simulator, threaded) have no frames and leave the byte counters at
+/// zero. Snapshots are taken with `TcpMesh::stats()` and friends; this type
+/// is the plain-old-data exchange format, mirroring how [`SiteStats`]
+/// reports engine-level counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct TransportStats {
+    /// Payload + header bytes received.
+    pub bytes_in: u64,
+    /// Payload + header bytes sent.
+    pub bytes_out: u64,
+    /// Well-formed frames received (all kinds, including heartbeats).
+    pub frames_in: u64,
+    /// Frames sent (all kinds, including heartbeats).
+    pub frames_out: u64,
+    /// Malformed frames rejected (bad magic/version/length/CRC or an
+    /// undecodable payload).
+    pub frames_rejected: u64,
+    /// Successful reconnections to a peer after a broken link.
+    pub reconnects: u64,
+    /// Heartbeat (keepalive) frames sent.
+    pub heartbeats_sent: u64,
+    /// Heartbeat-silence expiries observed (a peer went quiet longer than
+    /// the configured timeout).
+    pub heartbeat_misses: u64,
+    /// Peers declared fail-stopped (each produces one `SiteFailed`
+    /// notification toward the engine, §3.4).
+    pub peers_failed: u64,
+    /// Outbound messages dropped because a peer's bounded queue was full
+    /// or the peer was already declared failed.
+    pub sends_dropped: u64,
+}
+
+impl fmt::Display for TransportStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "frames {}/{} in/out ({} rejected); bytes {}/{}; \
+             {} reconnects; hb {} sent, {} missed; {} peers failed; \
+             {} sends dropped",
+            self.frames_in,
+            self.frames_out,
+            self.frames_rejected,
+            self.bytes_in,
+            self.bytes_out,
+            self.reconnects,
+            self.heartbeats_sent,
+            self.heartbeat_misses,
+            self.peers_failed,
+            self.sends_dropped,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn transport_stats_display_is_nonempty() {
+        let t = TransportStats {
+            frames_in: 3,
+            reconnects: 1,
+            ..Default::default()
+        };
+        let s = t.to_string();
+        assert!(s.contains("3/0"));
+        assert!(s.contains("1 reconnects"));
+    }
 
     #[test]
     fn rates_handle_zero_denominators() {

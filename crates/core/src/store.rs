@@ -248,9 +248,7 @@ impl Store {
         loop {
             let obj = self.get(cur)?;
             match (obj.propagation, obj.parent) {
-                (PropagationMode::Direct, _) | (PropagationMode::Indirect, None) => {
-                    return Ok(cur)
-                }
+                (PropagationMode::Direct, _) | (PropagationMode::Indirect, None) => return Ok(cur),
                 (PropagationMode::Indirect, Some(p)) => cur = p,
             }
         }
@@ -262,10 +260,7 @@ impl Store {
         let mut elems = Vec::new();
         let mut cur = name;
         while cur != root {
-            let parent = self
-                .get(cur)?
-                .parent
-                .ok_or(DecafError::NoSuchObject(cur))?;
+            let parent = self.get(cur)?.parent.ok_or(DecafError::NoSuchObject(cur))?;
             let pobj = self.get(parent)?;
             let pval = pobj
                 .values
@@ -278,9 +273,9 @@ impl Store {
                         .enumerate()
                         .find(|(_, e)| e.child == cur)
                         .ok_or_else(|| DecafError::NoSuchChild {
-                            object: parent,
-                            detail: format!("{cur}"),
-                        })?;
+                        object: parent,
+                        detail: format!("{cur}"),
+                    })?;
                     PathElem::Index {
                         index,
                         tag: entry.tag,
@@ -333,10 +328,7 @@ impl Store {
                 }
                 for elem in &path.0 {
                     let obj = self.get(cur)?;
-                    let val = obj
-                        .values
-                        .current()
-                        .ok_or(DecafError::Uninitialized(cur))?;
+                    let val = obj.values.current().ok_or(DecafError::Uninitialized(cur))?;
                     cur = match (elem, &val.value) {
                         (PathElem::Index { tag, index }, ObjectValue::List { entries, .. }) => {
                             // Index is a hint; the tag decides. A child that
@@ -353,9 +345,7 @@ impl Store {
                                 .or_else(|| self.find_list_child_by_tag(cur, *tag));
                             match hit {
                                 Some(child) => child,
-                                None => {
-                                    return Err(ApplyBlocked::MissingDependency(Some(*tag)))
-                                }
+                                None => return Err(ApplyBlocked::MissingDependency(Some(*tag))),
                             }
                         }
                         (PathElem::Key(k), ObjectValue::Tuple { entries, .. }) => {
@@ -380,11 +370,7 @@ impl Store {
     /// Finds the child a list embedded under `tag`, even if a later
     /// removal took it out of the current state, by scanning the retained
     /// history (materialized states and insert ops).
-    pub fn find_list_child_by_tag(
-        &self,
-        list: ObjectName,
-        tag: VirtualTime,
-    ) -> Option<ObjectName> {
+    pub fn find_list_child_by_tag(&self, list: ObjectName, tag: VirtualTime) -> Option<ObjectName> {
         let obj = self.objects.get(&list)?;
         obj.embeddings.get(&tag).copied()
     }
@@ -451,7 +437,10 @@ impl Store {
         match op {
             WireOp::SetScalar(s) => {
                 let obj = self.get_mut(target)?;
-                if !matches!(obj.kind, ObjectKind::Int | ObjectKind::Real | ObjectKind::Str) {
+                if !matches!(
+                    obj.kind,
+                    ObjectKind::Int | ObjectKind::Real | ObjectKind::Str
+                ) {
                     return Err(DecafError::KindMismatch {
                         object: target,
                         expected: "scalar",
@@ -664,7 +653,11 @@ impl Store {
             .get(target)?
             .values
             .current()
-            .and_then(|e| e.value.as_list().map(|s| s.iter().map(|le| le.child).collect()))
+            .and_then(|e| {
+                e.value
+                    .as_list()
+                    .map(|s| s.iter().map(|le| le.child).collect())
+            })
             .unwrap_or_default();
         for c in current_children {
             if let Ok(child) = self.get_mut(c) {
@@ -873,9 +866,7 @@ impl Store {
                     Some(ObjectValue::List { entries, .. }) => {
                         entries.iter().map(|e| e.child).collect()
                     }
-                    Some(ObjectValue::Tuple { entries, .. }) => {
-                        entries.values().copied().collect()
-                    }
+                    Some(ObjectValue::Tuple { entries, .. }) => entries.values().copied().collect(),
                     _ => Vec::new(),
                 },
                 None => Vec::new(),
@@ -1012,7 +1003,13 @@ mod tests {
         .unwrap();
         let entries = {
             let obj = s.get(l).unwrap();
-            obj.values.current().unwrap().value.as_list().unwrap().to_vec()
+            obj.values
+                .current()
+                .unwrap()
+                .value
+                .as_list()
+                .unwrap()
+                .to_vec()
         };
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].tag, vt(10));
@@ -1067,7 +1064,13 @@ mod tests {
         assert_eq!(cur[0].tag, vt(20));
         assert_eq!(cur[1].tag, vt(10));
         // The as-of state at vt 15 contains only the vt-10 entry.
-        let at15 = obj.values.value_at(vt(15)).unwrap().value.as_list().unwrap();
+        let at15 = obj
+            .values
+            .value_at(vt(15))
+            .unwrap()
+            .value
+            .as_list()
+            .unwrap();
         assert_eq!(at15.len(), 1);
         assert_eq!(at15[0].tag, vt(10));
     }
@@ -1100,7 +1103,14 @@ mod tests {
         s.apply_wire_op(l, vt(30), &WireOp::ListRemove { tag: vt(10) })
             .unwrap();
         let obj = s.get(l).unwrap();
-        assert!(obj.values.current().unwrap().value.as_list().unwrap().is_empty());
+        assert!(obj
+            .values
+            .current()
+            .unwrap()
+            .value
+            .as_list()
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -1122,7 +1132,16 @@ mod tests {
             },
         )
         .unwrap();
-        let child = s.get(l).unwrap().values.current().unwrap().value.as_list().unwrap()[0].child;
+        let child = s
+            .get(l)
+            .unwrap()
+            .values
+            .current()
+            .unwrap()
+            .value
+            .as_list()
+            .unwrap()[0]
+            .child;
         assert!(s.contains(child));
         s.purge_write(l, vt(10));
         assert!(!s.contains(child), "aborted insert's subtree destroyed");
@@ -1264,7 +1283,8 @@ mod tests {
                 ops: vec![],
             },
         );
-        s2.apply_wire_op(l2, vt(40), &WireOp::SetTree(snap)).unwrap();
+        s2.apply_wire_op(l2, vt(40), &WireOp::SetTree(snap))
+            .unwrap();
         let entries = s2
             .get(l2)
             .unwrap()
@@ -1328,8 +1348,26 @@ mod tests {
             },
         )
         .unwrap();
-        let mid = s.get(l).unwrap().values.current().unwrap().value.as_list().unwrap()[0].child;
-        let leaf = s.get(mid).unwrap().values.current().unwrap().value.as_list().unwrap()[0].child;
+        let mid = s
+            .get(l)
+            .unwrap()
+            .values
+            .current()
+            .unwrap()
+            .value
+            .as_list()
+            .unwrap()[0]
+            .child;
+        let leaf = s
+            .get(mid)
+            .unwrap()
+            .values
+            .current()
+            .unwrap()
+            .value
+            .as_list()
+            .unwrap()[0]
+            .child;
         assert_eq!(s.ancestors(leaf), vec![mid, l]);
         assert!(s.ancestors(l).is_empty());
     }

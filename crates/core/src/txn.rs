@@ -338,11 +338,7 @@ impl<'a> TxnCtx<'a> {
     /// # Errors
     ///
     /// Fails if the object is missing or not a string.
-    pub fn write_str(
-        &mut self,
-        object: ObjectName,
-        v: impl Into<String>,
-    ) -> Result<(), TxnError> {
+    pub fn write_str(&mut self, object: ObjectName, v: impl Into<String>) -> Result<(), TxnError> {
         self.check_scalar_kind(object, ObjectKind::Str)?;
         self.record_write(object, WireOp::SetScalar(ScalarValue::Str(v.into())))
     }
@@ -427,7 +423,11 @@ impl<'a> TxnCtx<'a> {
     /// # Errors
     ///
     /// Fails if the object is missing or not a list.
-    pub fn list_push(&mut self, list: ObjectName, child: Blueprint) -> Result<ObjectName, TxnError> {
+    pub fn list_push(
+        &mut self,
+        list: ObjectName,
+        child: Blueprint,
+    ) -> Result<ObjectName, TxnError> {
         self.record_write(
             list,
             WireOp::ListInsert {
@@ -446,15 +446,12 @@ impl<'a> TxnCtx<'a> {
     pub fn list_remove(&mut self, list: ObjectName, index: usize) -> Result<(), TxnError> {
         self.record_read(list)?;
         let entries = self.list_entries(list)?;
-        let tag = entries
-            .get(index)
-            .map(|e| e.0)
-            .ok_or_else(|| {
-                TxnError::Decaf(DecafError::NoSuchChild {
-                    object: list,
-                    detail: format!("index {index}"),
-                })
-            })?;
+        let tag = entries.get(index).map(|e| e.0).ok_or_else(|| {
+            TxnError::Decaf(DecafError::NoSuchChild {
+                object: list,
+                detail: format!("index {index}"),
+            })
+        })?;
         // The remove references the embedding at `tag`: if that structural
         // transaction is still uncommitted, this one must wait for it (and
         // abort with it) — a §3.2.1 path RC guess.
@@ -471,10 +468,7 @@ impl<'a> TxnCtx<'a> {
         self.record_write(list, WireOp::ListRemove { tag })
     }
 
-    fn list_entries(
-        &self,
-        list: ObjectName,
-    ) -> Result<Vec<(VirtualTime, ObjectName)>, TxnError> {
+    fn list_entries(&self, list: ObjectName) -> Result<Vec<(VirtualTime, ObjectName)>, TxnError> {
         let obj = self.store.get(list)?;
         let entry = obj
             .values
@@ -562,14 +556,12 @@ impl<'a> TxnCtx<'a> {
             .value_at(self.vt)
             .ok_or(DecafError::Uninitialized(tuple))?;
         match &entry.value {
-            ObjectValue::Tuple { entries, .. } => {
-                entries.get(&key).copied().ok_or({
-                    TxnError::Decaf(DecafError::NoSuchChild {
-                        object: tuple,
-                        detail: key,
-                    })
+            ObjectValue::Tuple { entries, .. } => entries.get(&key).copied().ok_or({
+                TxnError::Decaf(DecafError::NoSuchChild {
+                    object: tuple,
+                    detail: key,
                 })
-            }
+            }),
             _ => unreachable!("record_write verified tuple kind"),
         }
     }
@@ -587,7 +579,12 @@ impl<'a> TxnCtx<'a> {
                 detail: key.to_owned(),
             }));
         }
-        self.record_write(tuple, WireOp::TupleRemove { key: key.to_owned() })
+        self.record_write(
+            tuple,
+            WireOp::TupleRemove {
+                key: key.to_owned(),
+            },
+        )
     }
 
     // ---- associations ----------------------------------------------------

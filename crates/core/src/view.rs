@@ -199,10 +199,9 @@ impl<'a> UpdateNotification<'a> {
     /// Fails if the object is missing or not a tuple.
     pub fn read_tuple(&self, object: ObjectName) -> Result<Vec<(String, ObjectName)>, DecafError> {
         match self.value_at(object)? {
-            ObjectValue::Tuple { entries, .. } => Ok(entries
-                .iter()
-                .map(|(k, v)| (k.clone(), *v))
-                .collect()),
+            ObjectValue::Tuple { entries, .. } => {
+                Ok(entries.iter().map(|(k, v)| (k.clone(), *v)).collect())
+            }
             _ => Err(DecafError::KindMismatch {
                 object,
                 expected: "tuple",
@@ -429,10 +428,13 @@ impl View for RecordingView {
                 Some((o, v))
             })
             .collect();
-        self.log.lock().expect("view log poisoned").push(ViewEvent::Update {
-            changed: n.changed().to_vec(),
-            values,
-        });
+        self.log
+            .lock()
+            .expect("view log poisoned")
+            .push(ViewEvent::Update {
+                changed: n.changed().to_vec(),
+                values,
+            });
     }
 
     fn commit(&mut self) {

@@ -31,6 +31,23 @@ pub fn wire_replicas(parts: &mut [(&mut Site, ObjectName)]) {
         .iter()
         .map(|(site, obj)| NodeRef::new(site.id(), *obj))
         .collect();
+    let graph = replica_graph_over(&nodes);
+    for (site, obj) in parts.iter_mut() {
+        site.install_replica_graph(*obj, graph.clone());
+    }
+}
+
+/// Builds the committed replication graph a chain of joins over `nodes`
+/// would have produced — a pure function of the node list, so *separate
+/// processes* can each construct an identical graph from a shared
+/// configuration and install it locally (the `decaf-site` daemon does
+/// exactly this with its peer table).
+///
+/// # Panics
+///
+/// Panics if `nodes` is empty.
+pub fn replica_graph_over(nodes: &[NodeRef]) -> ReplicationGraph {
+    assert!(!nodes.is_empty(), "a replication graph needs a node");
     let mut graph = ReplicationGraph::singleton(nodes[0]);
     for w in nodes.windows(2) {
         graph = graph.joined_with(
@@ -40,9 +57,7 @@ pub fn wire_replicas(parts: &mut [(&mut Site, ObjectName)]) {
             RelationId(0),
         );
     }
-    for (site, obj) in parts.iter_mut() {
-        site.install_replica_graph(*obj, graph.clone());
-    }
+    graph
 }
 
 /// Convenience for the common two-party case.

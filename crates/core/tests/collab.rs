@@ -39,7 +39,9 @@ fn end_to_end_join_establishes_replication() {
 
     let shared_a = a.create_int(41);
     let assoc = a.create_association();
-    let rel = a.create_relation(assoc, "budget sharing", shared_a).unwrap();
+    let rel = a
+        .create_relation(assoc, "budget sharing", shared_a)
+        .unwrap();
     wiring::run_to_quiescence(&mut [&mut a, &mut b]);
     let invitation = a.make_invitation(assoc, rel).unwrap();
 

@@ -5,9 +5,7 @@
 
 use proptest::prelude::*;
 
-use decaf_core::{
-    wiring, Blueprint, Envelope, ObjectName, Site, Transaction, TxnCtx, TxnError,
-};
+use decaf_core::{wiring, Blueprint, Envelope, ObjectName, Site, Transaction, TxnCtx, TxnError};
 use decaf_vt::SiteId;
 
 struct PushVal(ObjectName, i64);
@@ -63,11 +61,9 @@ fn arb_ops(sites: usize) -> impl Strategy<Value = Vec<Op>> {
     proptest::collection::vec(
         prop_oneof![
             (0..sites, 0i64..100).prop_map(|(who, v)| Op::Push { who, v }),
-            (0..sites, 0usize..8, 0i64..100)
-                .prop_map(|(who, at, v)| Op::Insert { who, at, v }),
+            (0..sites, 0usize..8, 0i64..100).prop_map(|(who, at, v)| Op::Insert { who, at, v }),
             (0..sites, 0usize..8).prop_map(|(who, at)| Op::Remove { who, at }),
-            (0..sites, 0usize..8, 0i64..100)
-                .prop_map(|(who, at, v)| Op::Write { who, at, v }),
+            (0..sites, 0usize..8, 0i64..100).prop_map(|(who, at, v)| Op::Write { who, at, v }),
             (0usize..64).prop_map(|nth| Op::Deliver { nth }),
         ],
         1..50,

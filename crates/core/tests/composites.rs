@@ -2,9 +2,7 @@
 //! paths, structural convergence, straggler blocking, and child-value
 //! replication.
 
-use decaf_core::{
-    wiring, Blueprint, ObjectName, Site, Transaction, TxnCtx, TxnError, TxnOutcome,
-};
+use decaf_core::{wiring, Blueprint, ObjectName, Site, Transaction, TxnCtx, TxnError, TxnOutcome};
 use decaf_vt::SiteId;
 
 struct Push(ObjectName, i64);
@@ -170,7 +168,11 @@ fn straggling_path_update_blocks_until_structure_arrives() {
             b.handle_message(e);
         }
     }
-    assert_eq!(list_ints(&b, lb), Vec::<i64>::new(), "buffered, not applied");
+    assert_eq!(
+        list_ints(&b, lb),
+        Vec::<i64>::new(),
+        "buffered, not applied"
+    );
     // Now the structural insert arrives; the buffered update applies.
     for e in structural {
         if e.to == SiteId(2) {

@@ -6,8 +6,8 @@
 use proptest::prelude::*;
 
 use decaf_core::{
-    wiring, Envelope, ObjectName, RecordingView, ScalarValue, Site, Transaction, TxnCtx,
-    TxnError, ViewEvent, ViewMode,
+    wiring, Envelope, ObjectName, RecordingView, ScalarValue, Site, Transaction, TxnCtx, TxnError,
+    ViewEvent, ViewMode,
 };
 use decaf_vt::SiteId;
 
@@ -58,24 +58,26 @@ fn run_script(n: usize, actions: &[Action]) -> (Vec<Site>, Vec<ObjectName>) {
     let mut sites: Vec<Site> = (0..n).map(|i| Site::new(SiteId(i as u32 + 1))).collect();
     let objects: Vec<ObjectName> = sites.iter_mut().map(|s| s.create_int(0)).collect();
     {
-        let mut parts: Vec<(&mut Site, ObjectName)> = sites
-            .iter_mut()
-            .zip(objects.iter().copied())
-            .collect();
+        let mut parts: Vec<(&mut Site, ObjectName)> =
+            sites.iter_mut().zip(objects.iter().copied()).collect();
         wiring::wire_replicas(&mut parts);
     }
     // Per-link FIFO queues keyed by (from, to).
-    let mut queues: std::collections::BTreeMap<(SiteId, SiteId), std::collections::VecDeque<Envelope>> =
-        Default::default();
-    let drain =
-        |sites: &mut Vec<Site>,
-         queues: &mut std::collections::BTreeMap<(SiteId, SiteId), std::collections::VecDeque<Envelope>>| {
-            for s in sites.iter_mut() {
-                for e in s.drain_outbox() {
-                    queues.entry((e.from, e.to)).or_default().push_back(e);
-                }
+    let mut queues: std::collections::BTreeMap<
+        (SiteId, SiteId),
+        std::collections::VecDeque<Envelope>,
+    > = Default::default();
+    let drain = |sites: &mut Vec<Site>,
+                 queues: &mut std::collections::BTreeMap<
+        (SiteId, SiteId),
+        std::collections::VecDeque<Envelope>,
+    >| {
+        for s in sites.iter_mut() {
+            for e in s.drain_outbox() {
+                queues.entry((e.from, e.to)).or_default().push_back(e);
             }
-        };
+        }
+    };
     for action in actions {
         match action {
             Action::Txn { who, kind, value } => {
@@ -91,8 +93,11 @@ fn run_script(n: usize, actions: &[Action]) -> (Vec<Site>, Vec<ObjectName>) {
                 }
             }
             Action::Deliver { nth } => {
-                let keys: Vec<(SiteId, SiteId)> =
-                    queues.keys().copied().filter(|k| !queues[k].is_empty()).collect();
+                let keys: Vec<(SiteId, SiteId)> = queues
+                    .keys()
+                    .copied()
+                    .filter(|k| !queues[k].is_empty())
+                    .collect();
                 if keys.is_empty() {
                     continue;
                 }

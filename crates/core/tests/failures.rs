@@ -94,7 +94,11 @@ fn originator_failure_with_no_commit_aborts_in_doubt_txn() {
     b.notify_site_failed(SiteId(3));
     pump_alive(&mut [&mut a, &mut b, &mut c], &[SiteId(3)]);
 
-    assert_eq!(a.read_int_current(oa), Some(0), "in-doubt update rolled back");
+    assert_eq!(
+        a.read_int_current(oa),
+        Some(0),
+        "in-doubt update rolled back"
+    );
     assert_eq!(b.read_int_current(ob), Some(0));
     // Graphs no longer include the failed site.
     assert_eq!(a.replication_graph(oa).unwrap().len(), 2);
@@ -198,7 +202,11 @@ fn double_failure_leaves_single_survivor_functional() {
 
     assert_eq!(b.replication_graph(ob).unwrap().len(), 1);
     b.execute(Box::new(SetInt(ob, 9)));
-    assert_eq!(b.read_int_committed(ob), Some(9), "sole survivor commits locally");
+    assert_eq!(
+        b.read_int_committed(ob),
+        Some(9),
+        "sole survivor commits locally"
+    );
     assert!(b.is_quiescent());
 }
 

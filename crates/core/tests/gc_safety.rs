@@ -2,7 +2,9 @@
 //! against racing stale writes, and heartbeat-driven horizon progress
 //! under one-directional traffic.
 
-use decaf_core::{wiring, Envelope, Message, ObjectName, Site, Transaction, TxnCtx, TxnError, TxnOutcome};
+use decaf_core::{
+    wiring, Envelope, Message, ObjectName, Site, Transaction, TxnCtx, TxnError, TxnOutcome,
+};
 use decaf_vt::SiteId;
 
 struct Incr(ObjectName);
@@ -136,7 +138,11 @@ fn long_run_stays_memory_bounded() {
     let ob = b.create_int(0);
     wiring::wire_pair(&mut a, oa, &mut b, ob);
     for i in 0..500 {
-        let (site, obj) = if i % 2 == 0 { (&mut a, oa) } else { (&mut b, ob) };
+        let (site, obj) = if i % 2 == 0 {
+            (&mut a, oa)
+        } else {
+            (&mut b, ob)
+        };
         site.execute(Box::new(Incr(obj)));
         wiring::run_to_quiescence(&mut [&mut a, &mut b]);
     }

@@ -3,8 +3,8 @@
 //! retry, delegation, and garbage collection.
 
 use decaf_core::{
-    wiring, Envelope, Message, ObjectName, PrimarySelector, Site, SiteConfig, Transaction,
-    TxnCtx, TxnError, TxnOutcome,
+    wiring, Envelope, Message, ObjectName, PrimarySelector, Site, SiteConfig, Transaction, TxnCtx,
+    TxnError, TxnOutcome,
 };
 use decaf_vt::SiteId;
 

@@ -5,8 +5,8 @@
 //! the wire.
 
 use decaf_core::{
-    wiring, Envelope, Message, ObjectAddr, ObjectName, Path, PathElem, ReadItem, Site,
-    SubjectKind, Transaction, TxnCtx, TxnError, TxnPropagate, UpdateItem, WireOp,
+    wiring, Envelope, Message, ObjectAddr, ObjectName, Path, PathElem, ReadItem, Site, SubjectKind,
+    Transaction, TxnCtx, TxnError, TxnPropagate, UpdateItem, WireOp,
 };
 use decaf_vt::{SiteId, VirtualTime};
 
@@ -49,8 +49,20 @@ fn verdicts_for_unknown_subjects_are_ignored() {
             },
         ));
     }
-    a.handle_message(env(2, 1, Message::Commit { txn: VirtualTime::new(9, SiteId(2)) }));
-    a.handle_message(env(2, 1, Message::Abort { txn: VirtualTime::new(10, SiteId(2)) }));
+    a.handle_message(env(
+        2,
+        1,
+        Message::Commit {
+            txn: VirtualTime::new(9, SiteId(2)),
+        },
+    ));
+    a.handle_message(env(
+        2,
+        1,
+        Message::Abort {
+            txn: VirtualTime::new(10, SiteId(2)),
+        },
+    ));
     assert_eq!(a.read_int_committed(o), Some(5));
     assert!(a.is_quiescent());
 }

@@ -3,8 +3,8 @@
 //! updates, and monotonicity.
 
 use decaf_core::{
-    wiring, ObjectName, RecordingView, ScalarValue, Site, Transaction, TxnCtx, TxnError,
-    ViewEvent, ViewMode,
+    wiring, ObjectName, RecordingView, ScalarValue, Site, Transaction, TxnCtx, TxnError, ViewEvent,
+    ViewMode,
 };
 use decaf_vt::SiteId;
 
@@ -340,7 +340,11 @@ fn view_initiated_transaction_runs() {
     let mut a = Site::new(SiteId(1));
     let x = a.create_int(0);
     let y = a.create_int(0);
-    a.attach_view(Box::new(Mirror { src: x, dst: y }), &[x], ViewMode::Optimistic);
+    a.attach_view(
+        Box::new(Mirror { src: x, dst: y }),
+        &[x],
+        ViewMode::Optimistic,
+    );
     a.execute(Box::new(SetInt(x, 3)));
     assert_eq!(a.read_int_committed(y), Some(30));
 }

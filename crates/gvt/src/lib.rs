@@ -53,9 +53,7 @@ use serde::{Deserialize, Serialize};
 use decaf_vt::{History, LamportClock, SiteId, VirtualTime};
 
 /// Global logical object name in the baseline (sites agree on names).
-#[derive(
-    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct GvtObject(pub String);
 
 /// Messages of the GVT baseline protocol.
@@ -252,8 +250,12 @@ impl GvtSite {
         let round = self.next_round;
         self.next_round += 1;
         let min = self.local_min();
-        let mut remaining: Vec<SiteId> =
-            self.ring.iter().copied().filter(|s| *s != self.id).collect();
+        let mut remaining: Vec<SiteId> = self
+            .ring
+            .iter()
+            .copied()
+            .filter(|s| *s != self.id)
+            .collect();
         if remaining.is_empty() {
             // Single-site network: GVT = local min immediately.
             self.apply_gvt(min);
@@ -412,13 +414,17 @@ mod tests {
 
     fn network(n: u32) -> Vec<GvtSite> {
         let ring: Vec<SiteId> = (1..=n).map(SiteId).collect();
-        (1..=n).map(|i| GvtSite::new(SiteId(i), ring.clone())).collect()
+        (1..=n)
+            .map(|i| GvtSite::new(SiteId(i), ring.clone()))
+            .collect()
     }
 
     #[test]
     fn write_propagates_but_stays_uncommitted_without_sweep() {
         let mut sites = network(2);
-        let [a, b] = &mut sites[..] else { unreachable!() };
+        let [a, b] = &mut sites[..] else {
+            unreachable!()
+        };
         let oa = a.create_int("x", 0);
         let ob = b.create_int("x", 0);
         a.add_replicas(oa.clone(), vec![SiteId(1), SiteId(2)]);
@@ -432,7 +438,9 @@ mod tests {
     #[test]
     fn sweep_commits_everything_below_gvt() {
         let mut sites = network(2);
-        let [a, b] = &mut sites[..] else { unreachable!() };
+        let [a, b] = &mut sites[..] else {
+            unreachable!()
+        };
         let oa = a.create_int("x", 0);
         let ob = b.create_int("x", 0);
         a.add_replicas(oa.clone(), vec![SiteId(1), SiteId(2)]);
@@ -453,7 +461,9 @@ mod tests {
     #[test]
     fn in_flight_write_holds_gvt_back() {
         let mut sites = network(2);
-        let [a, b] = &mut sites[..] else { unreachable!() };
+        let [a, b] = &mut sites[..] else {
+            unreachable!()
+        };
         let oa = a.create_int("x", 0);
         let ob = b.create_int("x", 0);
         a.add_replicas(oa.clone(), vec![SiteId(1), SiteId(2)]);

@@ -4,7 +4,11 @@
 //! The simulator in [`crate::sim`] is the primary experimental substrate;
 //! this transport exists to exercise the same sans-I/O site engine under
 //! true parallelism (integration tests and examples), the way the paper's
-//! Java prototype ran one JVM per user.
+//! Java prototype ran one JVM per user. For crossing real process
+//! boundaries, see [`crate::tcp`].
+//!
+//! Endpoints deliver [`TransportEvent`]s: ordinary messages, plus the
+//! §3.4 fail-stop notification injected by [`ThreadedNet::fail_site`].
 
 use std::collections::BinaryHeap;
 use std::fmt;
@@ -17,22 +21,12 @@ use parking_lot::Mutex;
 
 use decaf_vt::SiteId;
 
-/// A message annotated with its sender, as received from an [`Endpoint`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Incoming<M> {
-    /// The sending site.
-    pub from: SiteId,
-    /// The payload.
-    pub msg: M,
-}
+use crate::{Transport, TransportEndpoint, TransportEvent};
 
 enum RouterCmd<M> {
-    Send {
-        from: SiteId,
-        to: SiteId,
-        msg: M,
-    },
+    Send { from: SiteId, to: SiteId, msg: M },
     Disconnect(SiteId),
+    Fail(SiteId),
     Shutdown,
 }
 
@@ -68,12 +62,14 @@ impl<M> Ord for Pending<M> {
 pub struct Endpoint<M> {
     site: SiteId,
     to_router: Sender<RouterCmd<M>>,
-    inbox: Receiver<Incoming<M>>,
+    inbox: Receiver<TransportEvent<M>>,
 }
 
 impl<M> fmt::Debug for Endpoint<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Endpoint").field("site", &self.site).finish()
+        f.debug_struct("Endpoint")
+            .field("site", &self.site)
+            .finish()
     }
 }
 
@@ -103,12 +99,12 @@ impl<M: Send + 'static> Endpoint<M> {
         });
     }
 
-    /// Blocks until a message arrives.
+    /// Blocks until an event arrives.
     ///
     /// # Errors
     ///
     /// Returns `Err` once the network has shut down and the inbox drained.
-    pub fn recv(&self) -> Result<Incoming<M>, crossbeam_channel::RecvError> {
+    pub fn recv(&self) -> Result<TransportEvent<M>, crossbeam_channel::RecvError> {
         self.inbox.recv()
     }
 
@@ -117,13 +113,33 @@ impl<M: Send + 'static> Endpoint<M> {
     /// # Errors
     ///
     /// Returns `Err` on timeout or after shutdown.
-    pub fn recv_timeout(&self, timeout: Duration) -> Result<Incoming<M>, RecvTimeoutError> {
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<TransportEvent<M>, RecvTimeoutError> {
         self.inbox.recv_timeout(timeout)
     }
 
     /// Non-blocking receive.
-    pub fn try_recv(&self) -> Option<Incoming<M>> {
+    pub fn try_recv(&self) -> Option<TransportEvent<M>> {
         self.inbox.try_recv().ok()
+    }
+}
+
+impl<M: Send + 'static> TransportEndpoint for Endpoint<M> {
+    type Msg = M;
+
+    fn site(&self) -> SiteId {
+        Endpoint::site(self)
+    }
+
+    fn send(&self, to: SiteId, msg: M) {
+        Endpoint::send(self, to, msg)
+    }
+
+    fn try_recv(&self) -> Option<TransportEvent<M>> {
+        Endpoint::try_recv(self)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Option<TransportEvent<M>> {
+        Endpoint::recv_timeout(self, timeout).ok()
     }
 }
 
@@ -137,6 +153,7 @@ impl<M: Send + 'static> Endpoint<M> {
 ///
 /// ```
 /// use decaf_net::threaded::ThreadedNet;
+/// use decaf_net::TransportEvent;
 /// use decaf_vt::SiteId;
 /// use std::time::Duration;
 ///
@@ -144,9 +161,13 @@ impl<M: Send + 'static> Endpoint<M> {
 /// let a = net.endpoint(SiteId(0));
 /// let b = net.endpoint(SiteId(1));
 /// a.send(SiteId(1), "hi".to_string());
-/// let got = b.recv().unwrap();
-/// assert_eq!(got.from, SiteId(0));
-/// assert_eq!(got.msg, "hi");
+/// match b.recv().unwrap() {
+///     TransportEvent::Message { from, msg } => {
+///         assert_eq!(from, SiteId(0));
+///         assert_eq!(msg, "hi");
+///     }
+///     other => panic!("unexpected {other:?}"),
+/// }
 /// net.shutdown();
 /// ```
 pub struct ThreadedNet<M> {
@@ -171,7 +192,7 @@ impl<M: Send + 'static> ThreadedNet<M> {
         let mut inboxes = Vec::with_capacity(n);
         let mut endpoints = Vec::with_capacity(n);
         for i in 0..n {
-            let (tx, rx) = unbounded::<Incoming<M>>();
+            let (tx, rx) = unbounded::<TransportEvent<M>>();
             inboxes.push(tx);
             endpoints.push(Endpoint {
                 site: SiteId(i as u32),
@@ -195,7 +216,7 @@ impl<M: Send + 'static> ThreadedNet<M> {
 
     fn route(
         cmds: Receiver<RouterCmd<M>>,
-        inboxes: Vec<Sender<Incoming<M>>>,
+        inboxes: Vec<Sender<TransportEvent<M>>>,
         delay: Duration,
         delivered: Arc<Mutex<u64>>,
     ) -> u64 {
@@ -214,7 +235,7 @@ impl<M: Send + 'static> ThreadedNet<M> {
                 }
                 if let Some(tx) = inboxes.get(p.to.0 as usize) {
                     if tx
-                        .send(Incoming {
+                        .send(TransportEvent::Message {
                             from: p.from,
                             msg: p.msg,
                         })
@@ -249,6 +270,20 @@ impl<M: Send + 'static> ThreadedNet<M> {
                 Ok(RouterCmd::Disconnect(site)) => {
                     disconnected.insert(site);
                 }
+                Ok(RouterCmd::Fail(site)) => {
+                    let newly = disconnected.insert(site);
+                    if newly {
+                        // ISIS-style fail-stop notification (§3.4): every
+                        // surviving site hears about the failure.
+                        for (i, tx) in inboxes.iter().enumerate() {
+                            let observer = SiteId(i as u32);
+                            if observer == site || disconnected.contains(&observer) {
+                                continue;
+                            }
+                            let _ = tx.send(TransportEvent::SiteFailed { failed: site });
+                        }
+                    }
+                }
                 Ok(RouterCmd::Shutdown) | Err(RecvTimeoutError::Disconnected) => {
                     shutting_down = true;
                 }
@@ -271,9 +306,17 @@ impl<M: Send + 'static> ThreadedNet<M> {
 
     /// Emulates a fail-stop of `site`: its pending and future traffic is
     /// discarded. (Failure *notification* delivery is the harness's job on
-    /// this transport.)
+    /// this transport; use [`fail_site`](ThreadedNet::fail_site) for the
+    /// notified variant.)
     pub fn disconnect(&self, site: SiteId) {
         let _ = self.to_router.send(RouterCmd::Disconnect(site));
+    }
+
+    /// Fail-stops `site` *and* delivers a [`TransportEvent::SiteFailed`]
+    /// notification to every surviving endpoint, reproducing the ISIS
+    /// failure-detector behaviour the paper assumes (§3.4).
+    pub fn fail_site(&self, site: SiteId) {
+        let _ = self.to_router.send(RouterCmd::Fail(site));
     }
 
     /// Total messages delivered so far.
@@ -287,6 +330,19 @@ impl<M: Send + 'static> ThreadedNet<M> {
         if let Some(h) = self.router.take() {
             let _ = h.join();
         }
+    }
+}
+
+impl<M: Send + 'static> Transport for ThreadedNet<M> {
+    type Msg = M;
+    type Endpoint = Endpoint<M>;
+
+    fn endpoint(&self, site: SiteId) -> Endpoint<M> {
+        ThreadedNet::endpoint(self, site)
+    }
+
+    fn shutdown(&mut self) {
+        ThreadedNet::shutdown(self)
     }
 }
 
@@ -304,16 +360,20 @@ impl<M> Drop for ThreadedNet<M> {
 mod tests {
     use super::*;
 
+    fn msg_of<M>(ev: TransportEvent<M>) -> (SiteId, M) {
+        ev.into_message().expect("expected a Message event")
+    }
+
     #[test]
     fn round_trip_between_two_sites() {
         let mut net: ThreadedNet<u32> = ThreadedNet::new(2, Duration::from_millis(1));
         let a = net.endpoint(SiteId(0));
         let b = net.endpoint(SiteId(1));
         a.send(SiteId(1), 5);
-        let got = b.recv().unwrap();
-        assert_eq!(got.msg, 5);
-        b.send(SiteId(0), got.msg * 2);
-        assert_eq!(a.recv().unwrap().msg, 10);
+        let (from, got) = msg_of(b.recv().unwrap());
+        assert_eq!((from, got), (SiteId(0), 5));
+        b.send(SiteId(0), got * 2);
+        assert_eq!(msg_of(a.recv().unwrap()).1, 10);
         net.shutdown();
         assert_eq!(net.delivered(), 2);
     }
@@ -343,7 +403,7 @@ mod tests {
             a.send(SiteId(1), i);
         }
         for i in 0..20 {
-            assert_eq!(b.recv().unwrap().msg, i);
+            assert_eq!(msg_of(b.recv().unwrap()).1, i);
         }
         net.shutdown();
     }
@@ -356,9 +416,31 @@ mod tests {
         net.disconnect(SiteId(2));
         a.send(SiteId(2), 1); // dropped
         a.send(SiteId(1), 2); // delivered
-        assert_eq!(b.recv().unwrap().msg, 2);
+        assert_eq!(msg_of(b.recv().unwrap()).1, 2);
         net.shutdown();
         assert_eq!(net.delivered(), 1);
+    }
+
+    #[test]
+    fn fail_site_notifies_survivors() {
+        let mut net: ThreadedNet<u32> = ThreadedNet::new(3, Duration::from_millis(1));
+        let a = net.endpoint(SiteId(0));
+        let b = net.endpoint(SiteId(1));
+        net.fail_site(SiteId(2));
+        for ep in [&a, &b] {
+            match ep.recv_timeout(Duration::from_secs(1)).unwrap() {
+                TransportEvent::SiteFailed { failed } => assert_eq!(failed, SiteId(2)),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Traffic to the failed site is discarded; survivors still talk.
+        a.send(SiteId(2), 9);
+        a.send(SiteId(1), 3);
+        assert_eq!(msg_of(b.recv().unwrap()).1, 3);
+        // A second fail_site is idempotent — no duplicate notification.
+        net.fail_site(SiteId(2));
+        assert!(a.recv_timeout(Duration::from_millis(80)).is_err());
+        net.shutdown();
     }
 
     #[test]
@@ -383,5 +465,19 @@ mod tests {
             got += 1;
         }
         net.shutdown();
+    }
+
+    #[test]
+    fn trait_object_style_generic_driving() {
+        fn ping<T: Transport<Msg = u8>>(net: &T) -> Option<(SiteId, u8)> {
+            let a = net.endpoint(SiteId(0));
+            let b = net.endpoint(SiteId(1));
+            a.send(SiteId(1), 0xAB);
+            b.recv_timeout(Duration::from_secs(1))
+                .and_then(TransportEvent::into_message)
+        }
+        let mut net: ThreadedNet<u8> = ThreadedNet::new(2, Duration::from_millis(1));
+        assert_eq!(ping(&net), Some((SiteId(0), 0xAB)));
+        Transport::shutdown(&mut net);
     }
 }

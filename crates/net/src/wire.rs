@@ -1,0 +1,517 @@
+//! Versioned, length-prefixed wire codec for DECAF protocol envelopes.
+//!
+//! The TCP mesh ([`crate::tcp`]) carries [`decaf_core::Envelope`]s between
+//! OS processes. Each envelope (or control message) travels in one *frame*:
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------
+//!      0     4  magic  = b"DCAF"
+//!      4     1  protocol version (currently 1)
+//!      5     1  frame kind (1 = Hello, 2 = Data, 3 = Ping)
+//!      6     4  payload length, u32 little-endian
+//!     10     4  CRC-32 (IEEE) of the payload, u32 little-endian
+//!     14   len  payload bytes
+//! ```
+//!
+//! Data payloads are the serde-JSON encoding of an `Envelope`; Hello
+//! payloads are the 4-byte little-endian [`SiteId`] of the connecting peer;
+//! Ping (heartbeat) payloads are empty.
+//!
+//! Malformed input — wrong magic, unknown version or kind, oversized
+//! length, CRC mismatch, or an undecodable payload — is rejected with a
+//! [`WireError`], never a panic, so a byte stream from a hostile or
+//! corrupted peer cannot take a site down.
+//!
+//! # Example
+//!
+//! ```
+//! use decaf_net::wire::{encode_frame, FrameKind, FrameReader};
+//!
+//! let bytes = encode_frame(FrameKind::Data, b"payload");
+//! let mut reader = FrameReader::new();
+//! reader.feed(&bytes[..5]); // arbitrary fragmentation is fine
+//! assert!(reader.next_frame().unwrap().is_none());
+//! reader.feed(&bytes[5..]);
+//! let frame = reader.next_frame().unwrap().unwrap();
+//! assert_eq!(frame.kind, FrameKind::Data);
+//! assert_eq!(frame.payload, b"payload");
+//! ```
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use decaf_core::Envelope;
+use decaf_vt::SiteId;
+
+/// Magic bytes opening every frame.
+pub const MAGIC: [u8; 4] = *b"DCAF";
+
+/// Current wire protocol version.
+///
+/// Bump on any change to the frame layout or to the payload encodings; the
+/// golden-frame snapshot test in `tests/wire_codec.rs` guards against
+/// accidental drift.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Fixed frame header size in bytes.
+pub const HEADER_LEN: usize = 14;
+
+/// Upper bound on a frame payload (16 MiB). Larger length fields are
+/// rejected before any allocation, so a corrupt header cannot trigger an
+/// absurd allocation.
+pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// Connection preamble: identifies the dialing site (4-byte LE id).
+    Hello,
+    /// A serde-JSON encoded [`Envelope`].
+    Data,
+    /// Heartbeat/keepalive; empty payload.
+    Ping,
+}
+
+impl FrameKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            FrameKind::Hello => 1,
+            FrameKind::Data => 2,
+            FrameKind::Ping => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<FrameKind> {
+        match b {
+            1 => Some(FrameKind::Hello),
+            2 => Some(FrameKind::Data),
+            3 => Some(FrameKind::Ping),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The frame's kind tag.
+    pub kind: FrameKind,
+    /// The raw payload bytes (CRC already verified).
+    pub payload: Vec<u8>,
+}
+
+/// Why a byte sequence was rejected by the codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The version byte did not match [`PROTOCOL_VERSION`].
+    UnsupportedVersion(u8),
+    /// The kind byte named no known [`FrameKind`].
+    UnknownKind(u8),
+    /// The declared payload length exceeded [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// The payload's CRC-32 did not match the header.
+    BadCrc {
+        /// CRC declared in the header.
+        expected: u32,
+        /// CRC computed over the received payload.
+        found: u32,
+    },
+    /// A payload failed to decode (e.g. invalid JSON for a Data frame, or
+    /// a Hello payload of the wrong size).
+    Codec(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            WireError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported protocol version {v} (want {PROTOCOL_VERSION})"
+                )
+            }
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::Oversized(n) => {
+                write!(f, "declared payload length {n} exceeds cap {MAX_PAYLOAD}")
+            }
+            WireError::BadCrc { expected, found } => {
+                write!(
+                    f,
+                    "payload CRC mismatch: header {expected:#010x}, computed {found:#010x}"
+                )
+            }
+            WireError::Codec(e) => write!(f, "payload decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+///
+/// In-tree implementation: the container policy forbids new external
+/// dependencies, and 30 lines of const-fn table generation beat a crate.
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Computes the CRC-32 (IEEE) checksum of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        let idx = ((crc ^ b as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ CRC_TABLE[idx];
+    }
+    !crc
+}
+
+/// Encodes one frame into a fresh byte vector.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_PAYLOAD`] — the caller controls
+/// outbound payloads, so an oversized one is a local programming error
+/// (inbound oversize is an *error*, not a panic; see [`FrameReader`]).
+pub fn encode_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_PAYLOAD as usize,
+        "outbound payload of {} bytes exceeds MAX_PAYLOAD",
+        payload.len()
+    );
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(PROTOCOL_VERSION);
+    out.push(kind.to_byte());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Incremental frame parser for a byte stream.
+///
+/// Feed it arbitrarily fragmented chunks ([`feed`](FrameReader::feed)) and
+/// pop complete frames ([`next_frame`](FrameReader::next_frame)). Any
+/// malformed header or payload poisons the stream: once an error is
+/// returned, the reader keeps returning it (a TCP byte stream has no frame
+/// resynchronization point, so the connection must be dropped).
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    poisoned: Option<WireError>,
+}
+
+impl FrameReader {
+    /// Creates an empty reader.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Appends raw bytes from the stream.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if self.poisoned.is_none() {
+            self.buf.extend_from_slice(bytes);
+        }
+    }
+
+    /// Number of buffered, not-yet-consumed bytes.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Tries to pop the next complete frame.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`WireError`] that poisoned the stream, on this and all
+    /// subsequent calls.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let header: [u8; HEADER_LEN] = self.buf[..HEADER_LEN]
+            .try_into()
+            .expect("slice has HEADER_LEN bytes");
+        let (kind, len, crc) = match parse_header(&header) {
+            Ok(h) => h,
+            Err(e) => {
+                self.poisoned = Some(e.clone());
+                return Err(e);
+            }
+        };
+        let total = HEADER_LEN + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let payload = self.buf[HEADER_LEN..total].to_vec();
+        let found = crc32(&payload);
+        if found != crc {
+            let e = WireError::BadCrc {
+                expected: crc,
+                found,
+            };
+            self.poisoned = Some(e.clone());
+            return Err(e);
+        }
+        self.buf.drain(..total);
+        Ok(Some(Frame { kind, payload }))
+    }
+}
+
+/// Validates a frame header, returning `(kind, payload_len, payload_crc)`.
+fn parse_header(h: &[u8; HEADER_LEN]) -> Result<(FrameKind, u32, u32), WireError> {
+    if h[..4] != MAGIC {
+        return Err(WireError::BadMagic([h[0], h[1], h[2], h[3]]));
+    }
+    if h[4] != PROTOCOL_VERSION {
+        return Err(WireError::UnsupportedVersion(h[4]));
+    }
+    let kind = FrameKind::from_byte(h[5]).ok_or(WireError::UnknownKind(h[5]))?;
+    let len = u32::from_le_bytes([h[6], h[7], h[8], h[9]]);
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversized(len));
+    }
+    let crc = u32::from_le_bytes([h[10], h[11], h[12], h[13]]);
+    Ok((kind, len, crc))
+}
+
+/// Writes one frame to a blocking writer (header + payload, then flush).
+///
+/// Returns the number of bytes written.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> io::Result<usize> {
+    let bytes = encode_frame(kind, payload);
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(bytes.len())
+}
+
+/// Reads one complete frame from a blocking reader.
+///
+/// # Errors
+///
+/// Malformed frames surface as [`io::ErrorKind::InvalidData`] with the
+/// underlying [`WireError`] as the source; a cleanly closed stream at a
+/// frame boundary is [`io::ErrorKind::UnexpectedEof`].
+pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let (kind, len, crc) =
+        parse_header(&header).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let found = crc32(&payload);
+    if found != crc {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            WireError::BadCrc {
+                expected: crc,
+                found,
+            },
+        ));
+    }
+    Ok(Frame { kind, payload })
+}
+
+/// Serializes an [`Envelope`] into a Data-frame payload.
+///
+/// # Errors
+///
+/// Returns [`WireError::Codec`] if serialization fails (it cannot for the
+/// in-tree `Envelope`, but the serde backend's error is surfaced rather
+/// than unwrapped).
+pub fn encode_envelope(env: &Envelope) -> Result<Vec<u8>, WireError> {
+    serde_json::to_vec(env).map_err(|e| WireError::Codec(e.to_string()))
+}
+
+/// Deserializes a Data-frame payload back into an [`Envelope`].
+///
+/// # Errors
+///
+/// Returns [`WireError::Codec`] on invalid JSON or a shape mismatch.
+pub fn decode_envelope(payload: &[u8]) -> Result<Envelope, WireError> {
+    serde_json::from_slice(payload).map_err(|e| WireError::Codec(e.to_string()))
+}
+
+/// Encodes a Hello payload: the dialing site's id, 4 bytes little-endian.
+pub fn encode_hello(site: SiteId) -> [u8; 4] {
+    site.0.to_le_bytes()
+}
+
+/// Decodes a Hello payload.
+///
+/// # Errors
+///
+/// Returns [`WireError::Codec`] if the payload is not exactly 4 bytes.
+pub fn decode_hello(payload: &[u8]) -> Result<SiteId, WireError> {
+    let bytes: [u8; 4] = payload.try_into().map_err(|_| {
+        WireError::Codec(format!("hello payload of {} bytes, want 4", payload.len()))
+    })?;
+    Ok(SiteId(u32::from_le_bytes(bytes)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrip_via_reader() {
+        let bytes = encode_frame(FrameKind::Data, b"hello world");
+        let mut r = FrameReader::new();
+        r.feed(&bytes);
+        let f = r.next_frame().unwrap().unwrap();
+        assert_eq!(f.kind, FrameKind::Data);
+        assert_eq!(f.payload, b"hello world");
+        assert!(r.next_frame().unwrap().is_none());
+        assert_eq!(r.buffered(), 0);
+    }
+
+    #[test]
+    fn reader_handles_fragmentation_and_back_to_back_frames() {
+        let mut stream = encode_frame(FrameKind::Ping, b"");
+        stream.extend_from_slice(&encode_frame(FrameKind::Data, b"x"));
+        let mut r = FrameReader::new();
+        for chunk in stream.chunks(3) {
+            r.feed(chunk);
+        }
+        assert_eq!(r.next_frame().unwrap().unwrap().kind, FrameKind::Ping);
+        let f = r.next_frame().unwrap().unwrap();
+        assert_eq!((f.kind, f.payload.as_slice()), (FrameKind::Data, &b"x"[..]));
+    }
+
+    #[test]
+    fn bad_magic_poisons() {
+        let mut bytes = encode_frame(FrameKind::Data, b"p");
+        bytes[0] = b'X';
+        let mut r = FrameReader::new();
+        r.feed(&bytes);
+        assert!(matches!(r.next_frame(), Err(WireError::BadMagic(_))));
+        // Poisoned: same error again, new bytes ignored.
+        r.feed(&encode_frame(FrameKind::Ping, b""));
+        assert!(matches!(r.next_frame(), Err(WireError::BadMagic(_))));
+    }
+
+    #[test]
+    fn version_kind_length_crc_rejections() {
+        let good = encode_frame(FrameKind::Data, b"payload");
+
+        let mut v = good.clone();
+        v[4] = 99;
+        let mut r = FrameReader::new();
+        r.feed(&v);
+        assert!(matches!(
+            r.next_frame(),
+            Err(WireError::UnsupportedVersion(99))
+        ));
+
+        let mut k = good.clone();
+        k[5] = 0;
+        let mut r = FrameReader::new();
+        r.feed(&k);
+        assert!(matches!(r.next_frame(), Err(WireError::UnknownKind(0))));
+
+        let mut o = good.clone();
+        o[6..10].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        let mut r = FrameReader::new();
+        r.feed(&o);
+        assert!(matches!(r.next_frame(), Err(WireError::Oversized(_))));
+
+        let mut c = good;
+        let last = c.len() - 1;
+        c[last] ^= 0xFF;
+        let mut r = FrameReader::new();
+        r.feed(&c);
+        assert!(matches!(r.next_frame(), Err(WireError::BadCrc { .. })));
+    }
+
+    #[test]
+    fn blocking_read_write_roundtrip() {
+        let mut buf = Vec::new();
+        let n = write_frame(&mut buf, FrameKind::Hello, &encode_hello(SiteId(7))).unwrap();
+        assert_eq!(n, buf.len());
+        let mut cursor = io::Cursor::new(buf);
+        let f = read_frame(&mut cursor).unwrap();
+        assert_eq!(f.kind, FrameKind::Hello);
+        assert_eq!(decode_hello(&f.payload).unwrap(), SiteId(7));
+    }
+
+    #[test]
+    fn blocking_read_rejects_truncation_and_corruption() {
+        let bytes = encode_frame(FrameKind::Data, b"abcdef");
+        // Truncated mid-payload.
+        let mut cursor = io::Cursor::new(bytes[..bytes.len() - 2].to_vec());
+        assert_eq!(
+            read_frame(&mut cursor).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        // Flipped payload byte.
+        let mut corrupt = bytes;
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 1;
+        let mut cursor = io::Cursor::new(corrupt);
+        assert_eq!(
+            read_frame(&mut cursor).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn hello_payload_size_checked() {
+        assert!(decode_hello(&[1, 2, 3]).is_err());
+        assert_eq!(decode_hello(&encode_hello(SiteId(42))).unwrap(), SiteId(42));
+    }
+
+    #[test]
+    fn wire_error_display_covers_variants() {
+        for e in [
+            WireError::BadMagic(*b"XXXX"),
+            WireError::UnsupportedVersion(9),
+            WireError::UnknownKind(0),
+            WireError::Oversized(u32::MAX),
+            WireError::BadCrc {
+                expected: 1,
+                found: 2,
+            },
+            WireError::Codec("boom".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

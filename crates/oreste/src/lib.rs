@@ -311,8 +311,7 @@ impl OresteSite {
             return 0; // some site never heard from: nothing is stable
         }
         let min_heard = self.heard.values().copied().min().unwrap_or(0);
-        self.applied
-            .partition_point(|a| a.vt.lamport <= min_heard)
+        self.applied.partition_point(|a| a.vt.lamport <= min_heard)
     }
 
     /// The applied operations, in application order.
@@ -377,7 +376,9 @@ mod tests {
         // final states agree. DECAF's snapshot machinery forbids exactly
         // this (its pessimistic views are monotonic over ONE serial order).
         assert!(
-            !b.observed.iter().any(|s| s.color == "blue" && s.container == "A"),
+            !b.observed
+                .iter()
+                .any(|s| s.color == "blue" && s.container == "A"),
             "site B never saw site A's intermediate state"
         );
     }
@@ -485,4 +486,3 @@ mod tests {
         }
     }
 }
-

@@ -141,10 +141,7 @@ impl<T> History<T> {
     /// lower bound of a pessimistic snapshot's monotonicity guess (the
     /// update at `vt` itself is excluded).
     pub fn committed_before(&self, vt: VirtualTime) -> Option<&HistoryEntry<T>> {
-        self.entries
-            .iter()
-            .rev()
-            .find(|e| e.committed && e.vt < vt)
+        self.entries.iter().rev().find(|e| e.committed && e.vt < vt)
     }
 
     /// The entry written exactly at `vt`, if present.

@@ -200,11 +200,8 @@ impl SimWorld {
             .values_mut()
             .map(|s| s.create_int(initial))
             .collect();
-        let mut parts: Vec<(&mut Site, ObjectName)> = self
-            .sites
-            .values_mut()
-            .zip(objs.iter().copied())
-            .collect();
+        let mut parts: Vec<(&mut Site, ObjectName)> =
+            self.sites.values_mut().zip(objs.iter().copied()).collect();
         wiring::wire_replicas(&mut parts);
         objs
     }
@@ -466,8 +463,7 @@ mod tests {
             assert!(d1 > SimTime::ZERO);
         }
         let mut p = ArrivalProcess::poisson(1.0, 7);
-        let mean: f64 =
-            (0..2000).map(|_| p.next_delay().as_secs_f64()).sum::<f64>() / 2000.0;
+        let mean: f64 = (0..2000).map(|_| p.next_delay().as_secs_f64()).sum::<f64>() / 2000.0;
         assert!((0.8..1.2).contains(&mean), "poisson mean off: {mean}");
     }
 
@@ -481,9 +477,10 @@ mod tests {
         // (single remote primary), so the primary commits in t and the
         // originator in 2t.
         let obj = objs[1];
-        world
-            .site(SiteId(2))
-            .execute(Box::new(ReadModifyWrite { object: obj, delta: 1 }));
+        world.site(SiteId(2)).execute(Box::new(ReadModifyWrite {
+            object: obj,
+            delta: 1,
+        }));
         world.run_to_quiescence();
         let mut tracker = LatencyTracker::new();
         tracker.ingest(&world.log);
@@ -511,9 +508,10 @@ mod tests {
             .site(SiteId(1))
             .attach_view(Box::new(watcher), &[objs[0]], ViewMode::Optimistic);
         let obj = objs[1];
-        world
-            .site(SiteId(2))
-            .execute(Box::new(BlindWrite { object: obj, value: 5 }));
+        world.site(SiteId(2)).execute(Box::new(BlindWrite {
+            object: obj,
+            value: 5,
+        }));
         world.run_to_quiescence();
         let mut nt = NotificationTracker::new();
         nt.ingest(&world.log);
@@ -526,9 +524,10 @@ mod tests {
         let mut world = SimWorld::new(2, LatencyModel::uniform(SimTime::from_millis(50)));
         let objs = world.wire_int(0);
         let obj = objs[0];
-        world
-            .site(SiteId(1))
-            .execute(Box::new(BlindWrite { object: obj, value: 1 }));
+        world.site(SiteId(1)).execute(Box::new(BlindWrite {
+            object: obj,
+            value: 1,
+        }));
         world.run_until(SimTime::from_millis(10));
         assert!(world.now() <= SimTime::from_millis(10));
         let o2 = objs[1];
@@ -542,15 +541,19 @@ mod tests {
         let mut world = SimWorld::new(3, LatencyModel::uniform(SimTime::from_millis(5)));
         let objs = world.wire_int_subset(&[SiteId(1), SiteId(2)], 0);
         let o1 = objs[&SiteId(1)];
-        world
-            .site(SiteId(1))
-            .execute(Box::new(BlindWrite { object: o1, value: 4 }));
+        world.site(SiteId(1)).execute(Box::new(BlindWrite {
+            object: o1,
+            value: 4,
+        }));
         world.run_to_quiescence();
         assert_eq!(
             world.site(SiteId(2)).read_int_committed(objs[&SiteId(2)]),
             Some(4)
         );
-        assert_eq!(world.site(SiteId(1)).replication_graph(o1).unwrap().len(), 2);
+        assert_eq!(
+            world.site(SiteId(1)).replication_graph(o1).unwrap().len(),
+            2
+        );
     }
 
     #[test]
@@ -558,9 +561,10 @@ mod tests {
         let mut world = SimWorld::new(2, LatencyModel::uniform(SimTime::from_millis(1)));
         let objs = world.wire_int(0);
         let obj = objs[0];
-        world
-            .site(SiteId(1))
-            .execute(Box::new(BlindWrite { object: obj, value: 2 }));
+        world.site(SiteId(1)).execute(Box::new(BlindWrite {
+            object: obj,
+            value: 2,
+        }));
         world.run_to_quiescence();
         let total = world.total_stats();
         assert_eq!(total.txns_started, 1);
@@ -629,8 +633,7 @@ impl RateWorkload {
                 break;
             }
             if let WorldStep::Timer { site, token: 0, .. } = step {
-                let Some((_, arrivals, kind)) =
-                    self.parties.iter_mut().find(|(s, ..)| *s == site)
+                let Some((_, arrivals, kind)) = self.parties.iter_mut().find(|(s, ..)| *s == site)
                 else {
                     continue;
                 };
@@ -639,14 +642,16 @@ impl RateWorkload {
                 match kind {
                     TxnKind::BlindWrite => {
                         marker += 1;
-                        world
-                            .site(site)
-                            .execute(Box::new(BlindWrite { object: obj, value: marker }));
+                        world.site(site).execute(Box::new(BlindWrite {
+                            object: obj,
+                            value: marker,
+                        }));
                     }
                     TxnKind::ReadModifyWrite => {
-                        world
-                            .site(site)
-                            .execute(Box::new(ReadModifyWrite { object: obj, delta: 1 }));
+                        world.site(site).execute(Box::new(ReadModifyWrite {
+                            object: obj,
+                            delta: 1,
+                        }));
                     }
                 }
                 let d = arrivals.next_delay();
@@ -668,8 +673,16 @@ mod scenario_tests {
         let objs = world.wire_int(0);
         let submitted = RateWorkload {
             parties: vec![
-                (SiteId(1), ArrivalProcess::fixed_rate(2.0), TxnKind::ReadModifyWrite),
-                (SiteId(2), ArrivalProcess::fixed_rate(2.0), TxnKind::ReadModifyWrite),
+                (
+                    SiteId(1),
+                    ArrivalProcess::fixed_rate(2.0),
+                    TxnKind::ReadModifyWrite,
+                ),
+                (
+                    SiteId(2),
+                    ArrivalProcess::fixed_rate(2.0),
+                    TxnKind::ReadModifyWrite,
+                ),
             ],
             duration: SimTime::from_secs(10),
         }
@@ -687,8 +700,16 @@ mod scenario_tests {
         let objs = world.wire_int(0);
         RateWorkload {
             parties: vec![
-                (SiteId(1), ArrivalProcess::poisson(3.0, 1), TxnKind::BlindWrite),
-                (SiteId(2), ArrivalProcess::poisson(3.0, 2), TxnKind::BlindWrite),
+                (
+                    SiteId(1),
+                    ArrivalProcess::poisson(3.0, 1),
+                    TxnKind::BlindWrite,
+                ),
+                (
+                    SiteId(2),
+                    ArrivalProcess::poisson(3.0, 2),
+                    TxnKind::BlindWrite,
+                ),
             ],
             duration: SimTime::from_secs(10),
         }

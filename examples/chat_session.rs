@@ -112,7 +112,10 @@ fn main() {
         matches!(e.event, EngineEvent::JoinCompleted { ok: true, .. }) && e.site == SiteId(2)
     });
     assert!(joined, "bob's join must complete");
-    println!("  bob's backlog: {:?}", transcript(&mut world, SiteId(2), room2));
+    println!(
+        "  bob's backlog: {:?}",
+        transcript(&mut world, SiteId(2), room2)
+    );
 
     world.site(SiteId(2)).execute(Box::new(Say {
         room: room2,

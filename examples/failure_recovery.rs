@@ -26,7 +26,11 @@ fn main() {
 
     println!(
         "initial primary of the shared counter: {}",
-        world.site(SiteId(2)).primary_of(objs[1]).expect("primary").site
+        world
+            .site(SiteId(2))
+            .primary_of(objs[1])
+            .expect("primary")
+            .site
     );
 
     // Normal operation.
@@ -46,7 +50,11 @@ fn main() {
 
     println!(
         "\nafter recovery, the new primary is {}",
-        world.site(SiteId(2)).primary_of(objs[1]).expect("primary").site
+        world
+            .site(SiteId(2))
+            .primary_of(objs[1])
+            .expect("primary")
+            .site
     );
     println!(
         "surviving replicas agree: site2 = {:?}, site3 = {:?}",
@@ -58,7 +66,11 @@ fn main() {
         world.site(SiteId(3)).read_int_committed(objs[2]),
     );
     assert_eq!(
-        world.site(SiteId(2)).replication_graph(objs[1]).expect("graph").len(),
+        world
+            .site(SiteId(2))
+            .replication_graph(objs[1])
+            .expect("graph")
+            .len(),
         2,
         "graphs repaired to the two survivors"
     );

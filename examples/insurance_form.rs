@@ -146,7 +146,9 @@ fn main() {
         field: "coverage",
         value: "full",
     }));
-    world.site(SiteId(1)).execute(Box::new(Reprice { form: form1 }));
+    world
+        .site(SiteId(1))
+        .execute(Box::new(Reprice { form: form1 }));
     world.run_to_quiescence();
 
     println!("\nclient downgrades to basic; agent reprices concurrently:");
@@ -155,7 +157,9 @@ fn main() {
         field: "coverage",
         value: "basic",
     }));
-    world.site(SiteId(1)).execute(Box::new(Reprice { form: form1 }));
+    world
+        .site(SiteId(1))
+        .execute(Box::new(Reprice { form: form1 }));
     world.run_to_quiescence();
 
     println!("\nfinal committed form at both sites:");

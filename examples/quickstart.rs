@@ -111,7 +111,10 @@ fn main() {
     world.run_to_quiescence();
     println!(
         "  state unchanged: A = {:?} at both sites",
-        world.site(SiteId(1)).read_real_committed(a1).expect("committed"),
+        world
+            .site(SiteId(1))
+            .read_real_committed(a1)
+            .expect("committed"),
     );
 
     let s1 = world.site(SiteId(1)).stats();

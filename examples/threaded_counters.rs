@@ -12,6 +12,7 @@ use std::time::Duration;
 
 use decaf_core::{wiring, Envelope, ObjectName, Site, Transaction, TxnCtx, TxnError};
 use decaf_net::threaded::ThreadedNet;
+use decaf_net::TransportEvent;
 use decaf_vt::SiteId;
 
 struct Incr(ObjectName);
@@ -26,7 +27,9 @@ const USERS: u32 = 3;
 const INCREMENTS_EACH: i64 = 25;
 
 fn main() {
-    println!("Threaded counters: {USERS} threads, 2 ms link delay, {INCREMENTS_EACH} increments each\n");
+    println!(
+        "Threaded counters: {USERS} threads, 2 ms link delay, {INCREMENTS_EACH} increments each\n"
+    );
     let mut net: ThreadedNet<Envelope> = ThreadedNet::new(USERS as usize, Duration::from_millis(2));
 
     // Build and wire the sites up front, then move each onto its thread.
@@ -47,9 +50,7 @@ fn main() {
             let mut idle = 0u32;
             loop {
                 // Submit work, paced on the previous gesture's outcome.
-                let prior_done = last
-                    .map(|h| site.txn_outcome(h).is_some())
-                    .unwrap_or(true);
+                let prior_done = last.map(|h| site.txn_outcome(h).is_some()).unwrap_or(true);
                 if done < INCREMENTS_EACH && prior_done {
                     last = Some(site.execute(Box::new(Incr(obj))));
                     done += 1;
@@ -60,9 +61,12 @@ fn main() {
                 }
                 // Handle everything that arrived.
                 let mut got = false;
-                while let Some(incoming) = endpoint.try_recv() {
+                while let Some(event) = endpoint.try_recv() {
                     got = true;
-                    site.handle_message(incoming.msg);
+                    match event {
+                        TransportEvent::Message { msg, .. } => site.handle_message(msg),
+                        TransportEvent::SiteFailed { failed } => site.notify_site_failed(failed),
+                    }
                 }
                 for env in site.drain_outbox() {
                     endpoint.send(env.to, env);

@@ -9,8 +9,7 @@
 //! Run with: `cargo run -p decaf-apps --example whiteboard`
 
 use decaf_core::{
-    Blueprint, ObjectName, Site, Transaction, TxnCtx, TxnError, UpdateNotification, View,
-    ViewMode,
+    Blueprint, ObjectName, Site, Transaction, TxnCtx, TxnError, UpdateNotification, View, ViewMode,
 };
 use decaf_net::sim::{LatencyModel, SimTime};
 use decaf_vt::SiteId;

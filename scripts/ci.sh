@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# The repository's CI gate, runnable locally: formatting, lints, tests.
+#
+# Everything runs --offline: the workspace has no network-fetched
+# dependencies beyond what the lockfile already vendors, and new ones are
+# deliberately not allowed (see DESIGN.md §6). If this script fails on
+# `--offline` after a change, the change added a dependency — revert it.
+#
+# Usage: scripts/ci.sh [--no-fmt]   (skip rustfmt, e.g. if not installed)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+if [[ "${1:-}" != "--no-fmt" ]]; then
+    run cargo fmt --all --check
+fi
+
+# Lints are errors: the tree stays clippy-clean.
+run cargo clippy --workspace --all-targets --offline -- -D warnings
+
+# Unit, integration, property, and doc tests. The TCP suite spawns real
+# decaf-site processes on loopback sockets (ports are kernel-reserved per
+# test, so parallel runs do not collide).
+run cargo test --workspace --offline -q
+
+echo "CI OK"

@@ -51,7 +51,11 @@ fn members_join_and_leave_under_sustained_load() {
             break;
         }
         match step {
-            WorldStep::Timer { site: SiteId(1), token: 0, .. } => {
+            WorldStep::Timer {
+                site: SiteId(1),
+                token: 0,
+                ..
+            } => {
                 world.site(SiteId(1)).execute(Box::new(Add(counter1, 1)));
                 expected += 1;
                 let d = host_arrivals.next_delay();
@@ -149,14 +153,21 @@ fn rapid_sequential_joins_preserve_graph_consistency() {
     let mut objs = vec![counter1];
     for sid in 2..=6u32 {
         let local = world.site(SiteId(sid)).create_int(0);
-        world.site(SiteId(sid)).join(invitation, local).expect("join");
+        world
+            .site(SiteId(sid))
+            .join(invitation, local)
+            .expect("join");
         world.run_to_quiescence();
         objs.push(local);
     }
     for (i, obj) in objs.iter().enumerate() {
         let sid = SiteId(i as u32 + 1);
         assert_eq!(
-            world.site(sid).replication_graph(*obj).expect("graph").len(),
+            world
+                .site(sid)
+                .replication_graph(*obj)
+                .expect("graph")
+                .len(),
             6,
             "graph at {sid}"
         );

@@ -2,9 +2,7 @@
 //! create, invite, join (with backlog adoption), collaborate, leave, fail —
 //! across crates (§2.6, §3.3, §3.4).
 
-use decaf_core::{
-    Blueprint, EngineEvent, ObjectName, Transaction, TxnCtx, TxnError,
-};
+use decaf_core::{Blueprint, EngineEvent, ObjectName, Transaction, TxnCtx, TxnError};
 use decaf_net::sim::{LatencyModel, SimTime};
 use decaf_vt::SiteId;
 use decaf_workload::SimWorld;
@@ -57,7 +55,10 @@ fn full_lifecycle_over_simulated_network() {
     let mut docs = vec![doc1];
     for site in [SiteId(2), SiteId(3), SiteId(4)] {
         let local = world.site(site).create_list();
-        world.site(site).join(invitation, local).expect("join starts");
+        world
+            .site(site)
+            .join(invitation, local)
+            .expect("join starts");
         world.run_to_quiescence();
         let ok = world.log.iter().any(|e| {
             e.site == site && matches!(e.event, EngineEvent::JoinCompleted { ok: true, .. })
@@ -84,7 +85,9 @@ fn full_lifecycle_over_simulated_network() {
     // Everyone appends; all replicas converge.
     for (i, doc) in docs.iter().enumerate() {
         let site = SiteId(i as u32 + 1);
-        world.site(site).execute(Box::new(Push(*doc, 100 + i as i64)));
+        world
+            .site(site)
+            .execute(Box::new(Push(*doc, 100 + i as i64)));
     }
     world.run_to_quiescence();
     let reference = list_ints(&mut world, SiteId(1), docs[0]);
@@ -101,7 +104,11 @@ fn full_lifecycle_over_simulated_network() {
     world.site(SiteId(4)).leave(docs[3]).expect("leave");
     world.run_to_quiescence();
     assert_eq!(
-        world.site(SiteId(1)).replication_graph(docs[0]).expect("graph").len(),
+        world
+            .site(SiteId(1))
+            .replication_graph(docs[0])
+            .expect("graph")
+            .len(),
         3
     );
     world.site(SiteId(2)).execute(Box::new(Push(docs[1], 999)));
@@ -117,7 +124,11 @@ fn full_lifecycle_over_simulated_network() {
     world.fail_site(SiteId(3));
     world.run_to_quiescence();
     assert_eq!(
-        world.site(SiteId(1)).replication_graph(docs[0]).expect("graph").len(),
+        world
+            .site(SiteId(1))
+            .replication_graph(docs[0])
+            .expect("graph")
+            .len(),
         2
     );
     world.site(SiteId(1)).execute(Box::new(Push(docs[0], 1234)));
@@ -171,7 +182,11 @@ fn join_and_scalar_counter_session() {
 
     world.site(SiteId(3)).execute(Box::new(Add(counter3, 5)));
     world.run_to_quiescence();
-    for (site, c) in [(SiteId(1), counter1), (SiteId(2), counter2), (SiteId(3), counter3)] {
+    for (site, c) in [
+        (SiteId(1), counter1),
+        (SiteId(2), counter2),
+        (SiteId(3), counter3),
+    ] {
         assert_eq!(world.site(site).read_int_committed(c), Some(15));
     }
 }

@@ -46,13 +46,15 @@ fn sustained_mixed_workload_converges_with_correct_views() {
             let obj = objs[idx];
             if site == SiteId(3) {
                 marker += 1;
-                world
-                    .site(site)
-                    .execute(Box::new(BlindWrite { object: obj, value: marker }));
+                world.site(site).execute(Box::new(BlindWrite {
+                    object: obj,
+                    value: marker,
+                }));
             } else {
-                world
-                    .site(site)
-                    .execute(Box::new(ReadModifyWrite { object: obj, delta: 1 }));
+                world.site(site).execute(Box::new(ReadModifyWrite {
+                    object: obj,
+                    delta: 1,
+                }));
             }
             let d = arrivals[idx].next_delay();
             world.set_timer(site, d, 0);
@@ -62,7 +64,11 @@ fn sustained_mixed_workload_converges_with_correct_views() {
 
     // Convergence: all replicas agree on committed and current values.
     let committed: Vec<Option<i64>> = (0..3)
-        .map(|i| world.site(SiteId(i + 1)).read_int_committed(objs[i as usize]))
+        .map(|i| {
+            world
+                .site(SiteId(i + 1))
+                .read_int_committed(objs[i as usize])
+        })
         .collect();
     assert!(
         committed.windows(2).all(|w| w[0] == w[1]),
@@ -111,9 +117,10 @@ fn commit_latencies_scale_linearly_with_network_latency() {
         let mut world = SimWorld::new(2, LatencyModel::uniform(SimTime::from_millis(t_ms)));
         let objs = world.wire_int(0);
         let obj = objs[1];
-        world
-            .site(SiteId(2))
-            .execute(Box::new(ReadModifyWrite { object: obj, delta: 1 }));
+        world.site(SiteId(2)).execute(Box::new(ReadModifyWrite {
+            object: obj,
+            delta: 1,
+        }));
         world.run_to_quiescence();
         let mut lt = LatencyTracker::new();
         lt.ingest(&world.log);
@@ -136,14 +143,17 @@ fn jittered_latency_still_converges() {
     for round in 0..10 {
         let site = SiteId(round % 3 + 1);
         let obj = objs[(site.0 - 1) as usize];
-        world
-            .site(site)
-            .execute(Box::new(ReadModifyWrite { object: obj, delta: 1 }));
+        world.site(site).execute(Box::new(ReadModifyWrite {
+            object: obj,
+            delta: 1,
+        }));
         world.run_to_quiescence();
     }
     for i in 0..3 {
         assert_eq!(
-            world.site(SiteId(i + 1)).read_int_committed(objs[i as usize]),
+            world
+                .site(SiteId(i + 1))
+                .read_int_committed(objs[i as usize]),
             Some(10)
         );
     }
@@ -156,16 +166,18 @@ fn failure_mid_workload_recovers_and_continues() {
     // Some committed traffic first.
     for _ in 0..3 {
         let obj = objs[1];
-        world
-            .site(SiteId(2))
-            .execute(Box::new(ReadModifyWrite { object: obj, delta: 1 }));
+        world.site(SiteId(2)).execute(Box::new(ReadModifyWrite {
+            object: obj,
+            delta: 1,
+        }));
         world.run_to_quiescence();
     }
     // Kill the primary while a transaction is in flight.
     let obj3 = objs[2];
-    world
-        .site(SiteId(3))
-        .execute(Box::new(ReadModifyWrite { object: obj3, delta: 1 }));
+    world.site(SiteId(3)).execute(Box::new(ReadModifyWrite {
+        object: obj3,
+        delta: 1,
+    }));
     world.fail_site(SiteId(1));
     world.run_to_quiescence();
 
@@ -174,9 +186,10 @@ fn failure_mid_workload_recovers_and_continues() {
     assert_eq!(v2, v3, "survivors agree after primary failure");
     // Post-recovery progress.
     let obj2 = objs[1];
-    world
-        .site(SiteId(2))
-        .execute(Box::new(ReadModifyWrite { object: obj2, delta: 10 }));
+    world.site(SiteId(2)).execute(Box::new(ReadModifyWrite {
+        object: obj2,
+        delta: 10,
+    }));
     world.run_to_quiescence();
     assert_eq!(
         world.site(SiteId(2)).read_int_committed(objs[1]),
@@ -202,9 +215,10 @@ fn partition_surfaced_as_failure_then_rejoin() {
     world.run_to_quiescence();
 
     let obj1 = objs[0];
-    world
-        .site(SiteId(1))
-        .execute(Box::new(ReadModifyWrite { object: obj1, delta: 1 }));
+    world.site(SiteId(1)).execute(Box::new(ReadModifyWrite {
+        object: obj1,
+        delta: 1,
+    }));
     world.run_to_quiescence();
 
     // Site 3's modem drops: sever its links, then (per the model) surface
@@ -224,9 +238,10 @@ fn partition_surfaced_as_failure_then_rejoin() {
     );
 
     // Survivors continue.
-    world
-        .site(SiteId(2))
-        .execute(Box::new(ReadModifyWrite { object: objs[1], delta: 10 }));
+    world.site(SiteId(2)).execute(Box::new(ReadModifyWrite {
+        object: objs[1],
+        delta: 10,
+    }));
     world.run_to_quiescence();
     assert_eq!(world.site(SiteId(1)).read_int_committed(objs[0]), Some(11));
     assert_eq!(
@@ -253,9 +268,10 @@ fn partition_surfaced_as_failure_then_rejoin() {
         Some(11),
         "rejoined member catches up"
     );
-    world
-        .site(SiteId(3))
-        .execute(Box::new(ReadModifyWrite { object: fresh, delta: 100 }));
+    world.site(SiteId(3)).execute(Box::new(ReadModifyWrite {
+        object: fresh,
+        delta: 100,
+    }));
     world.run_to_quiescence();
     assert_eq!(world.site(SiteId(1)).read_int_committed(objs[0]), Some(111));
     assert_eq!(world.site(SiteId(2)).read_int_committed(objs[1]), Some(111));
@@ -300,13 +316,15 @@ fn five_site_soak_with_views_everywhere() {
             let kind_blind = (site.0 + (world.now().as_micros() as u32 / 1000)) % 3 == 0;
             let obj = objs[idx];
             if kind_blind {
-                world
-                    .site(site)
-                    .execute(Box::new(BlindWrite { object: obj, value: site.0 as i64 }));
+                world.site(site).execute(Box::new(BlindWrite {
+                    object: obj,
+                    value: site.0 as i64,
+                }));
             } else {
-                world
-                    .site(site)
-                    .execute(Box::new(ReadModifyWrite { object: obj, delta: 1 }));
+                world.site(site).execute(Box::new(ReadModifyWrite {
+                    object: obj,
+                    delta: 1,
+                }));
             }
             let d = arrivals[idx].next_delay();
             world.set_timer(site, d, 0);
@@ -318,7 +336,9 @@ fn five_site_soak_with_views_everywhere() {
     let reference = world.site(SiteId(1)).read_int_committed(objs[0]);
     for i in 1..5u32 {
         assert_eq!(
-            world.site(SiteId(i + 1)).read_int_committed(objs[i as usize]),
+            world
+                .site(SiteId(i + 1))
+                .read_int_committed(objs[i as usize]),
             reference,
             "site {} diverged",
             i + 1
@@ -350,5 +370,8 @@ fn five_site_soak_with_views_everywhere() {
         );
     }
     let totals = world.total_stats();
-    assert!(totals.txns_committed > 200, "substantial load ran: {totals}");
+    assert!(
+        totals.txns_committed > 200,
+        "substantial load ran: {totals}"
+    );
 }

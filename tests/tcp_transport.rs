@@ -1,0 +1,200 @@
+//! Integration: three **real OS processes** (the `decaf-site` daemon) on a
+//! loopback TCP mesh — the paper's deployment shape, one process per user
+//! (§5.2).
+//!
+//! Choreography:
+//!
+//! 1. Spawn three `decaf-site` processes, each submitting read-write
+//!    increment transactions against the shared replicated counter, and
+//!    wait until every process reports `phase1-done value=6` (2 txns × 3
+//!    sites). This proves commitment works across process boundaries and
+//!    kernel sockets, not just in-process channels.
+//! 2. SIGKILL site 3 — a genuine fail-stop crash, no goodbye message. The
+//!    kill deliberately happens only *after* phase 1, while all sites are
+//!    otherwise idle: the survivors' evidence of the crash is purely the
+//!    transport's keepalive/reconnect machinery giving up.
+//! 3. The survivors must observe the transport's `SiteFailed` verdict,
+//!    run the §3.4 failure recovery, and then commit two more increments
+//!    each (`final value=10` = 6 + 2 × 2 survivors), exiting 0.
+
+use std::fs;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const SITES: u32 = 3;
+const TXNS: u64 = 2;
+const ON_FAIL_TXNS: u64 = 2;
+const PHASE1_TARGET: i64 = TXNS as i64 * SITES as i64; // 6
+const FINAL_TARGET: i64 = PHASE1_TARGET + ON_FAIL_TXNS as i64 * (SITES as i64 - 1); // 10
+
+struct Daemon {
+    child: Child,
+    log: PathBuf,
+}
+
+impl Daemon {
+    fn log_contents(&self) -> String {
+        fs::read_to_string(&self.log).unwrap_or_default()
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = fs::remove_file(&self.log);
+    }
+}
+
+/// Lets the kernel pick a free loopback port; the listener is dropped just
+/// before the daemon rebinds it.
+fn reserve_addr() -> String {
+    let l = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+    l.local_addr().expect("local addr").to_string()
+}
+
+fn spawn_site(site: u32, addrs: &[String]) -> Daemon {
+    let log = std::env::temp_dir().join(format!(
+        "decaf-tcp-test-{}-site{site}.log",
+        std::process::id()
+    ));
+    let out = fs::File::create(&log).expect("create log file");
+    let err = out.try_clone().expect("clone log handle");
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_decaf-site"));
+    cmd.arg("--site")
+        .arg(site.to_string())
+        .arg("--listen")
+        .arg(&addrs[(site - 1) as usize])
+        .arg("--txns")
+        .arg(TXNS.to_string())
+        .arg("--on-fail-txns")
+        .arg(ON_FAIL_TXNS.to_string())
+        .arg("--linger-ms")
+        .arg("500")
+        .arg("--max-runtime-ms")
+        .arg("60000")
+        .stdin(Stdio::null())
+        .stdout(out)
+        .stderr(err);
+    for peer in 1..=SITES {
+        if peer != site {
+            cmd.arg("--peer")
+                .arg(format!("{peer}={}", addrs[(peer - 1) as usize]));
+        }
+    }
+    let child = cmd.spawn().expect("spawn decaf-site");
+    Daemon { child, log }
+}
+
+/// Polls all daemons' logs until each contains `needle`, failing loudly on
+/// timeout or if any daemon exits prematurely.
+fn await_in_logs(daemons: &mut [Daemon], needle: &str, timeout: Duration) {
+    let start = Instant::now();
+    loop {
+        if daemons.iter().all(|d| d.log_contents().contains(needle)) {
+            return;
+        }
+        for d in daemons.iter_mut() {
+            if let Ok(Some(status)) = d.child.try_wait() {
+                panic!(
+                    "daemon exited ({status}) before printing {needle:?}; log:\n{}",
+                    d.log_contents()
+                );
+            }
+        }
+        assert!(
+            start.elapsed() < timeout,
+            "timed out waiting for {needle:?}; logs:\n{}",
+            daemons
+                .iter()
+                .map(|d| d.log_contents())
+                .collect::<Vec<_>>()
+                .join("---\n")
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn wait_success(d: &mut Daemon) {
+    let status = d.child.wait().expect("wait daemon");
+    assert!(
+        status.success(),
+        "daemon exited {status}; log:\n{}",
+        d.log_contents()
+    );
+}
+
+#[test]
+fn three_processes_converge_and_survive_a_sigkill() {
+    let addrs: Vec<String> = (0..SITES).map(|_| reserve_addr()).collect();
+    let mut daemons: Vec<Daemon> = (1..=SITES).map(|i| spawn_site(i, &addrs)).collect();
+
+    // Phase 1: all three processes commit the full increment chain over
+    // real sockets.
+    await_in_logs(
+        &mut daemons,
+        &format!("phase1-done value={PHASE1_TARGET}"),
+        Duration::from_secs(30),
+    );
+
+    // Fail-stop crash: SIGKILL site 3. No shutdown handshake — survivors
+    // must detect the loss from keepalive silence + reconnect exhaustion.
+    let mut victim = daemons.pop().unwrap();
+    victim.child.kill().expect("sigkill site 3");
+    let _ = victim.child.wait();
+
+    // Survivors observe the transport-announced failure...
+    await_in_logs(&mut daemons, "site-failed 3", Duration::from_secs(30));
+
+    // ...complete §3.4 recovery, and commit the post-failure workload.
+    await_in_logs(
+        &mut daemons,
+        &format!("final value={FINAL_TARGET}"),
+        Duration::from_secs(30),
+    );
+    for d in daemons.iter_mut() {
+        wait_success(d);
+    }
+
+    // Both survivors settled on the identical final value, and neither
+    // socket stream ever produced a malformed frame.
+    for d in &daemons {
+        let log = d.log_contents();
+        assert!(
+            log.contains(&format!("final value={FINAL_TARGET}")),
+            "survivor log:\n{log}"
+        );
+        assert!(log.contains("(0 rejected)"), "survivor log:\n{log}");
+    }
+
+    // The victim never printed a final value: it was killed, not finished.
+    assert!(
+        !victim.log_contents().contains("final value"),
+        "victim log:\n{}",
+        victim.log_contents()
+    );
+}
+
+#[test]
+fn single_site_mesh_runs_standalone() {
+    // Degenerate deployment: one process, no peers. The daemon must still
+    // commit its local transactions (target = txns × 1) and exit cleanly.
+    let addr = reserve_addr();
+    let log = std::env::temp_dir().join(format!("decaf-tcp-test-{}-solo.log", std::process::id()));
+    let out = fs::File::create(&log).expect("create log file");
+    let err = out.try_clone().expect("clone log handle");
+    let child = Command::new(env!("CARGO_BIN_EXE_decaf-site"))
+        .args(["--site", "1", "--listen", &addr, "--txns", "3"])
+        .args(["--linger-ms", "0", "--max-runtime-ms", "30000"])
+        .stdin(Stdio::null())
+        .stdout(out)
+        .stderr(err)
+        .spawn()
+        .expect("spawn decaf-site");
+    let mut d = Daemon { child, log };
+    wait_success(&mut d);
+    let contents = d.log_contents();
+    assert!(contents.contains("final value=3"), "log:\n{contents}");
+}

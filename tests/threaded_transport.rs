@@ -6,6 +6,7 @@ use std::time::Duration;
 
 use decaf_core::{wiring, Envelope, ObjectName, Site, Transaction, TxnCtx, TxnError};
 use decaf_net::threaded::ThreadedNet;
+use decaf_net::TransportEvent;
 use decaf_vt::SiteId;
 
 struct Incr(ObjectName);
@@ -26,11 +27,7 @@ impl Transaction for Blind {
 /// Runs `sites` threads, each submitting `work(site_index)` transactions,
 /// then pumping until global quiescence; returns each site's committed
 /// value.
-fn run_threads(
-    n: u32,
-    per_site: i64,
-    blind: bool,
-) -> Vec<Option<i64>> {
+fn run_threads(n: u32, per_site: i64, blind: bool) -> Vec<Option<i64>> {
     let mut net: ThreadedNet<Envelope> = ThreadedNet::new(n as usize, Duration::from_millis(1));
     let mut sites: Vec<Site> = (0..n).map(|i| Site::new(SiteId(i))).collect();
     let objs: Vec<ObjectName> = sites.iter_mut().map(|s| s.create_int(0)).collect();
@@ -48,9 +45,7 @@ fn run_threads(
             let mut idle = 0u32;
             loop {
                 // Pace like a user: next gesture once the previous decided.
-                let prior_done = last
-                    .map(|h| site.txn_outcome(h).is_some())
-                    .unwrap_or(true);
+                let prior_done = last.map(|h| site.txn_outcome(h).is_some()).unwrap_or(true);
                 if submitted < per_site && prior_done {
                     let h = if blind {
                         site.execute(Box::new(Blind(obj, (idx as i64) * 1000 + submitted)))
@@ -64,9 +59,12 @@ fn run_threads(
                     endpoint.send(env.to, env);
                 }
                 let mut got = false;
-                while let Some(incoming) = endpoint.try_recv() {
+                while let Some(event) = endpoint.try_recv() {
                     got = true;
-                    site.handle_message(incoming.msg);
+                    match event {
+                        TransportEvent::Message { msg, .. } => site.handle_message(msg),
+                        TransportEvent::SiteFailed { failed } => site.notify_site_failed(failed),
+                    }
                 }
                 for env in site.drain_outbox() {
                     endpoint.send(env.to, env);

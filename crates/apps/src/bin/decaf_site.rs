@@ -27,12 +27,21 @@
 //!
 //! After finishing it keeps pumping for `--linger-ms` so slower peers can
 //! still converge, then exits 0. Exit codes: 0 done, 1 timeout, 2 usage.
+//!
+//! Observability: `--trace-out PATH` enables structured tracing (engine and
+//! transport share one sink), dumps the retained events as JSONL to `PATH`
+//! on exit, and — together with `--summary-every-ms MS` — prints a periodic
+//! one-line `trace-summary` histogram digest. Analyze the dump with
+//! `decaf-trace-summarize`.
 
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-use decaf_core::{wiring, NodeRef, ObjectName, Site, Transaction, TxnCtx, TxnError, TxnHandle};
+use decaf_core::{
+    wiring, NodeRef, ObjectName, Site, TraceSink, Transaction, TxnCtx, TxnError, TxnHandle,
+};
 use decaf_net::tcp::{TcpConfig, TcpMesh};
 use decaf_net::{TransportEndpoint, TransportEvent};
 use decaf_vt::SiteId;
@@ -58,13 +67,17 @@ struct Args {
     final_target: Option<i64>,
     linger_ms: u64,
     max_runtime_ms: u64,
+    trace_out: Option<PathBuf>,
+    trace_buf: usize,
+    summary_every_ms: u64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: decaf-site --site <id> --listen <addr> [--peer <id>=<addr>]... \\\n\
          \x20                [--txns N] [--on-fail-txns K] [--phase1-target V] \\\n\
-         \x20                [--final-target V] [--linger-ms MS] [--max-runtime-ms MS]"
+         \x20                [--final-target V] [--linger-ms MS] [--max-runtime-ms MS] \\\n\
+         \x20                [--trace-out PATH] [--trace-buf N] [--summary-every-ms MS]"
     );
     std::process::exit(2);
 }
@@ -79,6 +92,9 @@ fn parse_args() -> Args {
     let mut final_target = None;
     let mut linger_ms = 1500u64;
     let mut max_runtime_ms = 120_000u64;
+    let mut trace_out = None;
+    let mut trace_buf = 65_536usize;
+    let mut summary_every_ms = 0u64;
 
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -102,6 +118,9 @@ fn parse_args() -> Args {
             "--final-target" => final_target = value().parse().ok(),
             "--linger-ms" => linger_ms = value().parse().unwrap_or_else(|_| usage()),
             "--max-runtime-ms" => max_runtime_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--trace-out" => trace_out = Some(PathBuf::from(value())),
+            "--trace-buf" => trace_buf = value().parse().unwrap_or_else(|_| usage()),
+            "--summary-every-ms" => summary_every_ms = value().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
@@ -118,6 +137,9 @@ fn parse_args() -> Args {
         final_target,
         linger_ms,
         max_runtime_ms,
+        trace_out,
+        trace_buf,
+        summary_every_ms,
     }
 }
 
@@ -125,8 +147,16 @@ fn main() {
     let args = parse_args();
     let site_id = SiteId(args.site);
 
+    // --- tracing: one sink shared by the engine and the transport ---
+    let trace = if args.trace_out.is_some() || args.summary_every_ms > 0 {
+        TraceSink::enabled(args.site, args.trace_buf)
+    } else {
+        TraceSink::disabled()
+    };
+
     // --- engine: one site, one shared counter, pre-wired replicas ---
     let mut site = Site::new(site_id);
+    site.set_trace_sink(trace.clone());
     let obj = site.create_int(0); // first object at each site: (site, seq 0)
     let mut ids: Vec<u32> = args.peers.keys().copied().collect();
     ids.push(args.site);
@@ -144,7 +174,7 @@ fn main() {
     }
 
     // --- transport: TCP mesh over the peer table ---
-    let mut cfg = TcpConfig::new(site_id, args.listen);
+    let mut cfg = TcpConfig::new(site_id, args.listen).trace(trace.clone());
     for (&id, &addr) in &args.peers {
         cfg = cfg.peer(SiteId(id), addr);
     }
@@ -172,6 +202,8 @@ fn main() {
     let mut failed_sites: Vec<SiteId> = Vec::new();
     let mut phase1_done = args.txns == 0 && phase1_target == 0;
     let mut finished_at: Option<Instant> = None;
+    let summary_every = Duration::from_millis(args.summary_every_ms);
+    let mut next_summary = start + summary_every;
 
     loop {
         if start.elapsed() > max_runtime {
@@ -229,6 +261,12 @@ fn main() {
         }
         let _ = site.drain_events();
 
+        // Periodic one-line histogram digest.
+        if args.summary_every_ms > 0 && Instant::now() >= next_summary {
+            println!("trace-summary {}", trace.summary());
+            next_summary += summary_every;
+        }
+
         // Phase transitions.
         let committed = site.read_int_committed(obj).unwrap_or(0);
         if !phase1_done && committed >= phase1_target {
@@ -244,9 +282,21 @@ fn main() {
                 args.on_fail_txns == 0 || (!failed_sites.is_empty() && committed >= final_target);
             if phase2_quota_met && committed >= final_target {
                 finished_at = Some(Instant::now());
+                // One structured end-of-run summary. `final value=` (and
+                // `phase1-done value=` / `site-failed` above) are a stable
+                // contract the integration tests grep for.
                 println!("final value={committed}");
+                println!(
+                    "run-summary site={} committed={committed} elapsed-ms={} failed-peers={}",
+                    args.site,
+                    start.elapsed().as_millis(),
+                    failed_sites.len(),
+                );
                 println!("transport: {}", mesh.stats());
                 println!("engine: {}", site.stats());
+                if trace.is_enabled() {
+                    println!("trace-summary {}", trace.summary());
+                }
             }
         }
 
@@ -258,4 +308,26 @@ fn main() {
         }
     }
     mesh.shutdown();
+
+    // Dump the retained trace after the mesh threads have joined, so the
+    // JSONL includes every transport event up to teardown.
+    if let Some(path) = &args.trace_out {
+        match std::fs::File::create(path) {
+            Ok(mut f) => {
+                if let Err(e) = trace.write_jsonl(&mut f) {
+                    eprintln!("decaf-site {}: writing {}: {e}", args.site, path.display());
+                } else {
+                    println!(
+                        "trace-out {} events={} dropped={}",
+                        path.display(),
+                        trace.snapshot().len(),
+                        trace.dropped(),
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("decaf-site {}: creating {}: {e}", args.site, path.display());
+            }
+        }
+    }
 }

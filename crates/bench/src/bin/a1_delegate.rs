@@ -4,7 +4,7 @@
 //! the commit decision: the primary commits in t instead of 3t and third
 //! replicas in 2t instead of 3t, with fewer messages.
 
-use decaf_bench::{a1_delegate, print_table};
+use decaf_bench::{a1_delegate, emit_table};
 
 fn main() {
     let mut rows = Vec::new();
@@ -20,7 +20,7 @@ fn main() {
             ]);
         }
     }
-    print_table(
+    emit_table(
         "A1: delegate-commit ablation, 3-party single-remote-primary (paper §3.1)",
         &[
             "t(ms)",

@@ -5,7 +5,7 @@
 //! replication avoids the problem that small changes to the embedding
 //! structure could end up changing a large number of objects."
 
-use decaf_bench::{a2_propagation, print_table};
+use decaf_bench::{a2_propagation, emit_table};
 
 fn main() {
     let mut rows = Vec::new();
@@ -19,7 +19,7 @@ fn main() {
             r.join_bytes_direct.to_string(),
         ]);
     }
-    print_table(
+    emit_table(
         "A2: replication-graph storage & join traffic, composite of n children (paper §3.2)",
         &[
             "children",

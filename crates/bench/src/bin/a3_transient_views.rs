@@ -11,7 +11,7 @@
 //! This harness runs the exact scenario on both systems and reports what
 //! each site's view observed.
 
-use decaf_bench::print_table;
+use decaf_bench::emit_table;
 use decaf_core::{RecordingView, ScalarValue, ViewEvent, ViewMode};
 use decaf_net::sim::{LatencyModel, SimTime};
 use decaf_oreste::{Op, OresteSite};
@@ -96,7 +96,7 @@ fn main() {
         ]);
     }
 
-    print_table(
+    emit_table(
         "A3: transitions observed by each site's view (paper §6 example)",
         &["system / site", "observed transitions"],
         &rows,

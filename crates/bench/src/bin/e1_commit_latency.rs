@@ -5,7 +5,7 @@
 //! case; immediately / in t when the single primary is the originator; in
 //! t at the primary and 2t elsewhere with delegate commit.
 
-use decaf_bench::{e1_commit_latency, print_table};
+use decaf_bench::{e1_commit_latency, emit_table};
 
 fn main() {
     let mut rows = Vec::new();
@@ -21,7 +21,7 @@ fn main() {
             ]);
         }
     }
-    print_table(
+    emit_table(
         "E1: commit latency vs network latency t (paper §5.1.1)",
         &[
             "t(ms)",

@@ -5,7 +5,7 @@
 //! (non-originating sites). "An optimistic view notification will occur 2t
 //! ms before the corresponding pessimistic view notification."
 
-use decaf_bench::{e2_view_latency, print_table};
+use decaf_bench::{e2_view_latency, emit_table};
 
 fn main() {
     let mut rows = Vec::new();
@@ -21,7 +21,7 @@ fn main() {
             ]);
         }
     }
-    print_table(
+    emit_table(
         "E2: view notification latency (paper §5.1.2)",
         &[
             "t(ms)",

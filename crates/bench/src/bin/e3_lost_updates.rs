@@ -4,7 +4,7 @@
 //! two-party collaboration, the lost update rate was below 20.1 percent."
 //! Blind writes never roll back, so update inconsistencies stay at zero.
 
-use decaf_bench::{e3_lost_updates, print_table};
+use decaf_bench::{e3_lost_updates, emit_table};
 
 fn main() {
     let mut rows = Vec::new();
@@ -22,7 +22,7 @@ fn main() {
             ]);
         }
     }
-    print_table(
+    emit_table(
         "E3: lost updates, two-party blind writes, 120 s (paper §5.2.2)",
         &[
             "t(ms)",

@@ -6,7 +6,7 @@
 //! higher update rates, rollbacks were frequent enough to produce
 //! significant rates of update inconsistencies."
 
-use decaf_bench::{e4_rollback_rate, print_table};
+use decaf_bench::{e4_rollback_rate, emit_table};
 
 fn main() {
     let mut rows = Vec::new();
@@ -21,7 +21,7 @@ fn main() {
             r.retries.to_string(),
         ]);
     }
-    print_table(
+    emit_table(
         "E4: rollback rate, A at 1/s + B at b_rate, t = 50 ms, 300 s (paper §5.2.2)",
         &[
             "B rate/s",

@@ -8,7 +8,7 @@
 //! primary site, and each transaction will require confirmations from a
 //! very small number of such primary sites."
 
-use decaf_bench::{e5_scalability, print_table};
+use decaf_bench::{e5_scalability, emit_table};
 
 fn main() {
     let mut rows = Vec::new();
@@ -22,7 +22,7 @@ fn main() {
             format!("{:.1}x", r.gvt_ms / r.decaf_ms),
         ]);
     }
-    print_table(
+    emit_table(
         "E5: commit latency vs network size, chained 3-site replica sets, t = 20 ms (paper §5.1.3)",
         &["k sets", "sites", "DECAF(ms)", "GVT sweep(ms)", "ratio"],
         &rows,

@@ -42,6 +42,66 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Appends `s` to `out` as a JSON string literal (quotes, backslashes, and
+/// control characters escaped). Hand-rolled: the bench crate's machine
+/// output must not pull a serializer into the measurement binaries.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Prints the table as one JSON object on stdout:
+/// `{"title":"...","headers":[...],"rows":[["..."],...]}`.
+pub fn print_table_json(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let mut out = String::from("{\"title\":");
+    push_json_str(&mut out, title);
+    out.push_str(",\"headers\":[");
+    for (i, h) in headers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(&mut out, h);
+    }
+    out.push_str("],\"rows\":[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, cell) in row.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, cell);
+        }
+        out.push(']');
+    }
+    out.push_str("]}");
+    println!("{out}");
+}
+
+/// Prints the human table, or the [`print_table_json`] form when `--json`
+/// is among the process arguments. Every bench binary routes its output
+/// through this, so `e1-commit-latency --json | jq` works uniformly.
+pub fn emit_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    if std::env::args().any(|a| a == "--json") {
+        print_table_json(title, headers, rows);
+    } else {
+        print_table(title, headers, rows);
+    }
+}
+
 // ===========================================================================
 // E1 — commit latency (§5.1.1)
 // ===========================================================================

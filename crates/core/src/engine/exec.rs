@@ -4,6 +4,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use decaf_trace::TraceKind;
 use decaf_vt::{SiteId, VirtualTime};
 
 use crate::message::{Delegate, Message, ObjectAddr, Path, ReadItem, TxnPropagate, UpdateItem};
@@ -50,6 +51,12 @@ impl Site {
         retries_left: u32,
     ) {
         let vt = self.clock.next();
+        self.trace_emit(
+            TraceKind::TxnBegin,
+            Some(vt),
+            None,
+            Some(retries_left as u64),
+        );
         let mut rec = Recording::default();
         let result = {
             let mut ctx = TxnCtx {
@@ -66,6 +73,7 @@ impl Site {
                 self.store.purge_write(*obj, vt);
             }
             self.stats.txns_aborted_user += 1;
+            self.trace_emit(TraceKind::Abort, Some(vt), None, None);
             self.decided.insert(vt, TxnOutcome::Aborted);
             self.handle_outcome.insert(handle_id, TxnOutcome::Aborted);
             txn.handle_abort(&AbortReason::Application(e));
@@ -284,6 +292,12 @@ impl Site {
             write_tr.iter().map(|(o, t)| (*o, *t)).collect();
         let touched = rec.touched.clone();
 
+        // §3.2: the attempt is now one guess gambling on this many
+        // outstanding remote verdicts (RL/NC checks at remote primaries
+        // plus RC waits on undecided dependencies).
+        let outstanding = (awaiting.len() + rc_waits.len()) as u64;
+        self.trace_emit(TraceKind::Guess, Some(vt), None, Some(outstanding));
+
         self.pending.insert(
             vt,
             PendingTxn {
@@ -472,6 +486,7 @@ impl Site {
         self.release_local_reservations(&reserved_local, vt);
         self.decided.insert(vt, TxnOutcome::Aborted);
         self.stats.txns_aborted_conflict += 1;
+        self.trace_emit(TraceKind::Rollback, Some(vt), None, None);
         let retried = retries_left > 0;
         self.events.push(EngineEvent::TxnAborted {
             vt,
@@ -523,6 +538,7 @@ impl Site {
         self.handle_outcome
             .insert(p.handle_id, TxnOutcome::Committed);
         self.stats.txns_committed += 1;
+        self.trace_emit(TraceKind::Commit, Some(vt), None, Some(1));
         for obj in &p.touched {
             if let Ok(o) = self.store.get_mut(*obj) {
                 o.values.mark_committed(vt);
@@ -566,6 +582,7 @@ impl Site {
             }
         }
         self.stats.txns_aborted_conflict += 1;
+        self.trace_emit(TraceKind::Rollback, Some(vt), None, None);
         let retried = retry && p.retries_left > 0;
         self.events.push(EngineEvent::TxnAborted {
             vt,

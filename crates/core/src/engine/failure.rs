@@ -5,6 +5,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use decaf_trace::TraceKind;
 use decaf_vt::{SiteId, VirtualTime};
 
 use crate::graph::{NodeRef, ReplicationGraph};
@@ -23,6 +24,7 @@ impl Site {
         if !self.failed_sites.insert(failed) {
             return; // duplicate notification
         }
+        self.trace_emit(TraceKind::SiteFailed, None, Some(failed), None);
 
         self.resolve_in_doubt(failed);
         self.abort_stuck_on(failed);

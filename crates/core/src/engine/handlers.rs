@@ -4,6 +4,7 @@
 
 use std::collections::BTreeMap;
 
+use decaf_trace::TraceKind;
 use decaf_vt::{SiteId, VirtualTime};
 
 use crate::message::{Envelope, Message, ObjectAddr, SubjectKind, TxnPropagate};
@@ -552,6 +553,7 @@ impl Site {
                 o.values.mark_committed(*at);
             }
         }
+        self.trace_emit(TraceKind::Commit, Some(txn), None, Some(0));
         self.events.push(EngineEvent::TxnCommitted {
             vt: txn,
             local_origin: false,
@@ -605,6 +607,7 @@ impl Site {
             o.value_reservations.release(txn);
             o.graph_reservations.release(txn);
         }
+        self.trace_emit(TraceKind::Rollback, Some(txn), None, None);
         self.events.push(EngineEvent::TxnAborted {
             vt: txn,
             local_origin: false,

@@ -201,6 +201,9 @@ pub struct Site {
     pub(crate) outbox: Vec<Envelope>,
     pub(crate) events: Vec<EngineEvent>,
     pub(crate) stats: SiteStats,
+    /// Structured trace sink; the default disabled sink makes every emit
+    /// point a single branch (no allocation, no lock).
+    pub(crate) trace: decaf_trace::TraceSink,
 
     pub(crate) next_handle: u64,
     /// Highest Lamport value seen on an envelope from each peer (FIFO
@@ -268,6 +271,7 @@ impl Site {
             outbox: Vec::new(),
             events: Vec::new(),
             stats: SiteStats::default(),
+            trace: decaf_trace::TraceSink::disabled(),
             next_handle: 0,
             last_seen_from: HashMap::new(),
             silent_received: HashMap::new(),
@@ -297,14 +301,50 @@ impl Site {
         self.id
     }
 
-    /// The statistics accumulated so far.
+    /// The statistics accumulated so far. The trace sink's dropped-event
+    /// counter is folded in so end-of-run reports expose trace loss.
     pub fn stats(&self) -> SiteStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.trace_events_dropped = self.trace.dropped();
+        stats
     }
 
     /// Resets the statistics counters (e.g. after a benchmark warm-up).
     pub fn reset_stats(&mut self) {
         self.stats = SiteStats::default();
+    }
+
+    /// Installs a trace sink; engine events (transaction lifecycle, view
+    /// notification, GC, failure handling) are emitted into it from then
+    /// on. Pass [`TraceSink::disabled`](decaf_trace::TraceSink::disabled)
+    /// to turn tracing back off.
+    pub fn set_trace_sink(&mut self, sink: decaf_trace::TraceSink) {
+        self.trace = sink;
+    }
+
+    /// The installed trace sink (disabled by default). Cloning the handle
+    /// shares the underlying ring, so callers can export a JSONL snapshot
+    /// or read histogram summaries while the engine keeps emitting.
+    pub fn trace_sink(&self) -> &decaf_trace::TraceSink {
+        &self.trace
+    }
+
+    /// Shorthand for emitting an engine-side trace event: converts the
+    /// engine's [`VirtualTime`] to the trace layer's scalar pair.
+    #[inline]
+    pub(crate) fn trace_emit(
+        &self,
+        kind: decaf_trace::TraceKind,
+        vt: Option<VirtualTime>,
+        peer: Option<SiteId>,
+        n: Option<u64>,
+    ) {
+        self.trace.emit(
+            kind,
+            vt.map(|t| (t.lamport, t.site.0)),
+            peer.map(|p| p.0),
+            n,
+        );
     }
 
     /// Removes and returns the messages this site wants delivered.
@@ -693,6 +733,14 @@ impl Site {
             obj.graph_reservations.gc(low);
         }
         self.stats.gc_discarded += discarded as u64;
+        if discarded > 0 {
+            self.trace_emit(
+                decaf_trace::TraceKind::GcSweep,
+                Some(low),
+                None,
+                Some(discarded as u64),
+            );
+        }
 
         // Prune decided-outcome and remote-transaction records that no
         // in-flight message can still reference. Links are FIFO, so any

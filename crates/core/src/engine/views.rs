@@ -3,6 +3,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use decaf_trace::TraceKind;
 use decaf_vt::{SiteId, VirtualTime};
 
 use crate::message::{Message, ObjectAddr, ReadItem};
@@ -203,6 +204,7 @@ impl Site {
                 reads,
             });
             self.stats.opt_notifications += 1;
+            self.trace_emit(TraceKind::ViewOptimistic, Some(ts), None, Some(vid.0));
             self.events.push(EngineEvent::ViewUpdated {
                 view: vid,
                 ts,
@@ -242,6 +244,7 @@ impl Site {
         proxy.view.commit();
         self.snap_tokens.remove(&snap.token);
         self.stats.opt_commits += 1;
+        self.trace_emit(TraceKind::ViewCommitted, Some(snap.ts), None, Some(vid.0));
         self.events.push(EngineEvent::ViewCommitted {
             view: vid,
             ts: snap.ts,
@@ -439,6 +442,9 @@ impl Site {
             }
             self.snap_tokens.remove(&token);
             self.stats.pess_notifications += 1;
+            // Pessimistic delivery is already committed: one ViewCommitted
+            // event, with no preceding optimistic delivery to pair against.
+            self.trace_emit(TraceKind::ViewCommitted, Some(ts), None, Some(vid.0));
             self.events.push(EngineEvent::ViewUpdated {
                 view: vid,
                 ts,

@@ -88,6 +88,9 @@ pub use message::{
 pub use object::{Blueprint, ObjectKind, ObjectName};
 pub use persist::{Checkpoint, CheckpointError, ObjectCheckpoint};
 pub use stats::{SiteStats, TransportStats};
+// Re-exported so engine users can enable tracing ([`Site::set_trace_sink`])
+// without naming `decaf-trace` in their own dependency list.
+pub use decaf_trace::{SinkSummary, TraceEvent, TraceKind, TraceSink};
 pub use txn::{AbortReason, Transaction, TxnCtx, TxnHandle, TxnOutcome};
 pub use value::ScalarValue;
 pub use view::{

@@ -52,6 +52,9 @@ pub struct SiteStats {
     pub gc_discarded: u64,
     /// Snapshot re-runs caused by denied or invalidated guesses.
     pub snapshot_reruns: u64,
+    /// Trace events lost by the engine's trace sink (ring overflow or
+    /// sink contention); 0 when tracing is disabled.
+    pub trace_events_dropped: u64,
 }
 
 impl SiteStats {
@@ -74,6 +77,28 @@ impl SiteStats {
             self.lost_updates as f64 / denom as f64
         }
     }
+
+    /// Folds `other`'s counters into `self`, for aggregating the stats of
+    /// several sites (or several runs) into one fleet-wide total — the
+    /// aggregation `decaf-trace-summarize` performs across trace files.
+    pub fn merge(&mut self, other: &SiteStats) {
+        self.txns_started += other.txns_started;
+        self.txns_committed += other.txns_committed;
+        self.txns_aborted_conflict += other.txns_aborted_conflict;
+        self.txns_aborted_user += other.txns_aborted_user;
+        self.retries += other.retries;
+        self.opt_notifications += other.opt_notifications;
+        self.opt_commits += other.opt_commits;
+        self.pess_notifications += other.pess_notifications;
+        self.lost_updates += other.lost_updates;
+        self.update_inconsistencies += other.update_inconsistencies;
+        self.read_inconsistencies += other.read_inconsistencies;
+        self.msgs_sent += other.msgs_sent;
+        self.msgs_received += other.msgs_received;
+        self.gc_discarded += other.gc_discarded;
+        self.snapshot_reruns += other.snapshot_reruns;
+        self.trace_events_dropped += other.trace_events_dropped;
+    }
 }
 
 impl fmt::Display for SiteStats {
@@ -82,7 +107,7 @@ impl fmt::Display for SiteStats {
             f,
             "txns {}/{} committed ({} conflict aborts, {} retries); \
              opt notif {} (+{} commits, {} lost, {} upd-inc, {} read-inc); \
-             pess notif {}; msgs {}/{}",
+             pess notif {}; msgs {}/{}; trace dropped {}",
             self.txns_committed,
             self.txns_started,
             self.txns_aborted_conflict,
@@ -95,6 +120,7 @@ impl fmt::Display for SiteStats {
             self.pess_notifications,
             self.msgs_sent,
             self.msgs_received,
+            self.trace_events_dropped,
         )
     }
 }
@@ -135,6 +161,31 @@ pub struct TransportStats {
     /// Outbound messages dropped because a peer's bounded queue was full
     /// or the peer was already declared failed.
     pub sends_dropped: u64,
+    /// Trace events lost by the transport's trace sink (ring overflow or
+    /// sink contention); 0 when tracing is disabled.
+    pub trace_events_dropped: u64,
+    /// High-water mark of any per-peer outbound queue depth observed.
+    pub queue_depth_hwm: u64,
+}
+
+impl TransportStats {
+    /// Folds `other`'s counters into `self`, for aggregating endpoints
+    /// across sites. Counters add; the queue-depth high-water mark takes
+    /// the max (it is a level, not a flow).
+    pub fn merge(&mut self, other: &TransportStats) {
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.frames_in += other.frames_in;
+        self.frames_out += other.frames_out;
+        self.frames_rejected += other.frames_rejected;
+        self.reconnects += other.reconnects;
+        self.heartbeats_sent += other.heartbeats_sent;
+        self.heartbeat_misses += other.heartbeat_misses;
+        self.peers_failed += other.peers_failed;
+        self.sends_dropped += other.sends_dropped;
+        self.trace_events_dropped += other.trace_events_dropped;
+        self.queue_depth_hwm = self.queue_depth_hwm.max(other.queue_depth_hwm);
+    }
 }
 
 impl fmt::Display for TransportStats {
@@ -143,7 +194,7 @@ impl fmt::Display for TransportStats {
             f,
             "frames {}/{} in/out ({} rejected); bytes {}/{}; \
              {} reconnects; hb {} sent, {} missed; {} peers failed; \
-             {} sends dropped",
+             {} sends dropped; qdepth hwm {}; trace dropped {}",
             self.frames_in,
             self.frames_out,
             self.frames_rejected,
@@ -154,6 +205,8 @@ impl fmt::Display for TransportStats {
             self.heartbeat_misses,
             self.peers_failed,
             self.sends_dropped,
+            self.queue_depth_hwm,
+            self.trace_events_dropped,
         )
     }
 }
@@ -197,5 +250,67 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!SiteStats::default().to_string().is_empty());
+    }
+
+    #[test]
+    fn display_reports_trace_and_queue_counters() {
+        let t = TransportStats {
+            trace_events_dropped: 7,
+            queue_depth_hwm: 12,
+            ..Default::default()
+        };
+        let s = t.to_string();
+        assert!(s.contains("(0 rejected)"), "{s}");
+        assert!(s.contains("qdepth hwm 12"), "{s}");
+        assert!(s.contains("trace dropped 7"), "{s}");
+        let e = SiteStats {
+            trace_events_dropped: 3,
+            ..Default::default()
+        };
+        assert!(e.to_string().contains("trace dropped 3"));
+    }
+
+    #[test]
+    fn site_stats_merge_adds_counters() {
+        let a = SiteStats {
+            txns_started: 4,
+            txns_committed: 3,
+            msgs_sent: 10,
+            trace_events_dropped: 1,
+            ..Default::default()
+        };
+        let b = SiteStats {
+            txns_started: 6,
+            txns_committed: 5,
+            msgs_received: 2,
+            ..Default::default()
+        };
+        let mut sum = a;
+        sum.merge(&b);
+        assert_eq!(sum.txns_started, 10);
+        assert_eq!(sum.txns_committed, 8);
+        assert_eq!(sum.msgs_sent, 10);
+        assert_eq!(sum.msgs_received, 2);
+        assert_eq!(sum.trace_events_dropped, 1);
+    }
+
+    #[test]
+    fn transport_stats_merge_adds_counters_and_maxes_hwm() {
+        let a = TransportStats {
+            frames_in: 5,
+            queue_depth_hwm: 3,
+            ..Default::default()
+        };
+        let b = TransportStats {
+            frames_in: 7,
+            queue_depth_hwm: 9,
+            trace_events_dropped: 2,
+            ..Default::default()
+        };
+        let mut sum = a;
+        sum.merge(&b);
+        assert_eq!(sum.frames_in, 12);
+        assert_eq!(sum.queue_depth_hwm, 9);
+        assert_eq!(sum.trace_events_dropped, 2);
     }
 }

@@ -535,11 +535,23 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use decaf_trace::{TraceKind, TraceSink};
+
 use crate::{Transport, TransportEndpoint, TransportEvent};
+
+/// Simulated time as the nanosecond timestamp a trace event carries.
+/// Traces stamped from virtual time are a pure function of the run, so
+/// golden tests can assert exact event sequences.
+fn sim_ns(t: SimTime) -> u64 {
+    t.as_micros().saturating_mul(1_000)
+}
 
 struct SimShared<M> {
     net: SimNet<M>,
     queues: HashMap<SiteId, VecDeque<TransportEvent<M>>>,
+    /// Per-site trace sinks; events are stamped with *simulated* time via
+    /// [`TraceSink::emit_at`] so traces are deterministic.
+    traces: HashMap<SiteId, TraceSink>,
 }
 
 impl<M> SimShared<M> {
@@ -553,15 +565,29 @@ impl<M> SimShared<M> {
                 return Some(ev);
             }
             match self.net.step()? {
-                Event::Deliver { from, to, msg, .. } => {
+                Event::Deliver { at, from, to, msg } => {
+                    if let Some(sink) = self.traces.get(&to) {
+                        sink.emit_at(sim_ns(at), TraceKind::MsgRecv, None, Some(from.0), None);
+                    }
                     self.queues
                         .entry(to)
                         .or_default()
                         .push_back(TransportEvent::Message { from, msg });
                 }
                 Event::SiteFailed {
-                    observer, failed, ..
+                    at,
+                    observer,
+                    failed,
                 } => {
+                    if let Some(sink) = self.traces.get(&observer) {
+                        sink.emit_at(
+                            sim_ns(at),
+                            TraceKind::SiteFailed,
+                            None,
+                            Some(failed.0),
+                            None,
+                        );
+                    }
                     self.queues
                         .entry(observer)
                         .or_default()
@@ -619,8 +645,16 @@ impl<M> SimTransport<M> {
             shared: Arc::new(Mutex::new(SimShared {
                 net: SimNet::new(latency),
                 queues: HashMap::new(),
+                traces: HashMap::new(),
             })),
         }
+    }
+
+    /// Installs `sink` as `site`'s trace sink. Send/receive/failure events
+    /// are stamped with **simulated** time, so a given workload always
+    /// produces byte-identical traces — the basis of the golden tests.
+    pub fn set_trace_sink(&self, site: SiteId, sink: TraceSink) {
+        self.shared.lock().traces.insert(site, sink);
     }
 
     /// Fail-stops `site`, notifying every site that has obtained an
@@ -691,6 +725,15 @@ impl<M> TransportEndpoint for SimEndpoint<M> {
     fn send(&self, to: SiteId, msg: M) {
         let mut shared = self.shared.lock();
         let from = self.site;
+        if let Some(sink) = shared.traces.get(&from) {
+            sink.emit_at(
+                sim_ns(shared.net.now()),
+                TraceKind::MsgSend,
+                None,
+                Some(to.0),
+                None,
+            );
+        }
         shared.net.send(from, to, msg);
     }
 

@@ -60,6 +60,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use decaf_core::{Envelope, TransportStats};
+use decaf_trace::{TraceKind, TraceSink};
 use decaf_vt::SiteId;
 
 use crate::wire::{
@@ -99,6 +100,10 @@ pub struct TcpConfig {
     pub outbound_queue: usize,
     /// Seed for backoff jitter (default: derived from the site id).
     pub jitter_seed: u64,
+    /// Trace sink for frame-level events (send/recv, heartbeats,
+    /// reconnects, fail-stop declarations) and outbound queue depth. The
+    /// default disabled sink makes every emit point one branch.
+    pub trace: TraceSink,
 }
 
 impl TcpConfig {
@@ -116,12 +121,19 @@ impl TcpConfig {
             connect_deadline: Duration::from_secs(20),
             outbound_queue: 4096,
             jitter_seed: 0xDECAF ^ site.0 as u64,
+            trace: TraceSink::disabled(),
         }
     }
 
     /// Adds a peer to the address table (builder style).
     pub fn peer(mut self, site: SiteId, addr: SocketAddr) -> Self {
         self.peers.insert(site, addr);
+        self
+    }
+
+    /// Installs a trace sink (builder style).
+    pub fn trace(mut self, sink: TraceSink) -> Self {
+        self.trace = sink;
         self
     }
 }
@@ -140,6 +152,7 @@ struct Counters {
     heartbeat_misses: AtomicU64,
     peers_failed: AtomicU64,
     sends_dropped: AtomicU64,
+    queue_depth_hwm: AtomicU64,
 }
 
 impl Counters {
@@ -158,6 +171,7 @@ impl Counters {
         s.heartbeat_misses = self.heartbeat_misses.load(Ordering::Relaxed);
         s.peers_failed = self.peers_failed.load(Ordering::Relaxed);
         s.sends_dropped = self.sends_dropped.load(Ordering::Relaxed);
+        s.queue_depth_hwm = self.queue_depth_hwm.load(Ordering::Relaxed);
         s
     }
 }
@@ -194,6 +208,11 @@ impl BoundedTx {
         } else {
             false
         }
+    }
+
+    /// Current queue depth (racy, monitoring only).
+    fn depth(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed)
     }
 }
 
@@ -256,6 +275,7 @@ pub struct TcpEndpoint {
     outboxes: Arc<BTreeMap<SiteId, BoundedTx>>,
     peers: Arc<BTreeMap<SiteId, Arc<PeerShared>>>,
     counters: Arc<Counters>,
+    trace: TraceSink,
 }
 
 impl fmt::Debug for TcpEndpoint {
@@ -275,6 +295,7 @@ impl Clone for TcpEndpoint {
             outboxes: Arc::clone(&self.outboxes),
             peers: Arc::clone(&self.peers),
             counters: Arc::clone(&self.counters),
+            trace: self.trace.clone(),
         }
     }
 }
@@ -312,6 +333,12 @@ impl TransportEndpoint for TcpEndpoint {
         };
         if shared.failed.load(Ordering::Relaxed) || !tx.try_send(msg) {
             bump(&self.counters.sends_dropped);
+        } else {
+            let depth = tx.depth();
+            self.counters
+                .queue_depth_hwm
+                .fetch_max(depth, Ordering::Relaxed);
+            self.trace.record_queue_depth(depth);
         }
     }
 
@@ -333,6 +360,7 @@ pub struct TcpMesh {
     local_addr: SocketAddr,
     endpoint: TcpEndpoint,
     counters: Arc<Counters>,
+    trace: TraceSink,
     shutdown: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
 }
@@ -384,10 +412,11 @@ impl TcpMesh {
             let shared = Arc::clone(&peer_shared);
             let counters = Arc::clone(&counters);
             let stop = Arc::clone(&shutdown);
+            let trace = config.trace.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("decaf-tcp-accept-{}", config.site.0))
-                    .spawn(move || accept_loop(listener, events, shared, counters, stop))
+                    .spawn(move || accept_loop(listener, events, shared, counters, trace, stop))
                     .expect("spawn accept thread"),
             );
         }
@@ -413,12 +442,14 @@ impl TcpMesh {
             outboxes,
             peers: peer_shared,
             counters: Arc::clone(&counters),
+            trace: config.trace.clone(),
         };
         Ok(TcpMesh {
             site: config.site,
             local_addr,
             endpoint,
             counters,
+            trace: config.trace,
             shutdown,
             threads,
         })
@@ -434,9 +465,18 @@ impl TcpMesh {
         self.local_addr
     }
 
-    /// A snapshot of the transport counters.
+    /// A snapshot of the transport counters. Trace-sink loss is folded in
+    /// so end-of-run reports expose it alongside the frame counters.
     pub fn stats(&self) -> TransportStats {
-        self.counters.snapshot()
+        let mut s = self.counters.snapshot();
+        s.trace_events_dropped = self.trace.dropped();
+        s
+    }
+
+    /// The mesh's trace sink (disabled unless one was installed via
+    /// [`TcpConfig::trace`]).
+    pub fn trace_sink(&self) -> &TraceSink {
+        &self.trace
     }
 
     /// The endpoint for this mesh's (single) site.
@@ -489,6 +529,7 @@ fn accept_loop(
     events: Sender<TransportEvent<Envelope>>,
     peers: Arc<BTreeMap<SiteId, Arc<PeerShared>>>,
     counters: Arc<Counters>,
+    trace: TraceSink,
     shutdown: Arc<AtomicBool>,
 ) {
     while !shutdown.load(Ordering::SeqCst) {
@@ -497,10 +538,11 @@ fn accept_loop(
                 let events = events.clone();
                 let peers = Arc::clone(&peers);
                 let counters = Arc::clone(&counters);
+                let trace = trace.clone();
                 let stop = Arc::clone(&shutdown);
                 let _ = std::thread::Builder::new()
                     .name("decaf-tcp-reader".into())
-                    .spawn(move || reader_loop(stream, events, peers, counters, stop));
+                    .spawn(move || reader_loop(stream, events, peers, counters, trace, stop));
             }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
@@ -521,6 +563,7 @@ fn reader_loop(
     events: Sender<TransportEvent<Envelope>>,
     peers: Arc<BTreeMap<SiteId, Arc<PeerShared>>>,
     counters: Arc<Counters>,
+    trace: TraceSink,
     shutdown: Arc<AtomicBool>,
 ) {
     let mut stream = stream;
@@ -544,6 +587,20 @@ fn reader_loop(
             match reader.next_frame() {
                 Ok(Some(frame)) => {
                     bump(&counters.frames_in);
+                    // Transport-level receive trace: `peer` is the dialing
+                    // site, `n` the frame payload size in bytes.
+                    if let Some(from) = peer.or_else(|| {
+                        matches!(frame.kind, FrameKind::Hello)
+                            .then(|| decode_hello(&frame.payload).ok())
+                            .flatten()
+                    }) {
+                        trace.emit(
+                            TraceKind::MsgRecv,
+                            None,
+                            Some(from.0),
+                            Some(frame.payload.len() as u64),
+                        );
+                    }
                     match frame.kind {
                         FrameKind::Hello => match decode_hello(&frame.payload) {
                             Ok(site) => {
@@ -607,9 +664,11 @@ fn declare_failed(
     shared: &PeerShared,
     events: &Sender<TransportEvent<Envelope>>,
     counters: &Counters,
+    trace: &TraceSink,
 ) {
     if !shared.failed.swap(true, Ordering::SeqCst) {
         bump(&counters.peers_failed);
+        trace.emit(TraceKind::SiteFailed, None, Some(peer.0), None);
         let _ = events.send(TransportEvent::SiteFailed { failed: peer });
     }
 }
@@ -665,7 +724,7 @@ fn writer_loop(
                         born.elapsed() > cfg.connect_deadline
                     };
                     if exhausted {
-                        declare_failed(peer, &shared, &events, &counters);
+                        declare_failed(peer, &shared, &events, &counters, &cfg.trace);
                         return;
                     }
                     let exp = cfg
@@ -685,11 +744,15 @@ fn writer_loop(
             Ok(n) => {
                 bump(&counters.frames_out);
                 add(&counters.bytes_out, n as u64);
+                cfg.trace
+                    .emit(TraceKind::MsgSend, None, Some(peer.0), Some(n as u64));
             }
             Err(_) => continue 'link,
         }
         if had_conn {
             bump(&counters.reconnects);
+            cfg.trace
+                .emit(TraceKind::Reconnect, None, Some(peer.0), None);
         }
         had_conn = true;
         shared.ever_connected.store(true, Ordering::Relaxed);
@@ -702,6 +765,8 @@ fn writer_loop(
                     Ok(n) => {
                         bump(&counters.frames_out);
                         add(&counters.bytes_out, n as u64);
+                        cfg.trace
+                            .emit(TraceKind::MsgSend, None, Some(peer.0), Some(n as u64));
                     }
                     Err(_) => {
                         pending = Some(env);
@@ -731,6 +796,8 @@ fn writer_loop(
                         Ok(n) => {
                             bump(&counters.frames_out);
                             add(&counters.bytes_out, n as u64);
+                            cfg.trace
+                                .emit(TraceKind::MsgSend, None, Some(peer.0), Some(n as u64));
                         }
                         Err(_) => {
                             // Keep the envelope for the next connection.
@@ -753,6 +820,8 @@ fn writer_loop(
                             bump(&counters.heartbeats_sent);
                             bump(&counters.frames_out);
                             add(&counters.bytes_out, n as u64);
+                            cfg.trace
+                                .emit(TraceKind::MsgSend, None, Some(peer.0), Some(n as u64));
                         }
                         Err(_) => continue 'link,
                     }

@@ -19,6 +19,7 @@ use std::time::{Duration, Instant};
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
+use decaf_trace::{TraceKind, TraceSink};
 use decaf_vt::SiteId;
 
 use crate::{Transport, TransportEndpoint, TransportEvent};
@@ -63,6 +64,7 @@ pub struct Endpoint<M> {
     site: SiteId,
     to_router: Sender<RouterCmd<M>>,
     inbox: Receiver<TransportEvent<M>>,
+    trace: TraceSink,
 }
 
 impl<M> fmt::Debug for Endpoint<M> {
@@ -79,6 +81,7 @@ impl<M> Clone for Endpoint<M> {
             site: self.site,
             to_router: self.to_router.clone(),
             inbox: self.inbox.clone(),
+            trace: self.trace.clone(),
         }
     }
 }
@@ -92,11 +95,28 @@ impl<M: Send + 'static> Endpoint<M> {
     /// Sends `msg` to `to`; it is delivered after the network's configured
     /// delay. Sends after shutdown are silently discarded.
     pub fn send(&self, to: SiteId, msg: M) {
+        self.trace.emit(TraceKind::MsgSend, None, Some(to.0), None);
         let _ = self.to_router.send(RouterCmd::Send {
             from: self.site,
             to,
             msg,
         });
+    }
+
+    /// Stamps an inbound event into the trace (messages and failure
+    /// notifications alike) and passes it through unchanged.
+    fn trace_recv(&self, ev: TransportEvent<M>) -> TransportEvent<M> {
+        match &ev {
+            TransportEvent::Message { from, .. } => {
+                self.trace
+                    .emit(TraceKind::MsgRecv, None, Some(from.0), None);
+            }
+            TransportEvent::SiteFailed { failed } => {
+                self.trace
+                    .emit(TraceKind::SiteFailed, None, Some(failed.0), None);
+            }
+        }
+        ev
     }
 
     /// Blocks until an event arrives.
@@ -105,7 +125,7 @@ impl<M: Send + 'static> Endpoint<M> {
     ///
     /// Returns `Err` once the network has shut down and the inbox drained.
     pub fn recv(&self) -> Result<TransportEvent<M>, crossbeam_channel::RecvError> {
-        self.inbox.recv()
+        self.inbox.recv().map(|ev| self.trace_recv(ev))
     }
 
     /// Receives with a timeout.
@@ -114,12 +134,14 @@ impl<M: Send + 'static> Endpoint<M> {
     ///
     /// Returns `Err` on timeout or after shutdown.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<TransportEvent<M>, RecvTimeoutError> {
-        self.inbox.recv_timeout(timeout)
+        self.inbox
+            .recv_timeout(timeout)
+            .map(|ev| self.trace_recv(ev))
     }
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<TransportEvent<M>> {
-        self.inbox.try_recv().ok()
+        self.inbox.try_recv().ok().map(|ev| self.trace_recv(ev))
     }
 }
 
@@ -198,6 +220,7 @@ impl<M: Send + 'static> ThreadedNet<M> {
                 site: SiteId(i as u32),
                 to_router: to_router.clone(),
                 inbox: rx,
+                trace: TraceSink::disabled(),
             });
         }
         let delivered = Arc::new(Mutex::new(0u64));
@@ -317,6 +340,20 @@ impl<M: Send + 'static> ThreadedNet<M> {
     /// failure-detector behaviour the paper assumes (§3.4).
     pub fn fail_site(&self, site: SiteId) {
         let _ = self.to_router.send(RouterCmd::Fail(site));
+    }
+
+    /// Installs `sink` on `site`'s endpoint: send/receive/failure events
+    /// are traced with wall-clock timestamps. Endpoints cloned out
+    /// *before* this call keep their previous (typically disabled) sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range for this network.
+    pub fn set_trace_sink(&mut self, site: SiteId, sink: TraceSink) {
+        self.endpoints
+            .get_mut(site.0 as usize)
+            .unwrap_or_else(|| panic!("no such site {site}"))
+            .trace = sink;
     }
 
     /// Total messages delivered so far.

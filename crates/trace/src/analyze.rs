@@ -1,0 +1,289 @@
+//! Offline trace analysis: replay JSONL event streams back into per-site
+//! latency histograms and protocol counters.
+//!
+//! This is the read side of the instrument: `decaf-site --trace-out`
+//! writes one JSONL file per process, and `decaf-trace-summarize` feeds
+//! every line of every file through [`Replay::observe`] to reconstruct
+//! exactly the digests the live [`TraceSink`](crate::TraceSink) would have
+//! reported — so the §5.1/§5.2 numbers (commit latency, rollback rate,
+//! view staleness) can be checked from a real multi-process TCP run after
+//! the fact.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::event::{TraceEvent, TraceKind};
+use crate::hist::Histogram;
+
+/// Per-site protocol counters and latency distributions rebuilt from a
+/// trace. Field meanings mirror the live sink's pairing rules.
+#[derive(Debug, Clone, Default)]
+pub struct SiteReplay {
+    /// TxnBegin events seen.
+    pub txns_begun: u64,
+    /// Commit events seen (local and remote).
+    pub commits: u64,
+    /// Commit events whose `n` marks them locally originated.
+    pub local_commits: u64,
+    /// Abort events seen.
+    pub aborts: u64,
+    /// Rollback events seen.
+    pub rollbacks: u64,
+    /// ViewOptimistic events seen.
+    pub views_optimistic: u64,
+    /// ViewCommitted events seen.
+    pub views_committed: u64,
+    /// Frames sent / received by the site's transport.
+    pub msgs_sent: u64,
+    /// Frames received by the site's transport.
+    pub msgs_received: u64,
+    /// Transport reconnects.
+    pub reconnects: u64,
+    /// Fail-stop declarations observed.
+    pub sites_failed: u64,
+    /// History entries discarded by GC sweeps (sum of `n`).
+    pub gc_discarded: u64,
+    /// TxnBegin → Commit latency, nanoseconds.
+    pub commit_lat_ns: Histogram,
+    /// ViewOptimistic → ViewCommitted staleness, nanoseconds.
+    pub view_lat_ns: Histogram,
+    open_txns: Vec<((u64, u32), u64)>,
+    open_views: Vec<((u64, u32), u64)>,
+}
+
+impl SiteReplay {
+    /// Rollbacks per optimistic transaction begun (the paper's §5.2
+    /// rollback-rate metric), 0 when no transaction began.
+    pub fn rollback_rate(&self) -> f64 {
+        if self.txns_begun == 0 {
+            0.0
+        } else {
+            self.rollbacks as f64 / self.txns_begun as f64
+        }
+    }
+}
+
+impl fmt::Display for SiteReplay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = self.commit_lat_ns.summary();
+        let v = self.view_lat_ns.summary();
+        let us = |ns: u64| ns / 1_000;
+        writeln!(
+            f,
+            "  txns: begun={} committed={} (local={}) aborted={} rolled-back={} \
+             (rollback-rate {:.3})",
+            self.txns_begun,
+            self.commits,
+            self.local_commits,
+            self.aborts,
+            self.rollbacks,
+            self.rollback_rate(),
+        )?;
+        writeln!(
+            f,
+            "  commit-latency-us: n={} p50={} p95={} p99={} max={}",
+            c.count,
+            us(c.p50),
+            us(c.p95),
+            us(c.p99),
+            us(c.max),
+        )?;
+        writeln!(
+            f,
+            "  view-staleness-us: n={} p50={} p95={} p99={} max={} \
+             (optimistic={} committed={})",
+            v.count,
+            us(v.p50),
+            us(v.p95),
+            us(v.p99),
+            us(v.max),
+            self.views_optimistic,
+            self.views_committed,
+        )?;
+        write!(
+            f,
+            "  transport: sent={} received={} reconnects={} site-failures={} \
+             gc-discarded={}",
+            self.msgs_sent,
+            self.msgs_received,
+            self.reconnects,
+            self.sites_failed,
+            self.gc_discarded,
+        )
+    }
+}
+
+/// Streaming trace replayer: feed it events (from any number of files, in
+/// any interleaving — pairing is per site and per VT), then read the
+/// per-site digests out of [`sites`](Replay::sites).
+#[derive(Debug, Clone, Default)]
+pub struct Replay {
+    sites: BTreeMap<u32, SiteReplay>,
+    events: u64,
+}
+
+impl Replay {
+    /// An empty replayer.
+    pub fn new() -> Self {
+        Replay::default()
+    }
+
+    /// Total events observed.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// The per-site digests, keyed by site id.
+    pub fn sites(&self) -> &BTreeMap<u32, SiteReplay> {
+        &self.sites
+    }
+
+    /// Folds one event into the per-site digests.
+    pub fn observe(&mut self, ev: &TraceEvent) {
+        self.events += 1;
+        let site = self.sites.entry(ev.site).or_default();
+        match ev.kind {
+            TraceKind::TxnBegin => {
+                site.txns_begun += 1;
+                if let Some(vt) = ev.vt {
+                    site.open_txns.push((vt, ev.ts_ns));
+                }
+            }
+            TraceKind::Commit => {
+                site.commits += 1;
+                if ev.n == Some(1) {
+                    site.local_commits += 1;
+                }
+                if let Some(vt) = ev.vt {
+                    if let Some(i) = site.open_txns.iter().position(|(k, _)| *k == vt) {
+                        let (_, begin) = site.open_txns.swap_remove(i);
+                        site.commit_lat_ns.record(ev.ts_ns.saturating_sub(begin));
+                    }
+                }
+            }
+            TraceKind::Abort | TraceKind::Rollback => {
+                if ev.kind == TraceKind::Abort {
+                    site.aborts += 1;
+                } else {
+                    site.rollbacks += 1;
+                }
+                if let Some(vt) = ev.vt {
+                    if let Some(i) = site.open_txns.iter().position(|(k, _)| *k == vt) {
+                        site.open_txns.swap_remove(i);
+                    }
+                }
+            }
+            TraceKind::ViewOptimistic => {
+                site.views_optimistic += 1;
+                if let Some(vt) = ev.vt {
+                    site.open_views.push((vt, ev.ts_ns));
+                }
+            }
+            TraceKind::ViewCommitted => {
+                site.views_committed += 1;
+                if let Some(vt) = ev.vt {
+                    if let Some(i) = site.open_views.iter().position(|(k, _)| *k == vt) {
+                        let (_, opt) = site.open_views.swap_remove(i);
+                        site.view_lat_ns.record(ev.ts_ns.saturating_sub(opt));
+                    }
+                }
+            }
+            TraceKind::MsgSend => site.msgs_sent += 1,
+            TraceKind::MsgRecv => site.msgs_received += 1,
+            TraceKind::Reconnect => site.reconnects += 1,
+            TraceKind::SiteFailed => site.sites_failed += 1,
+            TraceKind::GcSweep => site.gc_discarded += ev.n.unwrap_or(0),
+            _ => {}
+        }
+    }
+
+    /// Parses and folds a whole JSONL document; blank lines are skipped.
+    /// Returns the number of events folded, or the first parse failure
+    /// with its 1-based line number.
+    pub fn observe_jsonl(&mut self, text: &str) -> Result<u64, (usize, crate::ParseError)> {
+        let mut n = 0;
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let ev = TraceEvent::from_jsonl(line).map_err(|e| (idx + 1, e))?;
+            self.observe(&ev);
+            n += 1;
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_matches_live_sink_digest() {
+        let sink = crate::TraceSink::enabled(1, 1024);
+        sink.emit_at(100, TraceKind::TxnBegin, Some((5, 1)), None, None);
+        sink.emit_at(600, TraceKind::Commit, Some((5, 1)), None, Some(1));
+        sink.emit_at(700, TraceKind::ViewOptimistic, Some((9, 2)), None, None);
+        sink.emit_at(900, TraceKind::ViewCommitted, Some((9, 2)), None, None);
+
+        let mut jsonl = Vec::new();
+        sink.write_jsonl(&mut jsonl).unwrap();
+        let mut replay = Replay::new();
+        let n = replay
+            .observe_jsonl(std::str::from_utf8(&jsonl).unwrap())
+            .unwrap();
+        assert_eq!(n, 4);
+
+        let live = sink.summary();
+        let site = &replay.sites()[&1];
+        assert_eq!(site.commit_lat_ns.summary(), live.commit_lat_ns);
+        assert_eq!(site.view_lat_ns.summary(), live.view_lat_ns);
+        assert_eq!(site.local_commits, 1);
+    }
+
+    #[test]
+    fn multi_site_streams_stay_separate() {
+        let mut replay = Replay::new();
+        for site in [1u32, 2] {
+            replay.observe(&TraceEvent {
+                site,
+                ts_ns: 10,
+                kind: TraceKind::TxnBegin,
+                vt: Some((1, site)),
+                peer: None,
+                n: None,
+            });
+        }
+        replay.observe(&TraceEvent {
+            site: 1,
+            ts_ns: 50,
+            kind: TraceKind::Commit,
+            vt: Some((1, 1)),
+            peer: None,
+            n: Some(1),
+        });
+        assert_eq!(replay.sites().len(), 2);
+        assert_eq!(replay.sites()[&1].commit_lat_ns.count(), 1);
+        assert_eq!(replay.sites()[&2].commit_lat_ns.count(), 0);
+    }
+
+    #[test]
+    fn observe_jsonl_reports_bad_line_number() {
+        let mut replay = Replay::new();
+        let text = "{\"site\":1,\"ts_ns\":1,\"kind\":\"Commit\"}\n\nnot json\n";
+        let err = replay.observe_jsonl(text).unwrap_err();
+        assert_eq!(err.0, 3);
+    }
+
+    #[test]
+    fn rollback_rate_counts_per_begin() {
+        let r = SiteReplay {
+            txns_begun: 8,
+            rollbacks: 2,
+            ..SiteReplay::default()
+        };
+        assert!((r.rollback_rate() - 0.25).abs() < 1e-9);
+        assert_eq!(SiteReplay::default().rollback_rate(), 0.0);
+    }
+}

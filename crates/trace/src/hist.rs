@@ -1,0 +1,251 @@
+//! Log2-bucketed histograms with percentile summaries.
+//!
+//! Latency distributions are heavy-tailed, so the paper-style metrics we
+//! care about (§5.1's commit latency in units of the one-way delay `t`)
+//! need percentiles, not means. A fixed array of 65 power-of-two buckets
+//! records any `u64` in O(1) with zero allocation: bucket 0 holds the
+//! value 0 and bucket *i* (1 ≤ *i* ≤ 64) holds values whose bit length is
+//! *i*, i.e. the interval [2^(i−1), 2^i − 1]. The buckets tile the whole
+//! `u64` range — every value lands in exactly one bucket, with no gaps —
+//! which is property-tested in `tests/proptests.rs`.
+
+use std::fmt;
+
+/// Number of buckets: one for zero plus one per possible bit length.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-size log2 histogram over `u64` samples.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// The bucket index `v` falls into: 0 for 0, else `v`'s bit length.
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// The inclusive `[lo, hi]` range of values bucket `i` covers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= BUCKETS`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < BUCKETS, "bucket index {i} out of range");
+        match i {
+            0 => (0, 0),
+            64 => (1u64 << 63, u64::MAX),
+            _ => (1u64 << (i - 1), (1u64 << i) - 1),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples, rounded down (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Folds `other`'s samples into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The value at quantile `q` ∈ [0, 1], as the upper bound of the
+    /// bucket containing the ⌈q·count⌉-th smallest sample (capped at the
+    /// observed maximum, so a single-sample histogram reports the sample
+    /// itself). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_bounds(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// A printable five-number digest of the distribution.
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.count,
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: self.max,
+        }
+    }
+}
+
+/// A digest of one [`Histogram`]: sample count plus p50/p95/p99/max.
+///
+/// Values are dimension-free `u64`s; the [`fmt::Display`] impl prints them
+/// raw, and callers that record nanoseconds typically divide for display
+/// (see `decaf-site`'s periodic summary line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Median (upper bucket bound).
+    pub p50: u64,
+    /// 95th percentile (upper bucket bound).
+    pub p95: u64,
+    /// 99th percentile (upper bucket bound).
+    pub p99: u64,
+    /// Exact observed maximum.
+    pub max: u64,
+}
+
+impl fmt::Display for HistSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} p50={} p95={} p99={} max={}",
+            self.count, self.p50, self.p95, self.p99, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_tile_the_u64_range() {
+        // Contiguity at every boundary: hi(i) + 1 == lo(i + 1).
+        for i in 0..BUCKETS - 1 {
+            let (_, hi) = Histogram::bucket_bounds(i);
+            let (lo_next, _) = Histogram::bucket_bounds(i + 1);
+            assert_eq!(hi + 1, lo_next, "gap between buckets {i} and {}", i + 1);
+        }
+        assert_eq!(Histogram::bucket_bounds(0).0, 0);
+        assert_eq!(Histogram::bucket_bounds(BUCKETS - 1).1, u64::MAX);
+        // Index agrees with bounds at the edges of every bucket.
+        for i in 0..BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert_eq!(Histogram::bucket_index(lo), i);
+            assert_eq!(Histogram::bucket_index(hi), i);
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_known_distribution() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.mean(), 50);
+        // The 50th sample is 50, in bucket [32, 63].
+        assert_eq!(h.quantile(0.50), 63);
+        // The 95th and 99th samples are 95 and 99, in bucket [64, 127],
+        // whose upper bound is capped at the observed max of 100.
+        assert_eq!(h.quantile(0.95), 100);
+        assert_eq!(h.quantile(0.99), 100);
+        assert_eq!(h.quantile(1.0), 100);
+        // q=0 still selects the first sample's bucket.
+        assert_eq!(h.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn single_sample_reports_itself() {
+        let mut h = Histogram::new();
+        h.record(777);
+        assert_eq!(h.quantile(0.5), 777);
+        assert_eq!(h.summary().p99, 777);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.summary(), HistSummary::default());
+    }
+
+    #[test]
+    fn merge_is_samplewise_union() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in [0u64, 1, 5, 9, 1_000] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [2u64, 70, u64::MAX] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.max(), both.max());
+        for q in [0.0, 0.25, 0.5, 0.75, 0.95, 1.0] {
+            assert_eq!(a.quantile(q), both.quantile(q));
+        }
+    }
+
+    #[test]
+    fn saturating_sum_does_not_wrap() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.mean(), u64::MAX / 2); // sum saturated at MAX
+    }
+}

@@ -1,0 +1,455 @@
+//! The per-site trace sink: a bounded ring of events plus live latency
+//! histograms, behind a clone-able handle that is free when disabled.
+//!
+//! # Cost model
+//!
+//! A disabled sink is `TraceSink(None)`: every `emit` is one branch on an
+//! `Option`, with no allocation and no lock — cheap enough to leave the
+//! emit points compiled into release builds unconditionally.
+//!
+//! An enabled sink shares one pre-allocated ring. Emission uses
+//! [`Mutex::try_lock`]: an emitter never blocks behind a contended sink
+//! (transports emit from their own threads), it just counts the event as
+//! dropped. Together with drop-oldest overwrite when the ring is full,
+//! this bounds both memory and latency impact; the `dropped` counter keeps
+//! the loss observable, and flows into `SiteStats`/`TransportStats` via
+//! [`TraceSink::dropped`].
+
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::event::{TraceEvent, TraceKind};
+use crate::hist::{HistSummary, Histogram};
+
+/// Cap on in-flight latency pairings (open transactions / unconfirmed
+/// optimistic views) tracked per sink. Beyond this, new pairings are not
+/// tracked; their eventual Commit/ViewCommitted simply records no latency
+/// sample. Bounds memory under pathological workloads.
+const MAX_OPEN: usize = 4096;
+
+/// A handle to a per-site trace sink; clone freely (all clones share one
+/// ring). The disabled sink is the default and costs one branch per emit.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink(Option<Arc<Shared>>);
+
+#[derive(Debug)]
+struct Shared {
+    site: u32,
+    epoch: Instant,
+    dropped: AtomicU64,
+    queue_hwm: AtomicU64,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    ring: Ring,
+    /// `(vt, begin ts_ns)` of transactions begun but not yet decided.
+    open_txns: Vec<((u64, u32), u64)>,
+    /// `(vt, delivery ts_ns)` of optimistic views not yet confirmed.
+    open_views: Vec<((u64, u32), u64)>,
+    commit_lat: Histogram,
+    view_lat: Histogram,
+    queue_depth: Histogram,
+}
+
+/// Fixed-capacity circular buffer of events with drop-oldest overwrite.
+#[derive(Debug)]
+struct Ring {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Index of the oldest retained event when the ring is full.
+    head: usize,
+}
+
+impl Ring {
+    fn new(cap: usize) -> Self {
+        Ring {
+            buf: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+        }
+    }
+
+    /// Appends `ev`; returns `true` if an old event was evicted to make room.
+    fn push(&mut self, ev: TraceEvent) -> bool {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+            false
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+            true
+        }
+    }
+
+    /// The retained events, oldest first.
+    fn in_order(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+}
+
+/// Combined digest of a sink's histograms plus its drop counter, printable
+/// as the single periodic summary line `decaf-site` emits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SinkSummary {
+    /// The site the sink belongs to.
+    pub site: u32,
+    /// Commit latency (ns): TxnBegin → Commit for local transactions.
+    pub commit_lat_ns: HistSummary,
+    /// View staleness (ns): ViewOptimistic → ViewCommitted per update.
+    pub view_lat_ns: HistSummary,
+    /// Outbound queue depth samples (entries).
+    pub queue_depth: HistSummary,
+    /// High-water mark of the outbound queue depth.
+    pub queue_depth_hwm: u64,
+    /// Events lost to ring overflow or sink contention.
+    pub dropped: u64,
+}
+
+impl std::fmt::Display for SinkSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let us = |ns: u64| ns / 1_000;
+        write!(
+            f,
+            "site={} commit-lat-us[n={} p50={} p95={} p99={}] \
+             view-lat-us[n={} p50={} p95={} p99={}] \
+             qdepth[hwm={}] dropped={}",
+            self.site,
+            self.commit_lat_ns.count,
+            us(self.commit_lat_ns.p50),
+            us(self.commit_lat_ns.p95),
+            us(self.commit_lat_ns.p99),
+            self.view_lat_ns.count,
+            us(self.view_lat_ns.p50),
+            us(self.view_lat_ns.p95),
+            us(self.view_lat_ns.p99),
+            self.queue_depth_hwm,
+            self.dropped,
+        )
+    }
+}
+
+impl TraceSink {
+    /// The disabled sink: every emit is a single `None` branch.
+    pub const fn disabled() -> Self {
+        TraceSink(None)
+    }
+
+    /// An enabled sink for `site` retaining at most `capacity` events
+    /// (drop-oldest beyond that). Capacity is clamped to at least 16.
+    pub fn enabled(site: u32, capacity: usize) -> Self {
+        TraceSink(Some(Arc::new(Shared {
+            site,
+            epoch: Instant::now(),
+            dropped: AtomicU64::new(0),
+            queue_hwm: AtomicU64::new(0),
+            inner: Mutex::new(Inner {
+                ring: Ring::new(capacity.max(16)),
+                open_txns: Vec::new(),
+                open_views: Vec::new(),
+                commit_lat: Histogram::new(),
+                view_lat: Histogram::new(),
+                queue_depth: Histogram::new(),
+            }),
+        })))
+    }
+
+    /// Whether this sink records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The site this sink was enabled for (`None` when disabled).
+    pub fn site(&self) -> Option<u32> {
+        self.0.as_ref().map(|s| s.site)
+    }
+
+    /// Emits an event stamped with the sink's monotonic clock.
+    #[inline]
+    pub fn emit(&self, kind: TraceKind, vt: Option<(u64, u32)>, peer: Option<u32>, n: Option<u64>) {
+        if let Some(shared) = &self.0 {
+            let ts_ns = shared.epoch.elapsed().as_nanos() as u64;
+            shared.record(ts_ns, kind, vt, peer, n);
+        }
+    }
+
+    /// Emits an event with a caller-supplied timestamp. Deterministic
+    /// substrates (the simulator) use this so golden tests see stable
+    /// timestamps; everything else should prefer [`emit`](TraceSink::emit).
+    #[inline]
+    pub fn emit_at(
+        &self,
+        ts_ns: u64,
+        kind: TraceKind,
+        vt: Option<(u64, u32)>,
+        peer: Option<u32>,
+        n: Option<u64>,
+    ) {
+        if let Some(shared) = &self.0 {
+            shared.record(ts_ns, kind, vt, peer, n);
+        }
+    }
+
+    /// Records an outbound queue depth sample and updates its high-water
+    /// mark. Separate from [`emit`](TraceSink::emit) because depth samples
+    /// are a distribution, not discrete events worth a ring slot each.
+    #[inline]
+    pub fn record_queue_depth(&self, depth: u64) {
+        if let Some(shared) = &self.0 {
+            shared.queue_hwm.fetch_max(depth, Ordering::Relaxed);
+            match shared.inner.try_lock() {
+                Ok(mut inner) => inner.queue_depth.record(depth),
+                Err(_) => {
+                    shared.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Events lost so far (ring overwrite + lock contention).
+    pub fn dropped(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |s| s.dropped.load(Ordering::Relaxed))
+    }
+
+    /// High-water mark of recorded queue depths.
+    pub fn queue_depth_hwm(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |s| s.queue_hwm.load(Ordering::Relaxed))
+    }
+
+    /// The retained events, oldest first, leaving them in place.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(shared) => shared.lock().ring.in_order(),
+        }
+    }
+
+    /// Removes and returns the retained events, oldest first.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(shared) => {
+                let mut inner = shared.lock();
+                let out = inner.ring.in_order();
+                inner.ring.clear();
+                out
+            }
+        }
+    }
+
+    /// Writes the retained events as JSONL, one event per line, leaving
+    /// them in place.
+    pub fn write_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        for ev in self.snapshot() {
+            writeln!(w, "{}", ev.to_jsonl())?;
+        }
+        Ok(())
+    }
+
+    /// Digest of the live histograms and drop counter.
+    pub fn summary(&self) -> SinkSummary {
+        match &self.0 {
+            None => SinkSummary::default(),
+            Some(shared) => {
+                let inner = shared.lock();
+                SinkSummary {
+                    site: shared.site,
+                    commit_lat_ns: inner.commit_lat.summary(),
+                    view_lat_ns: inner.view_lat.summary(),
+                    queue_depth: inner.queue_depth.summary(),
+                    queue_depth_hwm: shared.queue_hwm.load(Ordering::Relaxed),
+                    dropped: shared.dropped.load(Ordering::Relaxed),
+                }
+            }
+        }
+    }
+}
+
+impl Shared {
+    /// Blocking lock for non-hot-path readers (snapshot/summary); recovers
+    /// from poisoning since the data is plain counters.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn record(
+        &self,
+        ts_ns: u64,
+        kind: TraceKind,
+        vt: Option<(u64, u32)>,
+        peer: Option<u32>,
+        n: Option<u64>,
+    ) {
+        let Ok(mut inner) = self.inner.try_lock() else {
+            // Emitters never block: a contended event is a dropped event.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        inner.pair_latency(ts_ns, kind, vt);
+        let evicted = inner.ring.push(TraceEvent {
+            site: self.site,
+            ts_ns,
+            kind,
+            vt,
+            peer,
+            n,
+        });
+        if evicted {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Inner {
+    /// Updates the live latency histograms from the event stream itself:
+    /// TxnBegin→Commit pairs feed `commit_lat`, ViewOptimistic→
+    /// ViewCommitted pairs feed `view_lat`, keyed by the subject VT.
+    fn pair_latency(&mut self, ts_ns: u64, kind: TraceKind, vt: Option<(u64, u32)>) {
+        let Some(vt) = vt else { return };
+        match kind {
+            TraceKind::TxnBegin if self.open_txns.len() < MAX_OPEN => {
+                self.open_txns.push((vt, ts_ns));
+            }
+            TraceKind::Commit => {
+                if let Some(i) = self.open_txns.iter().position(|(k, _)| *k == vt) {
+                    let (_, begin) = self.open_txns.swap_remove(i);
+                    self.commit_lat.record(ts_ns.saturating_sub(begin));
+                }
+            }
+            TraceKind::Abort | TraceKind::Rollback => {
+                if let Some(i) = self.open_txns.iter().position(|(k, _)| *k == vt) {
+                    self.open_txns.swap_remove(i);
+                }
+            }
+            TraceKind::ViewOptimistic if self.open_views.len() < MAX_OPEN => {
+                self.open_views.push((vt, ts_ns));
+            }
+            TraceKind::ViewCommitted => {
+                if let Some(i) = self.open_views.iter().position(|(k, _)| *k == vt) {
+                    let (_, opt) = self.open_views.swap_remove(i);
+                    self.view_lat.record(ts_ns.saturating_sub(opt));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_is_inert() {
+        let s = TraceSink::disabled();
+        assert!(!s.is_enabled());
+        s.emit(TraceKind::Commit, Some((1, 1)), None, None);
+        s.record_queue_depth(10);
+        assert_eq!(s.dropped(), 0);
+        assert!(s.snapshot().is_empty());
+        assert_eq!(s.summary().commit_lat_ns.count, 0);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let s = TraceSink::enabled(1, 16);
+        for i in 0..20u64 {
+            s.emit_at(i, TraceKind::MsgSend, None, Some(2), Some(i));
+        }
+        let evs = s.snapshot();
+        assert_eq!(evs.len(), 16);
+        assert_eq!(s.dropped(), 4);
+        // Oldest four were evicted; order is preserved.
+        assert_eq!(evs.first().unwrap().n, Some(4));
+        assert_eq!(evs.last().unwrap().n, Some(19));
+        assert!(evs.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+
+    #[test]
+    fn drain_empties_the_ring() {
+        let s = TraceSink::enabled(1, 16);
+        s.emit_at(1, TraceKind::TxnBegin, Some((1, 1)), None, None);
+        assert_eq!(s.drain().len(), 1);
+        assert!(s.snapshot().is_empty());
+    }
+
+    #[test]
+    fn commit_latency_pairs_begin_to_commit() {
+        let s = TraceSink::enabled(1, 64);
+        s.emit_at(100, TraceKind::TxnBegin, Some((7, 1)), None, None);
+        s.emit_at(150, TraceKind::TxnBegin, Some((8, 1)), None, None);
+        s.emit_at(400, TraceKind::Commit, Some((7, 1)), None, Some(1));
+        // Txn 8 rolls back: no commit-latency sample.
+        s.emit_at(500, TraceKind::Rollback, Some((8, 1)), None, None);
+        let sum = s.summary();
+        assert_eq!(sum.commit_lat_ns.count, 1);
+        assert_eq!(sum.commit_lat_ns.max, 300);
+    }
+
+    #[test]
+    fn view_latency_pairs_optimistic_to_committed() {
+        let s = TraceSink::enabled(2, 64);
+        s.emit_at(10, TraceKind::ViewOptimistic, Some((3, 1)), None, None);
+        s.emit_at(70, TraceKind::ViewCommitted, Some((3, 1)), None, None);
+        // A pessimistic delivery with no prior optimistic event records
+        // nothing (there is no staleness window to measure).
+        s.emit_at(90, TraceKind::ViewCommitted, Some((4, 1)), None, None);
+        let sum = s.summary();
+        assert_eq!(sum.view_lat_ns.count, 1);
+        assert_eq!(sum.view_lat_ns.max, 60);
+    }
+
+    #[test]
+    fn queue_depth_tracks_high_water_mark() {
+        let s = TraceSink::enabled(1, 16);
+        for d in [3u64, 9, 1, 7] {
+            s.record_queue_depth(d);
+        }
+        assert_eq!(s.queue_depth_hwm(), 9);
+        assert_eq!(s.summary().queue_depth.count, 4);
+        assert_eq!(s.summary().queue_depth_hwm, 9);
+    }
+
+    #[test]
+    fn clones_share_one_ring() {
+        let a = TraceSink::enabled(1, 16);
+        let b = a.clone();
+        a.emit_at(1, TraceKind::Reconnect, None, Some(2), None);
+        b.emit_at(2, TraceKind::SiteFailed, None, Some(3), None);
+        assert_eq!(a.snapshot().len(), 2);
+        assert_eq!(b.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn jsonl_export_round_trips() {
+        let s = TraceSink::enabled(5, 16);
+        s.emit_at(1, TraceKind::TxnBegin, Some((1, 5)), None, None);
+        s.emit_at(9, TraceKind::Commit, Some((1, 5)), None, Some(1));
+        let mut buf = Vec::new();
+        s.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let parsed: Vec<_> = text
+            .lines()
+            .map(|l| TraceEvent::from_jsonl(l).unwrap())
+            .collect();
+        assert_eq!(parsed, s.snapshot());
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the trace layer: the JSONL codec is a
+//! bijection on everything the encoder can produce, and the log2 histogram
+//! buckets tile the `u64` range with no value falling between buckets.
+
+use proptest::prelude::*;
+
+use decaf_trace::{Histogram, TraceEvent, TraceKind, BUCKETS};
+
+fn arb_kind() -> impl Strategy<Value = TraceKind> {
+    prop::sample::select(TraceKind::ALL.to_vec())
+}
+
+fn arb_event() -> impl Strategy<Value = TraceEvent> {
+    (
+        any::<u32>(),
+        any::<u64>(),
+        arb_kind(),
+        prop::option::of((any::<u64>(), any::<u32>())),
+        prop::option::of(any::<u32>()),
+        prop::option::of(any::<u64>()),
+    )
+        .prop_map(|(site, ts_ns, kind, vt, peer, n)| TraceEvent {
+            site,
+            ts_ns,
+            kind,
+            vt,
+            peer,
+            n,
+        })
+}
+
+proptest! {
+    /// Encode → decode is the identity for arbitrary events, including
+    /// extreme field values and every optional-field combination.
+    #[test]
+    fn jsonl_round_trips(ev in arb_event()) {
+        let line = ev.to_jsonl();
+        prop_assert_eq!(TraceEvent::from_jsonl(&line).unwrap(), ev);
+        // The encoding is canonical: re-encoding the decoded event yields
+        // byte-identical JSONL.
+        prop_assert_eq!(TraceEvent::from_jsonl(&line).unwrap().to_jsonl(), line);
+    }
+
+    /// Corrupting any single byte of a valid line never yields a *different*
+    /// event that silently round-trips to the corrupted line; it either
+    /// fails to parse or decodes to something that re-encodes canonically.
+    #[test]
+    fn jsonl_corruption_is_detected_or_canonical(ev in arb_event(), pos in any::<prop::sample::Index>(), byte in 0u8..128) {
+        let line = ev.to_jsonl();
+        let mut bytes = line.clone().into_bytes();
+        let i = pos.index(bytes.len());
+        bytes[i] = byte;
+        if let Ok(corrupt) = String::from_utf8(bytes) {
+            if let Ok(decoded) = TraceEvent::from_jsonl(&corrupt) {
+                // Anything the strict parser accepts must be expressible
+                // canonically — no hidden parse states.
+                prop_assert_eq!(
+                    TraceEvent::from_jsonl(&decoded.to_jsonl()).unwrap(),
+                    decoded
+                );
+            }
+        }
+    }
+
+    /// Every `u64` lands in exactly one bucket, and that bucket's bounds
+    /// contain it: no value may fall between buckets.
+    #[test]
+    fn histogram_buckets_leave_no_gaps(v in any::<u64>()) {
+        let i = Histogram::bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        let (lo, hi) = Histogram::bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "{v} outside bucket {i} = [{lo}, {hi}]");
+        // ...and in no other bucket.
+        for j in 0..BUCKETS {
+            if j != i {
+                let (lo_j, hi_j) = Histogram::bucket_bounds(j);
+                prop_assert!(v < lo_j || v > hi_j);
+            }
+        }
+    }
+
+    /// Bucket boundaries are contiguous: hi(i) + 1 == lo(i+1) everywhere.
+    #[test]
+    fn histogram_bucket_bounds_are_contiguous(i in 0usize..BUCKETS - 1) {
+        let (_, hi) = Histogram::bucket_bounds(i);
+        let (lo_next, _) = Histogram::bucket_bounds(i + 1);
+        prop_assert_eq!(hi + 1, lo_next);
+    }
+
+    /// Quantiles are monotone in q, bounded by the observed max, and the
+    /// p100 bucket always contains the maximum sample.
+    #[test]
+    fn histogram_quantiles_are_monotone(samples in prop::collection::vec(any::<u64>(), 1..200)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let max = *samples.iter().max().unwrap();
+        prop_assert_eq!(h.max(), max);
+        let qs = [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0];
+        let vals: Vec<u64> = qs.iter().map(|&q| h.quantile(q)).collect();
+        for w in vals.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        prop_assert!(vals.iter().all(|&v| v <= max));
+        let (lo, hi) = Histogram::bucket_bounds(Histogram::bucket_index(max));
+        prop_assert!(lo <= h.quantile(1.0).min(hi));
+    }
+}

@@ -23,9 +23,16 @@ fi
 # Lints are errors: the tree stays clippy-clean.
 run cargo clippy --workspace --all-targets --offline -- -D warnings
 
+# Rustdoc stays warning-free (broken intra-doc links are the usual drift).
+run env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
+
 # Unit, integration, property, and doc tests. The TCP suite spawns real
 # decaf-site processes on loopback sockets (ports are kernel-reserved per
 # test, so parallel runs do not collide).
 run cargo test --workspace --offline -q
+
+# The deterministic-trace golden test is the observability contract: a
+# fixed sim workload must keep producing byte-identical JSONL traces.
+run cargo test -p decaf-net --test trace_golden --offline -q
 
 echo "CI OK"

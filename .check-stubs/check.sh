@@ -1,0 +1,15 @@
+#!/bin/sh
+# Offline typecheck harness: patches the unavailable crates.io deps with
+# local stubs so `cargo check` can run in this container. NOT part of the
+# repo's CI; never commit .check-stubs or Cargo.lock.
+cd /root/repo || exit 1
+exec cargo check --workspace --offline \
+  --config 'patch.crates-io.serde.path=".check-stubs/serde"' \
+  --config 'patch.crates-io.serde_derive.path=".check-stubs/serde_derive"' \
+  --config 'patch.crates-io.serde_json.path=".check-stubs/serde_json"' \
+  --config 'patch.crates-io.rand.path=".check-stubs/rand"' \
+  --config 'patch.crates-io.crossbeam-channel.path=".check-stubs/crossbeam-channel"' \
+  --config 'patch.crates-io.parking_lot.path=".check-stubs/parking_lot"' \
+  --config 'patch.crates-io.proptest.path=".check-stubs/proptest"' \
+  --config 'patch.crates-io.criterion.path=".check-stubs/criterion"' \
+  "$@"

@@ -1,0 +1,11 @@
+pub use std::sync::MutexGuard;
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+impl<T> Mutex<T> {
+    pub fn new(t: T) -> Self { Mutex(std::sync::Mutex::new(t)) }
+}
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.0.lock() { Ok(g) => g, Err(p) => p.into_inner() }
+    }
+}

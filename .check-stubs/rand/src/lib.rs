@@ -1,0 +1,17 @@
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+pub trait SampleRange<T> { fn start_of(self) -> T; }
+impl<T: Copy> SampleRange<T> for std::ops::Range<T> { fn start_of(self) -> T { self.start } }
+impl<T: Copy> SampleRange<T> for std::ops::RangeInclusive<T> { fn start_of(self) -> T { *self.start() } }
+pub trait Rng {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T { range.start_of() }
+}
+pub mod rngs {
+    #[derive(Debug, Clone)]
+    pub struct SmallRng(#[allow(dead_code)] u64);
+    impl crate::SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self { SmallRng(state) }
+    }
+    impl crate::Rng for SmallRng {}
+}

@@ -1,0 +1,12 @@
+use std::fmt;
+#[derive(Debug)]
+pub struct Error;
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { f.write_str("stub") }
+}
+impl std::error::Error for Error {}
+pub fn to_vec<T: serde::Serialize + ?Sized>(_v: &T) -> Result<Vec<u8>, Error> { unimplemented!() }
+pub fn to_string<T: serde::Serialize + ?Sized>(_v: &T) -> Result<String, Error> { unimplemented!() }
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(_v: &T) -> Result<String, Error> { unimplemented!() }
+pub fn from_slice<T: serde::Deserialize>(_b: &[u8]) -> Result<T, Error> { unimplemented!() }
+pub fn from_str<T: serde::Deserialize>(_s: &str) -> Result<T, Error> { unimplemented!() }

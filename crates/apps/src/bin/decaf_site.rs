@@ -33,6 +33,14 @@
 //! on exit, and — together with `--summary-every-ms MS` — prints a periodic
 //! one-line `trace-summary` histogram digest. Analyze the dump with
 //! `decaf-trace-summarize`.
+//!
+//! Wire tuning: `--codec <1|2>` caps the link codec this site offers
+//! (2 = compact binary + batching, the default; 1 = the v1 JSON format,
+//! for interop with old peers — each link independently negotiates
+//! `min(local, peer)` via the Hello exchange). `--batch-max N` and
+//! `--batch-delay-us US` bound how many envelopes a writer may coalesce
+//! into one Batch frame and how long it may linger collecting them;
+//! `--batch-max 1` disables batching.
 
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
@@ -70,6 +78,9 @@ struct Args {
     trace_out: Option<PathBuf>,
     trace_buf: usize,
     summary_every_ms: u64,
+    codec: u8,
+    batch_max: usize,
+    batch_delay_us: u64,
 }
 
 fn usage() -> ! {
@@ -77,7 +88,8 @@ fn usage() -> ! {
         "usage: decaf-site --site <id> --listen <addr> [--peer <id>=<addr>]... \\\n\
          \x20                [--txns N] [--on-fail-txns K] [--phase1-target V] \\\n\
          \x20                [--final-target V] [--linger-ms MS] [--max-runtime-ms MS] \\\n\
-         \x20                [--trace-out PATH] [--trace-buf N] [--summary-every-ms MS]"
+         \x20                [--trace-out PATH] [--trace-buf N] [--summary-every-ms MS] \\\n\
+         \x20                [--codec 1|2] [--batch-max N] [--batch-delay-us US]"
     );
     std::process::exit(2);
 }
@@ -95,6 +107,9 @@ fn parse_args() -> Args {
     let mut trace_out = None;
     let mut trace_buf = 65_536usize;
     let mut summary_every_ms = 0u64;
+    let mut codec = 2u8;
+    let mut batch_max = 64usize;
+    let mut batch_delay_us = 200u64;
 
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -121,6 +136,14 @@ fn parse_args() -> Args {
             "--trace-out" => trace_out = Some(PathBuf::from(value())),
             "--trace-buf" => trace_buf = value().parse().unwrap_or_else(|_| usage()),
             "--summary-every-ms" => summary_every_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--codec" => {
+                codec = value().parse().unwrap_or_else(|_| usage());
+                if !(1..=2).contains(&codec) {
+                    usage();
+                }
+            }
+            "--batch-max" => batch_max = value().parse().unwrap_or_else(|_| usage()),
+            "--batch-delay-us" => batch_delay_us = value().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
@@ -140,6 +163,9 @@ fn parse_args() -> Args {
         trace_out,
         trace_buf,
         summary_every_ms,
+        codec,
+        batch_max,
+        batch_delay_us,
     }
 }
 
@@ -174,7 +200,10 @@ fn main() {
     }
 
     // --- transport: TCP mesh over the peer table ---
-    let mut cfg = TcpConfig::new(site_id, args.listen).trace(trace.clone());
+    let mut cfg = TcpConfig::new(site_id, args.listen)
+        .trace(trace.clone())
+        .codec(args.codec)
+        .batching(args.batch_max, Duration::from_micros(args.batch_delay_us));
     for (&id, &addr) in &args.peers {
         cfg = cfg.peer(SiteId(id), addr);
     }
@@ -286,11 +315,16 @@ fn main() {
                 // `phase1-done value=` / `site-failed` above) are a stable
                 // contract the integration tests grep for.
                 println!("final value={committed}");
+                let t = mesh.stats();
                 println!(
-                    "run-summary site={} committed={committed} elapsed-ms={} failed-peers={}",
+                    "run-summary site={} committed={committed} elapsed-ms={} failed-peers={} \
+                     codec-v2-frames={} coalesced={} bytes-saved={}",
                     args.site,
                     start.elapsed().as_millis(),
                     failed_sites.len(),
+                    t.codec_v2_frames,
+                    t.frames_coalesced,
+                    t.bytes_saved,
                 );
                 println!("transport: {}", mesh.stats());
                 println!("engine: {}", site.stats());

@@ -1,0 +1,460 @@
+//! P1 — hot-path throughput: wire codec v2 + batching, and CoW snapshots.
+//!
+//! Two sections, matching the two halves of the hot-path overhaul:
+//!
+//! 1. **Wire throughput** (threaded substrate): a ring of real OS threads
+//!    exchanges protocol envelopes through [`decaf_net::threaded::ThreadedNet`],
+//!    frame-encoding each message exactly as the TCP transport does. Modes:
+//!    `v1` (per-envelope JSON `Data` frames, the pre-overhaul wire format),
+//!    `v2` (per-envelope binary `DataV2` frames), and `v2+batch` (up to 64
+//!    envelopes coalesced into one `Batch` frame). Throughput counts
+//!    envelopes fully encoded, transported, and decoded per second.
+//!
+//! 2. **CoW rollback/re-execute** (engine): the §3.1 rollback machinery on
+//!    composites of K elements. `rollback` times a transaction that writes a
+//!    K-element list and then aborts (purge + re-fold); `conflict` times a
+//!    round of conflicting read-modify-write transactions at two wired sites
+//!    (rollback + automatic re-execution at the losing site).
+//!
+//! Flags: `--json` emits one JSON document on stdout (this is what
+//! `BENCH_throughput.json` is produced from); `--smoke` shrinks iteration
+//! counts for CI. The process exits non-zero if any transported envelope
+//! was lost, so CI can gate on the exit status as well as the JSON.
+//!
+//! Run: `cargo run --release -p decaf-bench --bin p1_throughput -- --json`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use decaf_bench::print_table;
+use decaf_core::{
+    wiring, Blueprint, Envelope, Message, ObjectAddr, ObjectName, ScalarValue, Site, Transaction,
+    TxnCtx, TxnError, TxnPropagate, UpdateItem, WireOp,
+};
+use decaf_net::threaded::ThreadedNet;
+use decaf_net::wire::{
+    decode_batch, decode_envelope, decode_envelope_v2, encode_batch_parts, encode_envelope,
+    encode_envelope_v2, encode_frame, FrameKind, FrameReader,
+};
+use decaf_net::TransportEvent;
+use decaf_vt::{SiteId, VirtualTime};
+
+/// Envelopes coalesced per `Batch` frame, mirroring `TcpConfig::batch_max`.
+const BATCH_MAX: usize = 64;
+
+// ===========================================================================
+// Section 1: wire throughput over the threaded substrate
+// ===========================================================================
+
+/// A representative protocol envelope: one-update transaction propagation
+/// carrying a string payload of the requested size.
+fn mk_envelope(from: SiteId, to: SiteId, seq: u64, payload_len: usize) -> Envelope {
+    let clock = VirtualTime::new(seq, from);
+    Envelope {
+        from,
+        to,
+        clock,
+        msg: Message::Txn(TxnPropagate {
+            txn: clock,
+            origin: from,
+            updates: vec![UpdateItem {
+                addr: ObjectAddr::Direct(ObjectName::new(from, 1)),
+                t_r: clock,
+                t_g: VirtualTime::ZERO,
+                op: WireOp::SetScalar(ScalarValue::Str("x".repeat(payload_len))),
+                needs_check: true,
+            }],
+            reads: Vec::new(),
+            delegate: None,
+        }),
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum WireMode {
+    V1,
+    V2,
+    V2Batch,
+}
+
+impl WireMode {
+    fn label(self) -> &'static str {
+        match self {
+            WireMode::V1 => "v1 json",
+            WireMode::V2 => "v2 binary",
+            WireMode::V2Batch => "v2+batch",
+        }
+    }
+}
+
+struct WireRow {
+    sites: usize,
+    payload: usize,
+    mode: WireMode,
+    envelopes: u64,
+    frames: u64,
+    wire_bytes: u64,
+    elapsed: Duration,
+}
+
+impl WireRow {
+    fn env_per_sec(&self) -> f64 {
+        self.envelopes as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Runs one ring configuration: each of `sites` threads sends `per_site`
+/// envelopes to its successor while decoding the `per_site` envelopes
+/// arriving from its predecessor. Returns the measured row.
+fn run_wire(sites: usize, payload: usize, mode: WireMode, per_site: u64) -> WireRow {
+    let mut net: ThreadedNet<Vec<u8>> = ThreadedNet::new(sites, Duration::ZERO);
+    let wire_bytes = Arc::new(AtomicU64::new(0));
+    let frames = Arc::new(AtomicU64::new(0));
+    let decoded = Arc::new(AtomicU64::new(0));
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for i in 0..sites {
+        let ep = net.endpoint(SiteId(i as u32));
+        let next = SiteId(((i + 1) % sites) as u32);
+        let me = SiteId(i as u32);
+        let wire_bytes = Arc::clone(&wire_bytes);
+        let frames = Arc::clone(&frames);
+        let decoded = Arc::clone(&decoded);
+        handles.push(std::thread::spawn(move || {
+            // Send phase: encode + frame exactly as the TCP writer would.
+            let send_frame = |kind: FrameKind, payload: &[u8]| {
+                let frame = encode_frame(kind, payload);
+                wire_bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
+                frames.fetch_add(1, Ordering::Relaxed);
+                ep.send(next, frame);
+            };
+            match mode {
+                WireMode::V1 => {
+                    for seq in 0..per_site {
+                        let env = mk_envelope(me, next, seq + 1, payload);
+                        let p = encode_envelope(&env).expect("v1 encode");
+                        send_frame(FrameKind::Data, &p);
+                    }
+                }
+                WireMode::V2 => {
+                    for seq in 0..per_site {
+                        let env = mk_envelope(me, next, seq + 1, payload);
+                        send_frame(FrameKind::DataV2, &encode_envelope_v2(&env));
+                    }
+                }
+                WireMode::V2Batch => {
+                    let mut seq = 0;
+                    while seq < per_site {
+                        let n = BATCH_MAX.min((per_site - seq) as usize);
+                        let parts: Vec<Vec<u8>> = (0..n)
+                            .map(|k| {
+                                encode_envelope_v2(&mk_envelope(
+                                    me,
+                                    next,
+                                    seq + k as u64 + 1,
+                                    payload,
+                                ))
+                            })
+                            .collect();
+                        send_frame(FrameKind::Batch, &encode_batch_parts(&parts));
+                        seq += n as u64;
+                    }
+                }
+            }
+            // Receive phase: reassemble + decode everything the predecessor
+            // sent us.
+            let mut reader = FrameReader::new();
+            let mut got: u64 = 0;
+            while got < per_site {
+                let bytes = match ep.recv() {
+                    Ok(TransportEvent::Message { msg, .. }) => msg,
+                    Ok(TransportEvent::SiteFailed { .. }) => continue,
+                    Err(_) => break,
+                };
+                reader.feed(&bytes);
+                while let Ok(Some(frame)) = reader.next_frame() {
+                    got += match frame.kind {
+                        FrameKind::Data => decode_envelope(&frame.payload).map(|_| 1).unwrap_or(0),
+                        FrameKind::DataV2 => {
+                            decode_envelope_v2(&frame.payload).map(|_| 1).unwrap_or(0)
+                        }
+                        FrameKind::Batch => decode_batch(&frame.payload)
+                            .map(|envs| envs.len() as u64)
+                            .unwrap_or(0),
+                        _ => 0,
+                    };
+                }
+            }
+            decoded.fetch_add(got, Ordering::Relaxed);
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let elapsed = start.elapsed();
+    net.shutdown();
+    WireRow {
+        sites,
+        payload,
+        mode,
+        envelopes: decoded.load(Ordering::Relaxed),
+        frames: frames.load(Ordering::Relaxed),
+        wire_bytes: wire_bytes.load(Ordering::Relaxed),
+        elapsed,
+    }
+}
+
+// ===========================================================================
+// Section 2: CoW rollback / re-execute on K-element composites
+// ===========================================================================
+
+struct FillList(ObjectName, usize);
+impl Transaction for FillList {
+    fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+        for _ in 0..self.1 {
+            ctx.list_push(self.0, Blueprint::Int(0))?;
+        }
+        Ok(())
+    }
+}
+
+/// Writes the big list, then aborts: the engine must purge the tentative
+/// write and re-fold the composite (§3.1 rollback).
+struct InsertThenFail(ObjectName);
+impl Transaction for InsertThenFail {
+    fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+        ctx.list_insert(self.0, 0, Blueprint::Int(1))?;
+        Err(TxnError::app("p1 rollback probe"))
+    }
+}
+
+/// Read-modify-write that keeps the list length stable: drop the tail
+/// entry, push a fresh head. Two of these racing from different sites
+/// force a conflict rollback + automatic re-execution at the loser.
+struct RotateList(ObjectName);
+impl Transaction for RotateList {
+    fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+        let n = ctx.list_len(self.0)?;
+        if n > 0 {
+            ctx.list_remove(self.0, n - 1)?;
+        }
+        ctx.list_insert(self.0, 0, Blueprint::Int(7))?;
+        Ok(())
+    }
+}
+
+struct CowRow {
+    elems: usize,
+    metric: &'static str,
+    iters: u64,
+    elapsed: Duration,
+    retries: u64,
+}
+
+impl CowRow {
+    fn us_per_iter(&self) -> f64 {
+        self.elapsed.as_micros() as f64 / self.iters as f64
+    }
+}
+
+/// Times `iters` abort-rollback cycles on a single site's K-element list.
+fn run_rollback(elems: usize, iters: u64) -> CowRow {
+    let mut a = Site::new(SiteId(1));
+    let list = a.create_list();
+    a.execute(Box::new(FillList(list, elems)));
+    let start = Instant::now();
+    for _ in 0..iters {
+        a.execute(Box::new(InsertThenFail(list)));
+    }
+    let elapsed = start.elapsed();
+    CowRow {
+        elems,
+        metric: "rollback",
+        iters,
+        elapsed,
+        retries: 0,
+    }
+}
+
+/// Times `iters` conflict rounds between two wired replicas of a K-element
+/// list: both sites rotate concurrently, messages are pumped, and exactly
+/// one side rolls back and re-executes.
+fn run_conflict(elems: usize, iters: u64) -> CowRow {
+    let mut a = Site::new(SiteId(1));
+    let mut b = Site::new(SiteId(2));
+    let la = a.create_list();
+    let lb = b.create_list();
+    wiring::wire_pair(&mut a, la, &mut b, lb);
+    a.execute(Box::new(FillList(la, elems)));
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    let start = Instant::now();
+    for _ in 0..iters {
+        a.execute(Box::new(RotateList(la)));
+        b.execute(Box::new(RotateList(lb)));
+        wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+    }
+    let elapsed = start.elapsed();
+    CowRow {
+        elems,
+        metric: "conflict",
+        iters,
+        elapsed,
+        retries: a.stats().retries + b.stats().retries,
+    }
+}
+
+// ===========================================================================
+// Output
+// ===========================================================================
+
+fn json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_table(out: &mut String, title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    out.push_str("{\"title\":");
+    json_str(out, title);
+    out.push_str(",\"headers\":[");
+    for (i, h) in headers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_str(out, h);
+    }
+    out.push_str("],\"rows\":[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, cell) in row.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            json_str(out, cell);
+        }
+        out.push(']');
+    }
+    out.push_str("]}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json");
+    let smoke = args.iter().any(|a| a == "--smoke");
+
+    // Wire sweep: sites x payload x mode.
+    let per_site: u64 = if smoke { 2_000 } else { 40_000 };
+    let mut wire_rows = Vec::new();
+    for &sites in &[2usize, 8] {
+        for &payload in &[8usize, 256] {
+            for &mode in &[WireMode::V1, WireMode::V2, WireMode::V2Batch] {
+                wire_rows.push(run_wire(sites, payload, mode, per_site));
+            }
+        }
+    }
+    let expected: u64 = wire_rows.iter().map(|r| r.sites as u64 * per_site).sum();
+    let delivered: u64 = wire_rows.iter().map(|r| r.envelopes).sum();
+
+    // CoW sweep: K x metric.
+    let mut cow_rows = Vec::new();
+    for &elems in &[10usize, 100, 1_000] {
+        let (r_iters, c_iters) = if smoke { (50, 10) } else { (2_000, 200) };
+        cow_rows.push(run_rollback(elems, r_iters));
+        cow_rows.push(run_conflict(elems, c_iters));
+    }
+
+    let wire_table: Vec<Vec<String>> = wire_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.sites.to_string(),
+                r.payload.to_string(),
+                r.mode.label().to_string(),
+                r.envelopes.to_string(),
+                r.frames.to_string(),
+                r.wire_bytes.to_string(),
+                format!("{:.1}", r.elapsed.as_secs_f64() * 1e3),
+                format!("{:.0}", r.env_per_sec()),
+            ]
+        })
+        .collect();
+    let wire_headers = [
+        "sites",
+        "payload B",
+        "mode",
+        "envelopes",
+        "frames",
+        "wire bytes",
+        "ms",
+        "env/s",
+    ];
+    let cow_table: Vec<Vec<String>> = cow_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.elems.to_string(),
+                r.metric.to_string(),
+                r.iters.to_string(),
+                format!("{:.1}", r.elapsed.as_secs_f64() * 1e3),
+                format!("{:.1}", r.us_per_iter()),
+                r.retries.to_string(),
+            ]
+        })
+        .collect();
+    let cow_headers = ["elems", "metric", "iters", "total ms", "us/iter", "retries"];
+
+    let ok = delivered >= expected;
+    if json {
+        let mut out = String::from("{\"bench\":\"p1_throughput\",\"mode\":");
+        json_str(&mut out, if smoke { "smoke" } else { "full" });
+        out.push_str(",\"sections\":[");
+        json_table(
+            &mut out,
+            "P1 wire throughput (threaded substrate)",
+            &wire_headers,
+            &wire_table,
+        );
+        out.push(',');
+        json_table(
+            &mut out,
+            "P1 CoW rollback/re-execute",
+            &cow_headers,
+            &cow_table,
+        );
+        out.push_str("],\"check\":{\"sent\":");
+        out.push_str(&expected.to_string());
+        out.push_str(",\"delivered\":");
+        out.push_str(&delivered.to_string());
+        out.push_str(",\"ok\":");
+        out.push_str(if ok { "true" } else { "false" });
+        out.push_str("}}");
+        println!("{out}");
+    } else {
+        print_table(
+            "P1 wire throughput (threaded substrate)",
+            &wire_headers,
+            &wire_table,
+        );
+        print_table("P1 CoW rollback/re-execute", &cow_headers, &cow_table);
+        println!(
+            "\nwire check: sent {expected}, delivered {delivered} ({})",
+            if ok { "ok" } else { "LOST ENVELOPES" }
+        );
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -407,32 +407,20 @@ impl Site {
 
     /// Creates an empty list model object.
     pub fn create_list(&mut self) -> ObjectName {
-        self.store.create_root(
-            ObjectKind::List,
-            ObjectValue::List {
-                entries: Vec::new(),
-                ops: Vec::new(),
-            },
-        )
+        self.store
+            .create_root(ObjectKind::List, ObjectValue::empty_list())
     }
 
     /// Creates an empty tuple model object.
     pub fn create_tuple(&mut self) -> ObjectName {
-        self.store.create_root(
-            ObjectKind::Tuple,
-            ObjectValue::Tuple {
-                entries: Default::default(),
-                ops: Vec::new(),
-            },
-        )
+        self.store
+            .create_root(ObjectKind::Tuple, ObjectValue::empty_tuple())
     }
 
     /// Creates an empty association object (§2.6).
     pub fn create_association(&mut self) -> ObjectName {
-        self.store.create_root(
-            ObjectKind::Association,
-            ObjectValue::Assoc(Default::default()),
-        )
+        self.store
+            .create_root(ObjectKind::Association, ObjectValue::empty_assoc())
     }
 
     // ---- read-side conveniences (outside transactions) --------------------

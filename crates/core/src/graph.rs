@@ -140,6 +140,35 @@ impl ReplicationGraph {
         self.nodes.iter()
     }
 
+    /// Iterates the relation edges `(a, b, relation)` in ascending order,
+    /// with `a < b` as maintained by [`joined_with`](Self::joined_with).
+    ///
+    /// Exposed so transports can serialize graphs without going through
+    /// serde (the binary wire codec v2 walks nodes and edges directly).
+    pub fn edges(&self) -> impl Iterator<Item = &(NodeRef, NodeRef, RelationId)> {
+        self.edges.iter()
+    }
+
+    /// Rebuilds a graph from the parts produced by [`nodes`](Self::nodes)
+    /// and [`edges`](Self::edges). Edge endpoints are normalized (`a < b`)
+    /// and added to the node set, so any well-formed part list round-trips.
+    pub fn from_parts(
+        nodes: impl IntoIterator<Item = NodeRef>,
+        edges: impl IntoIterator<Item = (NodeRef, NodeRef, RelationId)>,
+    ) -> Self {
+        let mut g = ReplicationGraph {
+            nodes: nodes.into_iter().collect(),
+            edges: BTreeSet::new(),
+        };
+        for (a, b, r) in edges {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            g.nodes.insert(lo);
+            g.nodes.insert(hi);
+            g.edges.insert((lo, hi, r));
+        }
+        g
+    }
+
     /// Iterates the distinct sites hosting nodes, ascending.
     pub fn sites(&self) -> impl Iterator<Item = SiteId> + '_ {
         let mut last = None;

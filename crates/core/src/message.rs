@@ -125,6 +125,43 @@ pub enum TreeSnapshot {
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct AssocSnapshot(pub(crate) AssocState);
 
+impl AssocSnapshot {
+    /// Flattens the snapshot into `(relation, members, description)` rows,
+    /// ascending by relation id. Exposed so transports can serialize
+    /// association state without serde (binary wire codec v2).
+    pub fn wire_parts(&self) -> Vec<(RelationId, Vec<NodeRef>, String)> {
+        self.0
+            .iter()
+            .map(|(id, rel)| {
+                (
+                    *id,
+                    rel.members.iter().copied().collect(),
+                    rel.description.clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// Rebuilds a snapshot from [`wire_parts`](Self::wire_parts) rows.
+    pub fn from_wire_parts(
+        parts: impl IntoIterator<Item = (RelationId, Vec<NodeRef>, String)>,
+    ) -> Self {
+        let state: AssocState = parts
+            .into_iter()
+            .map(|(id, members, description)| {
+                (
+                    id,
+                    crate::object::Relation {
+                        members: members.into_iter().collect(),
+                        description,
+                    },
+                )
+            })
+            .collect();
+        AssocSnapshot(state)
+    }
+}
+
 /// The state-update operation carried by a propagated write.
 ///
 /// "For scalar objects it suffices to distribute the final value; for

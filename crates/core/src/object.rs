@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -188,6 +189,14 @@ pub(crate) type AssocState = BTreeMap<RelationId, Relation>;
 
 /// The value of a model object, stored in its history.
 ///
+/// Composite entry sets and association state live behind [`Arc`]s:
+/// history entries structurally share unchanged state, so snapshotting a
+/// value, restoring it on rollback, and re-folding after a straggler are
+/// O(touched entries) — a fold clones the underlying collection (via
+/// [`Arc::make_mut`]) only at the moment it actually diverges. The `rc`
+/// serde feature serializes the `Arc`s transparently (by content), so the
+/// checkpoint format is unchanged.
+///
 /// `Assoc` relies on the derived map serialization (`RelationId`-keyed
 /// `BTreeMap`), which every serde backend we target represents losslessly;
 /// the wire type [`crate::message::AssocSnapshot`] round-trips through the
@@ -199,17 +208,38 @@ pub(crate) enum ObjectValue {
     /// several) that produced it, retained for re-folding when structural
     /// stragglers arrive.
     List {
-        entries: Vec<ListEntry>,
+        entries: Arc<Vec<ListEntry>>,
         ops: Vec<ListOp>,
     },
     Tuple {
-        entries: BTreeMap<String, ObjectName>,
+        entries: Arc<BTreeMap<String, ObjectName>>,
         ops: Vec<TupleOp>,
     },
-    Assoc(AssocState),
+    Assoc(Arc<AssocState>),
 }
 
 impl ObjectValue {
+    /// An empty list value (no entries, no pending ops).
+    pub fn empty_list() -> Self {
+        ObjectValue::List {
+            entries: Arc::new(Vec::new()),
+            ops: Vec::new(),
+        }
+    }
+
+    /// An empty tuple value.
+    pub fn empty_tuple() -> Self {
+        ObjectValue::Tuple {
+            entries: Arc::new(BTreeMap::new()),
+            ops: Vec::new(),
+        }
+    }
+
+    /// An empty association value.
+    pub fn empty_assoc() -> Self {
+        ObjectValue::Assoc(Arc::new(AssocState::new()))
+    }
+
     pub fn as_scalar(&self) -> Option<&ScalarValue> {
         match self {
             ObjectValue::Scalar(s) => Some(s),
@@ -219,7 +249,7 @@ impl ObjectValue {
 
     pub fn as_list(&self) -> Option<&[ListEntry]> {
         match self {
-            ObjectValue::List { entries, .. } => Some(entries),
+            ObjectValue::List { entries, .. } => Some(entries.as_slice()),
             _ => None,
         }
     }
@@ -234,6 +264,23 @@ impl ObjectValue {
     pub fn as_assoc(&self) -> Option<&AssocState> {
         match self {
             ObjectValue::Assoc(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The list entries as a shared handle (CoW hot path: histories hand
+    /// these around without copying the underlying vector).
+    pub fn list_arc(&self) -> Option<Arc<Vec<ListEntry>>> {
+        match self {
+            ObjectValue::List { entries, .. } => Some(Arc::clone(entries)),
+            _ => None,
+        }
+    }
+
+    /// The tuple entries as a shared handle (CoW hot path).
+    pub fn tuple_arc(&self) -> Option<Arc<BTreeMap<String, ObjectName>>> {
+        match self {
+            ObjectValue::Tuple { entries, .. } => Some(Arc::clone(entries)),
             _ => None,
         }
     }
@@ -329,18 +376,15 @@ mod tests {
         let s = ObjectValue::Scalar(ScalarValue::Int(3));
         assert!(s.as_scalar().is_some());
         assert!(s.as_list().is_none());
-        let l = ObjectValue::List {
-            entries: vec![],
-            ops: vec![],
-        };
+        let l = ObjectValue::empty_list();
         assert!(l.as_list().is_some());
         assert!(l.as_tuple().is_none());
-        let t = ObjectValue::Tuple {
-            entries: BTreeMap::new(),
-            ops: vec![],
-        };
+        assert!(l.list_arc().is_some());
+        assert!(l.tuple_arc().is_none());
+        let t = ObjectValue::empty_tuple();
         assert!(t.as_tuple().is_some());
-        let a = ObjectValue::Assoc(AssocState::new());
+        assert!(t.tuple_arc().is_some());
+        let a = ObjectValue::empty_assoc();
         assert!(a.as_assoc().is_some());
         assert!(a.as_scalar().is_none());
     }

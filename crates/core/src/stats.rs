@@ -166,6 +166,16 @@ pub struct TransportStats {
     pub trace_events_dropped: u64,
     /// High-water mark of any per-peer outbound queue depth observed.
     pub queue_depth_hwm: u64,
+    /// Envelopes that rode along in a multi-envelope Batch frame instead of
+    /// getting a frame (and header, and write) of their own: for a batch of
+    /// `n` envelopes this counts `n - 1`.
+    pub frames_coalesced: u64,
+    /// Frame-header bytes saved by coalescing (each coalesced envelope
+    /// avoids one fixed-size frame header).
+    pub bytes_saved: u64,
+    /// Frames sent with the compact binary codec v2 (single-envelope or
+    /// batch) rather than v1 serde-JSON.
+    pub codec_v2_frames: u64,
 }
 
 impl TransportStats {
@@ -185,6 +195,9 @@ impl TransportStats {
         self.sends_dropped += other.sends_dropped;
         self.trace_events_dropped += other.trace_events_dropped;
         self.queue_depth_hwm = self.queue_depth_hwm.max(other.queue_depth_hwm);
+        self.frames_coalesced += other.frames_coalesced;
+        self.bytes_saved += other.bytes_saved;
+        self.codec_v2_frames += other.codec_v2_frames;
     }
 }
 
@@ -194,7 +207,8 @@ impl fmt::Display for TransportStats {
             f,
             "frames {}/{} in/out ({} rejected); bytes {}/{}; \
              {} reconnects; hb {} sent, {} missed; {} peers failed; \
-             {} sends dropped; qdepth hwm {}; trace dropped {}",
+             {} sends dropped; qdepth hwm {}; trace dropped {}; \
+             {} coalesced ({} bytes saved); {} v2 frames",
             self.frames_in,
             self.frames_out,
             self.frames_rejected,
@@ -207,6 +221,9 @@ impl fmt::Display for TransportStats {
             self.sends_dropped,
             self.queue_depth_hwm,
             self.trace_events_dropped,
+            self.frames_coalesced,
+            self.bytes_saved,
+            self.codec_v2_frames,
         )
     }
 }
@@ -299,12 +316,17 @@ mod tests {
         let a = TransportStats {
             frames_in: 5,
             queue_depth_hwm: 3,
+            frames_coalesced: 4,
+            bytes_saved: 56,
             ..Default::default()
         };
         let b = TransportStats {
             frames_in: 7,
             queue_depth_hwm: 9,
             trace_events_dropped: 2,
+            frames_coalesced: 6,
+            bytes_saved: 84,
+            codec_v2_frames: 11,
             ..Default::default()
         };
         let mut sum = a;
@@ -312,5 +334,21 @@ mod tests {
         assert_eq!(sum.frames_in, 12);
         assert_eq!(sum.queue_depth_hwm, 9);
         assert_eq!(sum.trace_events_dropped, 2);
+        assert_eq!(sum.frames_coalesced, 10);
+        assert_eq!(sum.bytes_saved, 140);
+        assert_eq!(sum.codec_v2_frames, 11);
+    }
+
+    #[test]
+    fn transport_stats_display_reports_batching_counters() {
+        let t = TransportStats {
+            frames_coalesced: 9,
+            bytes_saved: 126,
+            codec_v2_frames: 5,
+            ..Default::default()
+        };
+        let s = t.to_string();
+        assert!(s.contains("9 coalesced (126 bytes saved)"), "{s}");
+        assert!(s.contains("5 v2 frames"), "{s}");
     }
 }

@@ -2,6 +2,7 @@
 //! materialization, path resolution, and straggler re-folding.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use decaf_vt::{SiteId, VirtualTime};
 
@@ -124,7 +125,7 @@ impl Store {
             Blueprint::Real(v) => ObjectValue::Scalar(ScalarValue::Real(*v)),
             Blueprint::Str(v) => ObjectValue::Scalar(ScalarValue::Str(v.clone())),
             Blueprint::List(children) => {
-                let entries = children
+                let entries: Vec<ListEntry> = children
                     .iter()
                     .map(|c| ListEntry {
                         tag: vt,
@@ -132,17 +133,17 @@ impl Store {
                     })
                     .collect();
                 ObjectValue::List {
-                    entries,
+                    entries: Arc::new(entries),
                     ops: Vec::new(),
                 }
             }
             Blueprint::Tuple(children) => {
-                let entries = children
+                let entries: std::collections::BTreeMap<String, ObjectName> = children
                     .iter()
                     .map(|(k, c)| (k.clone(), self.instantiate(c, vt, name)))
                     .collect();
                 ObjectValue::Tuple {
-                    entries,
+                    entries: Arc::new(entries),
                     ops: Vec::new(),
                 }
             }
@@ -191,7 +192,7 @@ impl Store {
                     })
                     .collect();
                 ObjectValue::List {
-                    entries: entries.clone(),
+                    entries: Arc::new(entries.clone()),
                     ops: vec![ListOp::ReplaceAll { entries }],
                 }
             }
@@ -201,11 +202,11 @@ impl Store {
                     .map(|(k, c)| (k.clone(), self.instantiate_tree(c, vt, owner)))
                     .collect();
                 ObjectValue::Tuple {
-                    entries: entries.clone(),
+                    entries: Arc::new(entries.clone()),
                     ops: vec![TupleOp::ReplaceAll { entries }],
                 }
             }
-            TreeSnapshot::Assoc(a) => ObjectValue::Assoc(a.0.clone()),
+            TreeSnapshot::Assoc(a) => ObjectValue::Assoc(Arc::new(a.0.clone())),
         }
     }
 
@@ -235,7 +236,7 @@ impl Store {
                     .map(|(k, c)| Ok((k.clone(), self.tree_snapshot(*c, at)?)))
                     .collect::<Result<_, DecafError>>()?,
             ),
-            ObjectValue::Assoc(a) => TreeSnapshot::Assoc(AssocSnapshot(a.clone())),
+            ObjectValue::Assoc(a) => TreeSnapshot::Assoc(AssocSnapshot((**a).clone())),
         })
     }
 
@@ -506,7 +507,8 @@ impl Store {
             WireOp::SetAssoc(a) => {
                 self.require_kind(target, ObjectKind::Association)?;
                 let obj = self.get_mut(target)?;
-                obj.values.insert(vt, ObjectValue::Assoc(a.0.clone()));
+                obj.values
+                    .insert(vt, ObjectValue::Assoc(Arc::new(a.0.clone())));
                 Ok(vec![target])
             }
             WireOp::SetTree(snap) => {
@@ -558,22 +560,22 @@ impl Store {
         }
         match value {
             ObjectValue::List { entries, ops } => {
-                self.apply_list_op(
-                    target,
-                    vt,
-                    ops.into_iter().next().unwrap_or(ListOp::ReplaceAll {
-                        entries: entries.clone(),
-                    }),
-                )?;
+                let op = ops
+                    .into_iter()
+                    .next()
+                    .unwrap_or_else(|| ListOp::ReplaceAll {
+                        entries: (*entries).clone(),
+                    });
+                self.apply_list_op(target, vt, op)?;
             }
             ObjectValue::Tuple { entries, ops } => {
-                self.apply_tuple_op(
-                    target,
-                    vt,
-                    ops.into_iter().next().unwrap_or(TupleOp::ReplaceAll {
-                        entries: entries.clone(),
-                    }),
-                )?;
+                let op = ops
+                    .into_iter()
+                    .next()
+                    .unwrap_or_else(|| TupleOp::ReplaceAll {
+                        entries: (*entries).clone(),
+                    });
+                self.apply_tuple_op(target, vt, op)?;
             }
             v => {
                 self.get_mut(target)?.values.insert(vt, v);
@@ -591,13 +593,14 @@ impl Store {
         op: ListOp,
     ) -> Result<(), ApplyBlocked> {
         let obj = self.get_mut(target)?;
-        // Base = materialized entries strictly before vt.
-        let base: Vec<ListEntry> = obj
+        // Base = materialized entries strictly before vt (shared handle —
+        // no copy until a fold actually diverges from it).
+        let base: Arc<Vec<ListEntry>> = obj
             .values
             .iter()
             .rev()
             .find(|e| e.vt < vt)
-            .and_then(|e| e.value.as_list().map(|s| s.to_vec()))
+            .and_then(|e| e.value.list_arc())
             .unwrap_or_default();
         // Keep the embedding registry complete (adoptions included).
         match &op {
@@ -629,13 +632,15 @@ impl Store {
                 obj.values.insert(
                     vt,
                     ObjectValue::List {
-                        entries: Vec::new(),
+                        entries: Arc::new(Vec::new()),
                         ops: vec![op.clone()],
                     },
                 );
             }
         }
-        // Re-fold every entry at or after vt.
+        // Re-fold every entry at or after vt. `make_mut` copies the state
+        // only when it is still shared with an earlier entry; the folded
+        // result is then re-shared into this entry.
         let mut state = base;
         for e in obj.values.iter_mut_values() {
             if e.vt < vt {
@@ -643,23 +648,20 @@ impl Store {
             }
             if let ObjectValue::List { entries, ops } = &mut e.value {
                 for op in ops.iter() {
-                    fold_list_op(&mut state, op);
+                    fold_list_op(Arc::make_mut(&mut state), op);
                 }
-                *entries = state.clone();
+                *entries = Arc::clone(&state);
             }
         }
-        // Maintain parent links for any children now present.
-        let current_children: Vec<ObjectName> = self
-            .get(target)?
-            .values
-            .current()
-            .and_then(|e| {
-                e.value
-                    .as_list()
-                    .map(|s| s.iter().map(|le| le.child).collect())
-            })
-            .unwrap_or_default();
-        for c in current_children {
+        // Maintain parent links for the children this op introduces.
+        // Children already present were linked when their own introducing
+        // op (or `instantiate`) ran, so the pass is O(op), not O(entries).
+        let new_children: Vec<ObjectName> = match &op {
+            ListOp::Insert { child, .. } => vec![*child],
+            ListOp::ReplaceAll { entries } => entries.iter().map(|e| e.child).collect(),
+            ListOp::Remove { .. } => Vec::new(),
+        };
+        for c in new_children {
             if let Ok(child) = self.get_mut(c) {
                 child.parent = Some(target);
             }
@@ -674,12 +676,12 @@ impl Store {
         op: TupleOp,
     ) -> Result<(), ApplyBlocked> {
         let obj = self.get_mut(target)?;
-        let base: std::collections::BTreeMap<String, ObjectName> = obj
+        let base: Arc<std::collections::BTreeMap<String, ObjectName>> = obj
             .values
             .iter()
             .rev()
             .find(|e| e.vt < vt)
-            .and_then(|e| e.value.as_tuple().cloned())
+            .and_then(|e| e.value.tuple_arc())
             .unwrap_or_default();
         match obj.values.entry_at(vt) {
             Some(_) => {
@@ -710,18 +712,17 @@ impl Store {
             }
             if let ObjectValue::Tuple { entries, ops } = &mut e.value {
                 for op in ops.iter() {
-                    fold_tuple_op(&mut state, op);
+                    fold_tuple_op(Arc::make_mut(&mut state), op);
                 }
-                *entries = state.clone();
+                *entries = Arc::clone(&state);
             }
         }
-        let current_children: Vec<ObjectName> = self
-            .get(target)?
-            .values
-            .current()
-            .and_then(|e| e.value.as_tuple().map(|m| m.values().copied().collect()))
-            .unwrap_or_default();
-        for c in current_children {
+        let new_children: Vec<ObjectName> = match &op {
+            TupleOp::Put { child, .. } => vec![*child],
+            TupleOp::ReplaceAll { entries } => entries.values().copied().collect(),
+            TupleOp::Remove { .. } => Vec::new(),
+        };
+        for c in new_children {
             if let Ok(child) = self.get_mut(c) {
                 child.parent = Some(target);
             }
@@ -787,12 +788,15 @@ impl Store {
         let Ok(obj) = self.get_mut(target) else {
             return;
         };
-        let base: Vec<ListEntry> = obj
+        // Rollback of the newest write re-folds nothing: the base handle
+        // is shared, the loop body never runs, and the restore is O(1)
+        // regardless of how many entries the composite holds.
+        let base: Arc<Vec<ListEntry>> = obj
             .values
             .iter()
             .rev()
             .find(|e| e.vt < from)
-            .and_then(|e| e.value.as_list().map(|s| s.to_vec()))
+            .and_then(|e| e.value.list_arc())
             .unwrap_or_default();
         let mut state = base;
         for e in obj.values.iter_mut_values() {
@@ -801,9 +805,9 @@ impl Store {
             }
             if let ObjectValue::List { entries, ops } = &mut e.value {
                 for op in ops.iter() {
-                    fold_list_op(&mut state, op);
+                    fold_list_op(Arc::make_mut(&mut state), op);
                 }
-                *entries = state.clone();
+                *entries = Arc::clone(&state);
             }
         }
     }
@@ -812,12 +816,12 @@ impl Store {
         let Ok(obj) = self.get_mut(target) else {
             return;
         };
-        let base: std::collections::BTreeMap<String, ObjectName> = obj
+        let base: Arc<std::collections::BTreeMap<String, ObjectName>> = obj
             .values
             .iter()
             .rev()
             .find(|e| e.vt < from)
-            .and_then(|e| e.value.as_tuple().cloned())
+            .and_then(|e| e.value.tuple_arc())
             .unwrap_or_default();
         let mut state = base;
         for e in obj.values.iter_mut_values() {
@@ -826,9 +830,9 @@ impl Store {
             }
             if let ObjectValue::Tuple { entries, ops } = &mut e.value {
                 for op in ops.iter() {
-                    fold_tuple_op(&mut state, op);
+                    fold_tuple_op(Arc::make_mut(&mut state), op);
                 }
-                *entries = state.clone();
+                *entries = Arc::clone(&state);
             }
         }
     }
@@ -985,13 +989,7 @@ mod tests {
     #[test]
     fn list_insert_creates_child_with_parent_link() {
         let mut s = store();
-        let l = s.create_root(
-            ObjectKind::List,
-            ObjectValue::List {
-                entries: vec![],
-                ops: vec![],
-            },
-        );
+        let l = s.create_root(ObjectKind::List, ObjectValue::empty_list());
         s.apply_wire_op(
             l,
             vt(10),
@@ -1030,13 +1028,7 @@ mod tests {
     #[test]
     fn straggler_insert_refolds_earlier_position() {
         let mut s = store();
-        let l = s.create_root(
-            ObjectKind::List,
-            ObjectValue::List {
-                entries: vec![],
-                ops: vec![],
-            },
-        );
+        let l = s.create_root(ObjectKind::List, ObjectValue::empty_list());
         // Append at vt 20 arrives first...
         s.apply_wire_op(
             l,
@@ -1078,13 +1070,7 @@ mod tests {
     #[test]
     fn list_remove_by_tag_and_blocking_on_unknown_tag() {
         let mut s = store();
-        let l = s.create_root(
-            ObjectKind::List,
-            ObjectValue::List {
-                entries: vec![],
-                ops: vec![],
-            },
-        );
+        let l = s.create_root(ObjectKind::List, ObjectValue::empty_list());
         // Removing a tag we have never seen blocks (straggler ordering).
         let blocked = s.apply_wire_op(l, vt(30), &WireOp::ListRemove { tag: vt(10) });
         assert_eq!(
@@ -1116,13 +1102,7 @@ mod tests {
     #[test]
     fn purge_rolls_back_composite_and_destroys_children() {
         let mut s = store();
-        let l = s.create_root(
-            ObjectKind::List,
-            ObjectValue::List {
-                entries: vec![],
-                ops: vec![],
-            },
-        );
+        let l = s.create_root(ObjectKind::List, ObjectValue::empty_list());
         s.apply_wire_op(
             l,
             vt(10),
@@ -1160,13 +1140,7 @@ mod tests {
     #[test]
     fn tuple_put_get_remove_roundtrip() {
         let mut s = store();
-        let t = s.create_root(
-            ObjectKind::Tuple,
-            ObjectValue::Tuple {
-                entries: Default::default(),
-                ops: vec![],
-            },
-        );
+        let t = s.create_root(ObjectKind::Tuple, ObjectValue::empty_tuple());
         s.apply_wire_op(
             t,
             vt(10),
@@ -1211,13 +1185,7 @@ mod tests {
     #[test]
     fn resolve_indirect_by_tag_not_index() {
         let mut s = store();
-        let l = s.create_root(
-            ObjectKind::List,
-            ObjectValue::List {
-                entries: vec![],
-                ops: vec![],
-            },
-        );
+        let l = s.create_root(ObjectKind::List, ObjectValue::empty_list());
         for (i, t) in [(0usize, 10u64), (0, 20), (0, 30)] {
             s.apply_wire_op(
                 l,
@@ -1257,13 +1225,7 @@ mod tests {
     #[test]
     fn tree_snapshot_roundtrip_through_instantiate() {
         let mut s = store();
-        let l = s.create_root(
-            ObjectKind::List,
-            ObjectValue::List {
-                entries: vec![],
-                ops: vec![],
-            },
-        );
+        let l = s.create_root(ObjectKind::List, ObjectValue::empty_list());
         s.apply_wire_op(
             l,
             vt(10),
@@ -1276,13 +1238,7 @@ mod tests {
         let snap = s.tree_snapshot(l, None).unwrap();
         // Adopt into a second store, as join does.
         let mut s2 = Store::new(SiteId(2));
-        let l2 = s2.create_root(
-            ObjectKind::List,
-            ObjectValue::List {
-                entries: vec![],
-                ops: vec![],
-            },
-        );
+        let l2 = s2.create_root(ObjectKind::List, ObjectValue::empty_list());
         s2.apply_wire_op(l2, vt(40), &WireOp::SetTree(snap))
             .unwrap();
         let entries = s2
@@ -1332,13 +1288,7 @@ mod tests {
     #[test]
     fn ancestors_walk_to_root() {
         let mut s = store();
-        let l = s.create_root(
-            ObjectKind::List,
-            ObjectValue::List {
-                entries: vec![],
-                ops: vec![],
-            },
-        );
+        let l = s.create_root(ObjectKind::List, ObjectValue::empty_list());
         s.apply_wire_op(
             l,
             vt(10),
@@ -1383,13 +1333,7 @@ mod embedding_tests {
 
     fn list_store() -> (Store, ObjectName) {
         let mut s = Store::new(SiteId(1));
-        let l = s.create_root(
-            ObjectKind::List,
-            ObjectValue::List {
-                entries: vec![],
-                ops: vec![],
-            },
-        );
+        let l = s.create_root(ObjectKind::List, ObjectValue::empty_list());
         (s, l)
     }
 

@@ -602,7 +602,7 @@ impl<'a> TxnCtx<'a> {
             .value_at(self.vt)
             .ok_or(DecafError::Uninitialized(assoc))?;
         match &entry.value {
-            ObjectValue::Assoc(state) => Ok(state.clone()),
+            ObjectValue::Assoc(state) => Ok((**state).clone()),
             _ => Err(TxnError::Decaf(DecafError::KindMismatch {
                 object: assoc,
                 expected: "association",

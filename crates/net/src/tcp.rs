@@ -49,7 +49,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -60,12 +60,13 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use decaf_core::{Envelope, TransportStats};
-use decaf_trace::{TraceKind, TraceSink};
+use decaf_trace::{Histogram, TraceKind, TraceSink};
 use decaf_vt::SiteId;
 
 use crate::wire::{
-    decode_envelope, decode_hello, encode_envelope, encode_hello, write_frame, FrameKind,
-    FrameReader,
+    decode_batch, decode_envelope, decode_envelope_v2, decode_hello_any, encode_batch_parts,
+    encode_envelope, encode_envelope_v2, encode_hello, encode_hello_v2, write_frame, FrameKind,
+    FrameReader, HEADER_LEN,
 };
 use crate::{Transport, TransportEndpoint, TransportEvent};
 
@@ -100,6 +101,20 @@ pub struct TcpConfig {
     pub outbound_queue: usize,
     /// Seed for backoff jitter (default: derived from the site id).
     pub jitter_seed: u64,
+    /// Highest envelope codec this site speaks (default 2). Each link uses
+    /// `min(ours, theirs)` as negotiated via the Hello exchange; set to 1
+    /// to emit only classic v1 JSON frames (and the classic 4-byte Hello)
+    /// for strict interop with pre-v2 peers.
+    pub codec_version: u8,
+    /// Most envelopes coalesced into one `Batch` frame (default 64). Takes
+    /// effect only on links negotiated to codec ≥ 2; `1` disables
+    /// batching.
+    pub batch_max: usize,
+    /// How long a writer lingers draining its queue for ride-along
+    /// envelopes after the first one of a flush (default 200 µs) — a
+    /// Nagle-style delay with a microsecond budget, bounding the latency
+    /// cost of coalescing.
+    pub batch_delay: Duration,
     /// Trace sink for frame-level events (send/recv, heartbeats,
     /// reconnects, fail-stop declarations) and outbound queue depth. The
     /// default disabled sink makes every emit point one branch.
@@ -121,6 +136,9 @@ impl TcpConfig {
             connect_deadline: Duration::from_secs(20),
             outbound_queue: 4096,
             jitter_seed: 0xDECAF ^ site.0 as u64,
+            codec_version: 2,
+            batch_max: 64,
+            batch_delay: Duration::from_micros(200),
             trace: TraceSink::disabled(),
         }
     }
@@ -128,6 +146,22 @@ impl TcpConfig {
     /// Adds a peer to the address table (builder style).
     pub fn peer(mut self, site: SiteId, addr: SocketAddr) -> Self {
         self.peers.insert(site, addr);
+        self
+    }
+
+    /// Caps the envelope codec version (builder style); `1` forces classic
+    /// v1 JSON frames on every link.
+    pub fn codec(mut self, version: u8) -> Self {
+        self.codec_version = version;
+        self
+    }
+
+    /// Tunes envelope batching (builder style): at most `max` envelopes per
+    /// `Batch` frame, lingering up to `delay` for ride-alongs. `max = 1`
+    /// disables batching.
+    pub fn batching(mut self, max: usize, delay: Duration) -> Self {
+        self.batch_max = max.max(1);
+        self.batch_delay = delay;
         self
     }
 
@@ -153,6 +187,9 @@ struct Counters {
     peers_failed: AtomicU64,
     sends_dropped: AtomicU64,
     queue_depth_hwm: AtomicU64,
+    frames_coalesced: AtomicU64,
+    bytes_saved: AtomicU64,
+    codec_v2_frames: AtomicU64,
 }
 
 impl Counters {
@@ -172,6 +209,9 @@ impl Counters {
         s.peers_failed = self.peers_failed.load(Ordering::Relaxed);
         s.sends_dropped = self.sends_dropped.load(Ordering::Relaxed);
         s.queue_depth_hwm = self.queue_depth_hwm.load(Ordering::Relaxed);
+        s.frames_coalesced = self.frames_coalesced.load(Ordering::Relaxed);
+        s.bytes_saved = self.bytes_saved.load(Ordering::Relaxed);
+        s.codec_v2_frames = self.codec_v2_frames.load(Ordering::Relaxed);
         s
     }
 }
@@ -230,6 +270,15 @@ impl BoundedRx {
         }
         got
     }
+
+    /// Non-blocking pop, for draining ride-along envelopes into a batch.
+    fn try_recv(&self) -> Option<Envelope> {
+        let got = self.rx.try_recv().ok();
+        if got.is_some() {
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+        }
+        got
+    }
 }
 
 fn bounded_outbox(cap: usize) -> (BoundedTx, BoundedRx) {
@@ -254,6 +303,12 @@ struct PeerShared {
     ever_connected: AtomicBool,
     /// One-shot fail-stop latch.
     failed: AtomicBool,
+    /// Highest envelope codec the peer advertised in its Hello (1 until
+    /// heard from; a classic 4-byte Hello also means 1). The writer thread
+    /// consults this each flush, so a link upgrades to v2 mid-stream as
+    /// soon as the peer's Hello arrives — safe because every frame names
+    /// its own codec.
+    peer_codec: AtomicU8,
 }
 
 impl PeerShared {
@@ -262,6 +317,7 @@ impl PeerShared {
             last_seen: Mutex::new(Instant::now()),
             ever_connected: AtomicBool::new(false),
             failed: AtomicBool::new(false),
+            peer_codec: AtomicU8::new(1),
         }
     }
 }
@@ -360,6 +416,7 @@ pub struct TcpMesh {
     local_addr: SocketAddr,
     endpoint: TcpEndpoint,
     counters: Arc<Counters>,
+    batch_sizes: Arc<Mutex<Histogram>>,
     trace: TraceSink,
     shutdown: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
@@ -386,6 +443,7 @@ impl TcpMesh {
         listener.set_nonblocking(true)?;
 
         let counters = Arc::new(Counters::default());
+        let batch_sizes = Arc::new(Mutex::new(Histogram::new()));
         let shutdown = Arc::new(AtomicBool::new(false));
         let (events_tx, events_rx) = unbounded::<TransportEvent<Envelope>>();
 
@@ -426,11 +484,14 @@ impl TcpMesh {
             let cfg = config.clone();
             let events = events_tx.clone();
             let counters = Arc::clone(&counters);
+            let sizes = Arc::clone(&batch_sizes);
             let stop = Arc::clone(&shutdown);
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("decaf-tcp-link-{}-{}", config.site.0, peer.0))
-                    .spawn(move || writer_loop(cfg, peer, rx, shared, events, counters, stop))
+                    .spawn(move || {
+                        writer_loop(cfg, peer, rx, shared, events, counters, sizes, stop)
+                    })
                     .expect("spawn link thread"),
             );
         }
@@ -449,6 +510,7 @@ impl TcpMesh {
             local_addr,
             endpoint,
             counters,
+            batch_sizes,
             trace: config.trace,
             shutdown,
             threads,
@@ -477,6 +539,14 @@ impl TcpMesh {
     /// [`TcpConfig::trace`]).
     pub fn trace_sink(&self) -> &TraceSink {
         &self.trace
+    }
+
+    /// A snapshot of the batch-size distribution: how many envelopes each
+    /// flushed data frame carried (log2 buckets; use
+    /// [`Histogram::quantile`]/[`Histogram::summary`] on the result).
+    /// Unbatched links record `1` per frame.
+    pub fn batch_histogram(&self) -> Histogram {
+        self.batch_sizes.lock().clone()
     }
 
     /// The endpoint for this mesh's (single) site.
@@ -591,8 +661,9 @@ fn reader_loop(
                     // site, `n` the frame payload size in bytes.
                     if let Some(from) = peer.or_else(|| {
                         matches!(frame.kind, FrameKind::Hello)
-                            .then(|| decode_hello(&frame.payload).ok())
+                            .then(|| decode_hello_any(&frame.payload).ok())
                             .flatten()
+                            .map(|(site, _)| site)
                     }) {
                         trace.emit(
                             TraceKind::MsgRecv,
@@ -602,29 +673,56 @@ fn reader_loop(
                         );
                     }
                     match frame.kind {
-                        FrameKind::Hello => match decode_hello(&frame.payload) {
-                            Ok(site) => {
+                        FrameKind::Hello => match decode_hello_any(&frame.payload) {
+                            Ok((site, codec)) => {
                                 peer = Some(site);
                                 touch(site);
+                                // The Hello names the dialer's highest codec;
+                                // our writer to that peer reads it per flush
+                                // and upgrades the link mid-stream.
+                                if let Some(shared) = peers.get(&site) {
+                                    shared.peer_codec.store(codec, Ordering::Relaxed);
+                                }
                             }
                             Err(_) => {
                                 bump(&counters.frames_rejected);
                                 return;
                             }
                         },
-                        FrameKind::Data => {
+                        FrameKind::Data | FrameKind::DataV2 => {
                             let Some(from) = peer else {
                                 // Data before Hello: protocol violation.
                                 bump(&counters.frames_rejected);
                                 return;
                             };
                             touch(from);
-                            match decode_envelope(&frame.payload) {
+                            let decoded = if matches!(frame.kind, FrameKind::Data) {
+                                decode_envelope(&frame.payload)
+                            } else {
+                                decode_envelope_v2(&frame.payload)
+                            };
+                            match decoded {
                                 Ok(env) => {
                                     let _ = events.send(TransportEvent::Message { from, msg: env });
                                 }
                                 // Framing is intact, only this payload is
                                 // bad: count it and keep the connection.
+                                Err(_) => bump(&counters.frames_rejected),
+                            }
+                        }
+                        FrameKind::Batch => {
+                            let Some(from) = peer else {
+                                bump(&counters.frames_rejected);
+                                return;
+                            };
+                            touch(from);
+                            match decode_batch(&frame.payload) {
+                                Ok(envs) => {
+                                    for env in envs {
+                                        let _ =
+                                            events.send(TransportEvent::Message { from, msg: env });
+                                    }
+                                }
                                 Err(_) => bump(&counters.frames_rejected),
                             }
                         }
@@ -682,10 +780,83 @@ fn interruptible_sleep(total: Duration, shutdown: &AtomicBool) {
     }
 }
 
-/// The per-peer link thread: dials the peer, writes `Hello` + `Data` +
+/// Writes the buffered envelopes out — one `DataV2` (single) or `Batch`
+/// (several) frame when the link speaks codec 2, one classic JSON `Data`
+/// frame per envelope otherwise. Written envelopes leave `batch`; on an
+/// I/O error the unwritten tail stays put (for the reconnect carry-over)
+/// and `false` is returned.
+fn flush_envelopes(
+    stream: &mut TcpStream,
+    batch: &mut Vec<Envelope>,
+    use_v2: bool,
+    peer: SiteId,
+    counters: &Counters,
+    trace: &TraceSink,
+    batch_sizes: &Mutex<Histogram>,
+) -> bool {
+    if batch.is_empty() {
+        return true;
+    }
+    if use_v2 {
+        let parts: Vec<Vec<u8>> = batch.iter().map(encode_envelope_v2).collect();
+        let unbatched: usize = parts.iter().map(|p| HEADER_LEN + p.len()).sum();
+        let n_envs = parts.len();
+        let (kind, payload) = if n_envs == 1 {
+            (
+                FrameKind::DataV2,
+                parts.into_iter().next().expect("one part"),
+            )
+        } else {
+            (FrameKind::Batch, encode_batch_parts(&parts))
+        };
+        match write_frame(stream, kind, &payload) {
+            Ok(n) => {
+                bump(&counters.frames_out);
+                bump(&counters.codec_v2_frames);
+                if n_envs > 1 {
+                    add(&counters.frames_coalesced, (n_envs - 1) as u64);
+                    // Headers elided minus the batch's own length prefixes.
+                    add(&counters.bytes_saved, unbatched.saturating_sub(n) as u64);
+                }
+                add(&counters.bytes_out, n as u64);
+                trace.emit(TraceKind::MsgSend, None, Some(peer.0), Some(n as u64));
+                batch_sizes.lock().record(n_envs as u64);
+                batch.clear();
+                true
+            }
+            Err(_) => false,
+        }
+    } else {
+        while !batch.is_empty() {
+            let payload = match encode_envelope(&batch[0]) {
+                Ok(p) => p,
+                // An unencodable envelope can never succeed: count it out.
+                Err(_) => {
+                    bump(&counters.sends_dropped);
+                    batch.remove(0);
+                    continue;
+                }
+            };
+            match write_frame(stream, FrameKind::Data, &payload) {
+                Ok(n) => {
+                    bump(&counters.frames_out);
+                    add(&counters.bytes_out, n as u64);
+                    trace.emit(TraceKind::MsgSend, None, Some(peer.0), Some(n as u64));
+                    batch_sizes.lock().record(1);
+                    batch.remove(0);
+                }
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+}
+
+/// The per-peer link thread: dials the peer, writes `Hello` + data +
 /// heartbeat `Ping` frames, and reconnects with exponential backoff and
 /// jitter. Exhausted reconnection (or a missed initial-connect deadline)
 /// declares the peer fail-stopped.
+#[allow(clippy::too_many_arguments)] // one thread entry point, never composed
 fn writer_loop(
     cfg: TcpConfig,
     peer: SiteId,
@@ -693,17 +864,18 @@ fn writer_loop(
     shared: Arc<PeerShared>,
     events: Sender<TransportEvent<Envelope>>,
     counters: Arc<Counters>,
+    batch_sizes: Arc<Mutex<Histogram>>,
     shutdown: Arc<AtomicBool>,
 ) {
     let addr = cfg.peers[&peer];
     let mut rng = SmallRng::seed_from_u64(cfg.jitter_seed ^ (peer.0 as u64).wrapping_mul(0x9E37));
     let born = Instant::now();
     let mut had_conn = false;
-    // An envelope popped from the outbox whose socket write failed. The
+    // Envelopes popped from the outbox whose socket write failed. The
     // engine has no retransmission of its own — once the endpoint accepts
-    // a send, the mesh owns delivery — so the envelope is carried across
-    // the reconnect instead of being dropped with the broken connection.
-    let mut pending: Option<Envelope> = None;
+    // a send, the mesh owns delivery — so they are carried across the
+    // reconnect instead of being dropped with the broken connection.
+    let mut pending: Vec<Envelope> = Vec::new();
     'link: loop {
         if shutdown.load(Ordering::SeqCst) {
             return;
@@ -740,7 +912,15 @@ fn writer_loop(
         };
         let _ = stream.set_nodelay(true);
         let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-        match write_frame(&mut stream, FrameKind::Hello, &encode_hello(cfg.site)) {
+        // A codec-1 site announces itself with the classic 4-byte Hello so
+        // strict pre-v2 peers accept it; v2-capable sites use the 5-byte
+        // form carrying their highest codec.
+        let hello: Vec<u8> = if cfg.codec_version >= 2 {
+            encode_hello_v2(cfg.site, cfg.codec_version).to_vec()
+        } else {
+            encode_hello(cfg.site).to_vec()
+        };
+        match write_frame(&mut stream, FrameKind::Hello, &hello) {
             Ok(n) => {
                 bump(&counters.frames_out);
                 add(&counters.bytes_out, n as u64);
@@ -758,23 +938,19 @@ fn writer_loop(
         shared.ever_connected.store(true, Ordering::Relaxed);
         let conn_start = Instant::now();
 
-        // Flush the envelope the previous connection stranded, if any.
-        if let Some(env) = pending.take() {
-            match encode_envelope(&env) {
-                Ok(payload) => match write_frame(&mut stream, FrameKind::Data, &payload) {
-                    Ok(n) => {
-                        bump(&counters.frames_out);
-                        add(&counters.bytes_out, n as u64);
-                        cfg.trace
-                            .emit(TraceKind::MsgSend, None, Some(peer.0), Some(n as u64));
-                    }
-                    Err(_) => {
-                        pending = Some(env);
-                        continue 'link;
-                    }
-                },
-                // An unencodable envelope can never succeed: count it out.
-                Err(_) => bump(&counters.sends_dropped),
+        // Flush envelopes the previous connection stranded, if any.
+        {
+            let use_v2 = cfg.codec_version >= 2 && shared.peer_codec.load(Ordering::Relaxed) >= 2;
+            if !flush_envelopes(
+                &mut stream,
+                &mut pending,
+                use_v2,
+                peer,
+                &counters,
+                &cfg.trace,
+                &batch_sizes,
+            ) {
+                continue 'link;
             }
         }
 
@@ -785,25 +961,33 @@ fn writer_loop(
             }
             match outbox.recv_timeout(cfg.heartbeat_interval) {
                 Ok(env) => {
-                    let payload = match encode_envelope(&env) {
-                        Ok(p) => p,
-                        Err(_) => {
-                            bump(&counters.sends_dropped);
-                            continue;
+                    pending.push(env);
+                    let use_v2 =
+                        cfg.codec_version >= 2 && shared.peer_codec.load(Ordering::Relaxed) >= 2;
+                    if use_v2 && cfg.batch_max > 1 {
+                        // Nagle-style linger: pick up ride-alongs already in
+                        // (or just arriving on) the queue, bounded by count
+                        // and a microsecond budget.
+                        let deadline = Instant::now() + cfg.batch_delay;
+                        while pending.len() < cfg.batch_max {
+                            match outbox.try_recv() {
+                                Some(more) => pending.push(more),
+                                None if Instant::now() < deadline => std::thread::yield_now(),
+                                None => break,
+                            }
                         }
-                    };
-                    match write_frame(&mut stream, FrameKind::Data, &payload) {
-                        Ok(n) => {
-                            bump(&counters.frames_out);
-                            add(&counters.bytes_out, n as u64);
-                            cfg.trace
-                                .emit(TraceKind::MsgSend, None, Some(peer.0), Some(n as u64));
-                        }
-                        Err(_) => {
-                            // Keep the envelope for the next connection.
-                            pending = Some(env);
-                            continue 'link;
-                        }
+                    }
+                    if !flush_envelopes(
+                        &mut stream,
+                        &mut pending,
+                        use_v2,
+                        peer,
+                        &counters,
+                        &cfg.trace,
+                        &batch_sizes,
+                    ) {
+                        // Unwritten envelopes stay for the next connection.
+                        continue 'link;
                     }
                 }
                 Err(RecvTimeoutError::Timeout) => {

@@ -25,7 +25,19 @@ use decaf_vt::SiteId;
 use crate::{Transport, TransportEndpoint, TransportEvent};
 
 enum RouterCmd<M> {
-    Send { from: SiteId, to: SiteId, msg: M },
+    Send {
+        from: SiteId,
+        to: SiteId,
+        msg: M,
+    },
+    /// A batch of messages for one destination: one channel hop and one
+    /// router wake-up for the whole group (the threaded analogue of the
+    /// TCP mesh's `Batch` frame). FIFO with respect to `Send`.
+    SendMany {
+        from: SiteId,
+        to: SiteId,
+        msgs: Vec<M>,
+    },
     Disconnect(SiteId),
     Fail(SiteId),
     Shutdown,
@@ -100,6 +112,28 @@ impl<M: Send + 'static> Endpoint<M> {
             from: self.site,
             to,
             msg,
+        });
+    }
+
+    /// Sends a whole batch to `to` through one router command — one channel
+    /// hop instead of `msgs.len()`, preserving the batch's internal order
+    /// and its FIFO position relative to surrounding [`send`](Self::send)
+    /// calls. Each message is still delivered individually after the
+    /// configured delay. An empty batch is a no-op.
+    pub fn send_many(&self, to: SiteId, msgs: Vec<M>) {
+        if msgs.is_empty() {
+            return;
+        }
+        self.trace.emit(
+            TraceKind::MsgSend,
+            None,
+            Some(to.0),
+            Some(msgs.len() as u64),
+        );
+        let _ = self.to_router.send(RouterCmd::SendMany {
+            from: self.site,
+            to,
+            msgs,
         });
     }
 
@@ -290,6 +324,24 @@ impl<M: Send + 'static> ThreadedNet<M> {
                         msg,
                     });
                 }
+                Ok(RouterCmd::SendMany { from, to, msgs }) => {
+                    if disconnected.contains(&from) || disconnected.contains(&to) {
+                        continue;
+                    }
+                    // One `due` for the batch; ascending `seq` keeps the
+                    // batch's internal order through the heap.
+                    let due = Instant::now() + delay;
+                    for msg in msgs {
+                        seq += 1;
+                        pending.push(Pending {
+                            due,
+                            seq,
+                            from,
+                            to,
+                            msg,
+                        });
+                    }
+                }
                 Ok(RouterCmd::Disconnect(site)) => {
                     disconnected.insert(site);
                 }
@@ -443,6 +495,22 @@ mod tests {
             assert_eq!(msg_of(b.recv().unwrap()).1, i);
         }
         net.shutdown();
+    }
+
+    #[test]
+    fn send_many_preserves_order_and_counts() {
+        let mut net: ThreadedNet<u32> = ThreadedNet::new(2, Duration::from_millis(1));
+        let a = net.endpoint(SiteId(0));
+        let b = net.endpoint(SiteId(1));
+        a.send(SiteId(1), 0);
+        a.send_many(SiteId(1), (1..=10).collect());
+        a.send(SiteId(1), 11);
+        a.send_many(SiteId(1), Vec::new()); // no-op
+        for i in 0..=11 {
+            assert_eq!(msg_of(b.recv().unwrap()).1, i);
+        }
+        net.shutdown();
+        assert_eq!(net.delivered(), 12);
     }
 
     #[test]

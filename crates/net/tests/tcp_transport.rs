@@ -1,0 +1,199 @@
+//! TCP mesh integration tests across codec versions: a classic codec-1
+//! (JSON-only) site and two codec-2 (binary + batching) sites form one
+//! mesh, and Hello negotiation downgrades each link independently so every
+//! envelope arrives intact regardless of which pair it crosses.
+
+use std::net::{SocketAddr, TcpListener};
+use std::time::{Duration, Instant};
+
+use decaf_core::{Envelope, Message};
+use decaf_net::tcp::{TcpConfig, TcpEndpoint, TcpMesh};
+use decaf_net::{TransportEndpoint, TransportEvent};
+use decaf_vt::{SiteId, VirtualTime};
+
+/// Envelopes each site sends to each of its two peers. Small enough to
+/// never brush the 4096-entry outbound queue, large enough that the v2
+/// writers get real coalescing opportunities.
+const BURST: u64 = 40;
+
+fn reserve_port() -> u16 {
+    TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap()
+        .port()
+}
+
+fn env(from: SiteId, to: SiteId, seq: u64) -> Envelope {
+    Envelope {
+        from,
+        to,
+        clock: VirtualTime::new(1000 * u64::from(from.0) + seq, from),
+        msg: Message::Commit {
+            txn: VirtualTime::new(seq, from),
+        },
+    }
+}
+
+/// Receives on `ep` until `expected` messages arrived (or panics at the
+/// deadline), returning each sender/clock pair in arrival order.
+fn collect(ep: &TcpEndpoint, expected: usize, who: &str) -> Vec<(SiteId, VirtualTime)> {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut got = Vec::new();
+    while got.len() < expected {
+        assert!(Instant::now() < deadline, "{who}: timed out with {got:?}");
+        match ep.recv_timeout(Duration::from_millis(200)) {
+            Some(TransportEvent::Message { from, msg }) => got.push((from, msg.clock)),
+            Some(TransportEvent::SiteFailed { failed }) => {
+                panic!("{who}: spurious SiteFailed({failed:?})")
+            }
+            None => {}
+        }
+    }
+    got
+}
+
+/// The multiset of clocks `to` must observe from `from`.
+fn expected_from(from: SiteId) -> Vec<(SiteId, VirtualTime)> {
+    (0..BURST)
+        .map(|seq| (from, VirtualTime::new(1000 * u64::from(from.0) + seq, from)))
+        .collect()
+}
+
+#[test]
+fn mixed_version_mesh_converges() {
+    let ports = [reserve_port(), reserve_port(), reserve_port()];
+    let addrs: Vec<SocketAddr> = ports
+        .iter()
+        .map(|p| format!("127.0.0.1:{p}").parse().unwrap())
+        .collect();
+    let sites = [SiteId(1), SiteId(2), SiteId(3)];
+
+    let full_mesh = |mut cfg: TcpConfig, me: usize| {
+        for (i, &peer) in sites.iter().enumerate() {
+            if i != me {
+                cfg = cfg.peer(peer, addrs[i]);
+            }
+        }
+        TcpMesh::start(cfg).expect("bind")
+    };
+
+    // Site 1 predates the binary codec: it only speaks v1 JSON frames.
+    // Sites 2 and 3 default to codec 2 with batching; the long linger makes
+    // coalescing deterministic for the bursts below.
+    let mut m1 = full_mesh(TcpConfig::new(sites[0], addrs[0]).codec(1), 0);
+    let mut m2 = full_mesh(
+        TcpConfig::new(sites[1], addrs[1]).batching(64, Duration::from_millis(5)),
+        1,
+    );
+    let mut m3 = full_mesh(
+        TcpConfig::new(sites[2], addrs[2]).batching(64, Duration::from_millis(5)),
+        2,
+    );
+
+    let (e1, e2, e3) = (m1.endpoint(), m2.endpoint(), m3.endpoint());
+    let senders = [(sites[0], &e1), (sites[1], &e2), (sites[2], &e3)];
+
+    // Warm-up round: one envelope each way makes every link exchange its
+    // Hello, so by the time the burst below is flushed each writer knows
+    // whether its peer speaks the binary codec.
+    for (from, ep) in senders {
+        for &to in &sites {
+            if to != from {
+                ep.send(to, env(from, to, 0));
+            }
+        }
+    }
+    let mut got1 = collect(&e1, 2, "site 1 warm-up");
+    let mut got2 = collect(&e2, 2, "site 2 warm-up");
+    let mut got3 = collect(&e3, 2, "site 3 warm-up");
+
+    for seq in 1..BURST {
+        for (from, ep) in senders {
+            for &to in &sites {
+                if to != from {
+                    ep.send(to, env(from, to, seq));
+                }
+            }
+        }
+    }
+    let rest = 2 * (BURST as usize - 1);
+    got1.extend(collect(&e1, rest, "site 1"));
+    got2.extend(collect(&e2, rest, "site 2"));
+    got3.extend(collect(&e3, rest, "site 3"));
+
+    // Every site receives both peers' bursts, independent of which codec
+    // each link negotiated.
+    for (me, mut got, others) in [
+        ("site 1", got1, [sites[1], sites[2]]),
+        ("site 2", got2, [sites[0], sites[2]]),
+        ("site 3", got3, [sites[0], sites[1]]),
+    ] {
+        got.sort();
+        let mut want: Vec<_> = others.into_iter().flat_map(expected_from).collect();
+        want.sort();
+        assert_eq!(got, want, "{me}: wrong delivery multiset");
+    }
+
+    // The v1 site never emitted a binary frame and never coalesced.
+    let s1 = m1.stats();
+    assert_eq!(s1.codec_v2_frames, 0, "v1-only site sent a v2 frame: {s1}");
+    assert_eq!(s1.frames_coalesced, 0, "v1-only site batched: {s1}");
+
+    // The v2 sites used the binary codec on their mutual link (negotiation
+    // dropped only the links that face site 1) and coalesced their bursts.
+    for (name, mesh) in [("site 2", &m2), ("site 3", &m3)] {
+        let s = mesh.stats();
+        assert!(s.codec_v2_frames > 0, "{name}: no v2 frames: {s}");
+        assert!(s.frames_coalesced > 0, "{name}: nothing coalesced: {s}");
+        assert!(s.bytes_saved > 0, "{name}: batching saved no bytes: {s}");
+        assert!(
+            mesh.batch_histogram().count() > 0,
+            "{name}: batch histogram is empty"
+        );
+    }
+
+    m1.shutdown();
+    m2.shutdown();
+    m3.shutdown();
+}
+
+/// Two codec-1 peers on the modern build still interoperate — the
+/// downgrade path is symmetric, not just v2-talking-to-v1.
+#[test]
+fn v1_pair_round_trips() {
+    let (pa, pb) = (reserve_port(), reserve_port());
+    let a_addr: SocketAddr = format!("127.0.0.1:{pa}").parse().unwrap();
+    let b_addr: SocketAddr = format!("127.0.0.1:{pb}").parse().unwrap();
+    let mut a = TcpMesh::start(
+        TcpConfig::new(SiteId(1), a_addr)
+            .codec(1)
+            .peer(SiteId(2), b_addr),
+    )
+    .expect("bind a");
+    let mut b = TcpMesh::start(
+        TcpConfig::new(SiteId(2), b_addr)
+            .codec(1)
+            .peer(SiteId(1), a_addr),
+    )
+    .expect("bind b");
+    let (ea, eb) = (a.endpoint(), b.endpoint());
+
+    ea.send(SiteId(2), env(SiteId(1), SiteId(2), 0));
+    let got = eb
+        .recv_timeout(Duration::from_secs(10))
+        .and_then(TransportEvent::into_message)
+        .expect("delivery");
+    assert_eq!(got.1, env(SiteId(1), SiteId(2), 0));
+
+    eb.send(SiteId(1), env(SiteId(2), SiteId(1), 0));
+    let back = ea
+        .recv_timeout(Duration::from_secs(10))
+        .and_then(TransportEvent::into_message)
+        .expect("reply");
+    assert_eq!(back.1, env(SiteId(2), SiteId(1), 0));
+
+    assert_eq!(a.stats().codec_v2_frames + b.stats().codec_v2_frames, 0);
+    a.shutdown();
+    b.shutdown();
+}

@@ -100,14 +100,13 @@ fn bad_magic_version_kind_and_oversized_are_rejected() {
     r.feed(&bad_magic);
     assert!(matches!(r.next_frame(), Err(WireError::BadMagic(_))));
 
+    // Versions 1 (classic) and 2 (binary codec + batching) are both legal;
+    // anything else is from the future and must be rejected.
     let mut bad_version = good.clone();
-    bad_version[4] = PROTOCOL_VERSION + 1;
+    bad_version[4] = 99;
     let mut r = FrameReader::new();
     r.feed(&bad_version);
-    assert_eq!(
-        r.next_frame(),
-        Err(WireError::UnsupportedVersion(PROTOCOL_VERSION + 1))
-    );
+    assert_eq!(r.next_frame(), Err(WireError::UnsupportedVersion(99)));
 
     let mut bad_kind = good.clone();
     bad_kind[5] = 0xEE;

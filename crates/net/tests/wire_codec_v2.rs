@@ -1,0 +1,820 @@
+//! Wire-codec v2 integration tests: every `Message` variant round-trips
+//! through the hand-rolled binary encoding under arbitrary stream chunking,
+//! golden byte snapshots pin the v2 layout, and a cross-version test checks
+//! that the v1 JSON and v2 binary codecs decode to identical envelopes.
+
+use proptest::prelude::*;
+
+use decaf_core::{
+    AssocSnapshot, Blueprint, Delegate, Envelope, Message, NodeRef, ObjectAddr, ObjectName, Path,
+    PathElem, ReadItem, RelationId, ReplicationGraph, ScalarValue, SubjectKind, TreeSnapshot,
+    TxnOutcome, TxnPropagate, UpdateItem, WireOp,
+};
+use decaf_net::wire::{self, encode_frame, FrameKind, FrameReader};
+use decaf_vt::{SiteId, VirtualTime};
+
+fn vt(lamport: u64, site: u32) -> VirtualTime {
+    VirtualTime::new(lamport, SiteId(site))
+}
+
+fn name(site: u32, seq: u64) -> ObjectName {
+    ObjectName::new(SiteId(site), seq)
+}
+
+fn node(site: u32, seq: u64) -> NodeRef {
+    NodeRef::new(SiteId(site), name(site, seq))
+}
+
+fn sample_assoc() -> AssocSnapshot {
+    AssocSnapshot::from_wire_parts([
+        (
+            RelationId(7),
+            vec![node(1, 3), node(2, 9)],
+            "editors".to_string(),
+        ),
+        (RelationId(12), vec![], String::new()),
+    ])
+}
+
+fn sample_graph() -> ReplicationGraph {
+    ReplicationGraph::from_parts(
+        [node(1, 3), node(2, 9), node(4, 1)],
+        [(node(1, 3), node(2, 9), RelationId(7))],
+    )
+}
+
+fn sample_tree() -> TreeSnapshot {
+    TreeSnapshot::Tuple(vec![
+        ("n".to_string(), TreeSnapshot::Scalar(ScalarValue::Int(-3))),
+        (
+            "r".to_string(),
+            TreeSnapshot::Scalar(ScalarValue::Real(2.5)),
+        ),
+        (
+            "s".to_string(),
+            TreeSnapshot::Scalar(ScalarValue::Str("héllo ✓".to_string())),
+        ),
+        (
+            "l".to_string(),
+            TreeSnapshot::List(vec![
+                (vt(9, 2), TreeSnapshot::Scalar(ScalarValue::Int(1))),
+                (vt(10, 3), TreeSnapshot::Assoc(sample_assoc())),
+            ]),
+        ),
+    ])
+}
+
+/// One update item per `WireOp` variant, alternating direct and indirect
+/// addressing so both `ObjectAddr` forms and both `PathElem` forms appear.
+fn sample_updates() -> Vec<UpdateItem> {
+    let indirect = ObjectAddr::Indirect {
+        root: name(1, 2),
+        path: Path(vec![
+            PathElem::Index {
+                index: 3,
+                tag: vt(8, 1),
+            },
+            PathElem::Key("k".to_string()),
+        ]),
+    };
+    let ops = vec![
+        WireOp::SetScalar(ScalarValue::Int(i64::MIN)),
+        WireOp::SetScalar(ScalarValue::Real(-1.5e300)),
+        WireOp::SetScalar(ScalarValue::Str("μτf-8".to_string())),
+        WireOp::ListInsert {
+            index: usize::MAX,
+            child: Blueprint::List(vec![
+                Blueprint::Int(1),
+                Blueprint::Real(0.25),
+                Blueprint::Tuple(vec![("k".to_string(), Blueprint::str("v"))]),
+            ]),
+        },
+        WireOp::ListRemove { tag: vt(77, 5) },
+        WireOp::TuplePut {
+            key: "key".to_string(),
+            child: Blueprint::Real(1.5),
+        },
+        WireOp::TupleRemove {
+            key: "gone".to_string(),
+        },
+        WireOp::SetAssoc(sample_assoc()),
+        WireOp::SetTree(sample_tree()),
+    ];
+    ops.into_iter()
+        .enumerate()
+        .map(|(i, op)| UpdateItem {
+            addr: if i % 2 == 0 {
+                ObjectAddr::Direct(name(4, 11 + i as u64))
+            } else {
+                indirect.clone()
+            },
+            t_r: vt(100 + i as u64, 1),
+            t_g: vt(50, 2),
+            op,
+            needs_check: i % 2 == 0,
+        })
+        .collect()
+}
+
+fn sample_reads() -> Vec<ReadItem> {
+    vec![
+        ReadItem {
+            addr: ObjectAddr::Direct(name(2, 5)),
+            t_r: vt(40, 2),
+            t_g: vt(30, 1),
+            hi: None,
+        },
+        ReadItem {
+            addr: ObjectAddr::Indirect {
+                root: name(2, 5),
+                path: Path(vec![PathElem::Key("x".to_string())]),
+            },
+            t_r: vt(41, 2),
+            t_g: vt(30, 1),
+            hi: Some(vt(99, 3)),
+        },
+    ]
+}
+
+/// One envelope per `Message` variant (plus extras so every `Option` field
+/// is exercised in both its `Some` and `None` form).
+fn sample_envelopes() -> Vec<Envelope> {
+    let msgs = vec![
+        Message::Txn(TxnPropagate {
+            txn: vt(200, 1),
+            origin: SiteId(1),
+            updates: sample_updates(),
+            reads: sample_reads(),
+            delegate: Some(Delegate {
+                notify: vec![SiteId(2), SiteId(3)],
+            }),
+        }),
+        Message::Txn(TxnPropagate {
+            txn: vt(201, 2),
+            origin: SiteId(2),
+            updates: vec![],
+            reads: vec![],
+            delegate: None,
+        }),
+        Message::SnapshotConfirm {
+            subject: vt(210, 3),
+            origin: SiteId(3),
+            reads: sample_reads(),
+        },
+        Message::Confirm {
+            subject: vt(211, 1),
+            kind: SubjectKind::Txn,
+        },
+        Message::Deny {
+            subject: vt(212, 1),
+            kind: SubjectKind::Snapshot,
+        },
+        Message::Commit { txn: vt(213, 2) },
+        Message::Abort { txn: vt(214, 2) },
+        Message::JoinRequest {
+            txn: vt(220, 1),
+            origin: SiteId(1),
+            relation: RelationId(7),
+            a_node: node(1, 3),
+            a_graph: sample_graph(),
+            b_object: name(2, 9),
+            assoc_object: Some(name(2, 10)),
+        },
+        Message::JoinRequest {
+            txn: vt(221, 1),
+            origin: SiteId(1),
+            relation: RelationId(8),
+            a_node: node(1, 4),
+            a_graph: ReplicationGraph::singleton(node(1, 4)),
+            b_object: name(3, 1),
+            assoc_object: None,
+        },
+        Message::JoinReply {
+            txn: vt(220, 1),
+            ok: true,
+            b_node: node(2, 9),
+            merged: sample_graph(),
+            b_value: Some(sample_tree()),
+            b_value_vt: vt(190, 2),
+            b_value_committed: false,
+            confirms_expected: 2,
+            extra_affected: vec![SiteId(4), SiteId(5)],
+        },
+        Message::JoinReply {
+            txn: vt(221, 1),
+            ok: false,
+            b_node: node(3, 1),
+            merged: ReplicationGraph::singleton(node(3, 1)),
+            b_value: None,
+            b_value_vt: VirtualTime::ZERO,
+            b_value_committed: true,
+            confirms_expected: 0,
+            extra_affected: vec![],
+        },
+        Message::GraphUpdate {
+            txn: vt(230, 1),
+            origin: SiteId(1),
+            target: name(2, 9),
+            graph: sample_graph(),
+            t_g: vt(50, 2),
+            needs_check: true,
+            adopt_value: Some(sample_tree()),
+            adopt_value_vt: vt(190, 2),
+        },
+        Message::GraphUpdate {
+            txn: vt(231, 1),
+            origin: SiteId(1),
+            target: name(2, 9),
+            graph: sample_graph(),
+            t_g: vt(50, 2),
+            needs_check: false,
+            adopt_value: None,
+            adopt_value_vt: VirtualTime::ZERO,
+        },
+        Message::OutcomeQuery {
+            txn: vt(240, 4),
+            asker: SiteId(2),
+        },
+        Message::OutcomeReport {
+            txn: vt(240, 4),
+            outcome: Some(TxnOutcome::Committed),
+        },
+        Message::OutcomeReport {
+            txn: vt(240, 4),
+            outcome: None,
+        },
+        Message::OutcomeDecision {
+            txn: vt(240, 4),
+            outcome: TxnOutcome::Aborted,
+        },
+        Message::GraphPropose {
+            ballot: u64::MAX,
+            coordinator: SiteId(1),
+            target: name(2, 9),
+            coord_target: name(1, 3),
+            graph: sample_graph(),
+            at: vt(250, 1),
+        },
+        Message::GraphAck {
+            ballot: u64::MAX,
+            coord_target: name(1, 3),
+        },
+        Message::Heartbeat,
+        Message::GraphApply {
+            ballot: 3,
+            target: name(2, 9),
+            graph: sample_graph(),
+            at: vt(250, 1),
+        },
+    ];
+    msgs.into_iter()
+        .enumerate()
+        .map(|(i, msg)| Envelope {
+            from: SiteId(1 + (i as u32 % 4)),
+            to: SiteId(2),
+            clock: vt(300 + i as u64, 1 + (i as u32 % 4)),
+            msg,
+        })
+        .collect()
+}
+
+// ---- deterministic coverage: every variant, both codecs ------------------
+
+/// Every `Message` variant survives `encode_envelope_v2` →
+/// `decode_envelope_v2` unchanged.
+#[test]
+fn every_message_variant_round_trips_through_v2() {
+    for env in sample_envelopes() {
+        let bytes = wire::encode_envelope_v2(&env);
+        let back = wire::decode_envelope_v2(&bytes).unwrap();
+        assert_eq!(back, env, "v2 round trip mangled {:?}", env.msg);
+    }
+}
+
+/// Cross-version agreement: for every variant, decoding the v1 JSON payload
+/// and the v2 binary payload of the same envelope produce identical
+/// `Envelope` values — a v1 peer and a v2 peer observe the same protocol.
+#[test]
+fn v1_json_and_v2_binary_decode_to_identical_envelopes() {
+    for env in sample_envelopes() {
+        let via_v1 = wire::decode_envelope(&wire::encode_envelope(&env).unwrap()).unwrap();
+        let via_v2 = wire::decode_envelope_v2(&wire::encode_envelope_v2(&env)).unwrap();
+        assert_eq!(via_v1, via_v2, "codec disagreement on {:?}", env.msg);
+        assert_eq!(via_v2, env);
+    }
+}
+
+/// The v2 payload never exceeds the JSON payload on any variant, and is
+/// strictly smaller in aggregate — the codec earns its complexity.
+#[test]
+fn v2_is_never_larger_than_v1() {
+    let mut v1_total = 0usize;
+    let mut v2_total = 0usize;
+    for env in sample_envelopes() {
+        let v1 = wire::encode_envelope(&env).unwrap().len();
+        let v2 = wire::encode_envelope_v2(&env).len();
+        assert!(
+            v2 <= v1,
+            "v2 ({v2} B) larger than v1 ({v1} B) on {:?}",
+            env.msg
+        );
+        v1_total += v1;
+        v2_total += v2;
+    }
+    assert!(v2_total * 2 < v1_total, "expected ≥2× aggregate compaction");
+}
+
+/// A Batch frame holding every variant plus one DataV2 frame per variant
+/// all survive a one-byte-at-a-time stream.
+#[test]
+fn batch_of_every_variant_survives_one_byte_chunks() {
+    let envs = sample_envelopes();
+    let parts: Vec<Vec<u8>> = envs.iter().map(wire::encode_envelope_v2).collect();
+    let mut stream = encode_frame(FrameKind::Batch, &wire::encode_batch_parts(&parts));
+    for part in &parts {
+        stream.extend_from_slice(&encode_frame(FrameKind::DataV2, part));
+    }
+    let mut reader = FrameReader::new();
+    let mut decoded = Vec::new();
+    for byte in stream.chunks(1) {
+        reader.feed(byte);
+        while let Some(frame) = reader.next_frame().unwrap() {
+            match frame.kind {
+                FrameKind::Batch => decoded.extend(wire::decode_batch(&frame.payload).unwrap()),
+                FrameKind::DataV2 => {
+                    decoded.push(wire::decode_envelope_v2(&frame.payload).unwrap())
+                }
+                other => panic!("unexpected frame kind {other:?}"),
+            }
+        }
+    }
+    assert_eq!(decoded.len(), envs.len() * 2);
+    assert_eq!(&decoded[..envs.len()], &envs[..]);
+    assert_eq!(&decoded[envs.len()..], &envs[..]);
+    assert_eq!(reader.buffered(), 0);
+}
+
+// ---- property tests: arbitrary contents under arbitrary chunking ---------
+
+fn arb_site() -> impl Strategy<Value = SiteId> {
+    (0u32..9).prop_map(SiteId)
+}
+
+fn arb_vt() -> impl Strategy<Value = VirtualTime> {
+    (0u64..1_000_000, 0u32..9).prop_map(|(l, s)| vt(l, s))
+}
+
+fn arb_name() -> impl Strategy<Value = ObjectName> {
+    (0u32..9, 0u64..1000).prop_map(|(s, q)| name(s, q))
+}
+
+fn arb_node() -> impl Strategy<Value = NodeRef> {
+    (arb_site(), arb_name()).prop_map(|(s, o)| NodeRef::new(s, o))
+}
+
+fn arb_scalar() -> impl Strategy<Value = ScalarValue> {
+    prop_oneof![
+        any::<i64>().prop_map(ScalarValue::Int),
+        (-1.0e12f64..1.0e12).prop_map(ScalarValue::Real),
+        "[a-zA-Zα-ω0-9 ]{0,12}".prop_map(ScalarValue::Str),
+    ]
+}
+
+fn arb_path() -> impl Strategy<Value = Path> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0usize..8, arb_vt()).prop_map(|(index, tag)| PathElem::Index { index, tag }),
+            "[a-z]{1,6}".prop_map(PathElem::Key),
+        ],
+        0..4,
+    )
+    .prop_map(Path)
+}
+
+fn arb_addr() -> impl Strategy<Value = ObjectAddr> {
+    prop_oneof![
+        arb_name().prop_map(ObjectAddr::Direct),
+        (arb_name(), arb_path()).prop_map(|(root, path)| ObjectAddr::Indirect { root, path }),
+    ]
+}
+
+fn arb_blueprint() -> impl Strategy<Value = Blueprint> {
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(Blueprint::Int),
+        (-1.0e6f64..1.0e6).prop_map(Blueprint::Real),
+        "[a-z]{0,6}".prop_map(Blueprint::Str),
+    ];
+    leaf.prop_recursive(2, 8, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..3).prop_map(Blueprint::List),
+            proptest::collection::vec(("[a-z]{1,4}".prop_map(String::from), inner), 0..3)
+                .prop_map(Blueprint::Tuple),
+        ]
+    })
+}
+
+fn arb_assoc() -> impl Strategy<Value = AssocSnapshot> {
+    proptest::collection::vec(
+        (
+            (0u64..100).prop_map(RelationId),
+            proptest::collection::vec(arb_node(), 0..3),
+            "[a-z ]{0,8}".prop_map(String::from),
+        ),
+        0..3,
+    )
+    .prop_map(AssocSnapshot::from_wire_parts)
+}
+
+fn arb_tree() -> impl Strategy<Value = TreeSnapshot> {
+    let leaf = prop_oneof![
+        arb_scalar().prop_map(TreeSnapshot::Scalar),
+        arb_assoc().prop_map(TreeSnapshot::Assoc),
+    ];
+    leaf.prop_recursive(2, 8, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec((arb_vt(), inner.clone()), 0..3).prop_map(TreeSnapshot::List),
+            proptest::collection::vec(("[a-z]{1,4}".prop_map(String::from), inner), 0..3)
+                .prop_map(TreeSnapshot::Tuple),
+        ]
+    })
+}
+
+fn arb_graph() -> impl Strategy<Value = ReplicationGraph> {
+    (
+        proptest::collection::vec(arb_node(), 1..4),
+        proptest::collection::vec(
+            (arb_node(), arb_node(), (0u64..100).prop_map(RelationId)),
+            0..3,
+        ),
+    )
+        .prop_map(|(nodes, edges)| ReplicationGraph::from_parts(nodes, edges))
+}
+
+fn arb_wire_op() -> impl Strategy<Value = WireOp> {
+    prop_oneof![
+        arb_scalar().prop_map(WireOp::SetScalar),
+        (0usize..10, arb_blueprint())
+            .prop_map(|(index, child)| WireOp::ListInsert { index, child }),
+        arb_vt().prop_map(|tag| WireOp::ListRemove { tag }),
+        ("[a-z]{1,4}".prop_map(String::from), arb_blueprint())
+            .prop_map(|(key, child)| WireOp::TuplePut { key, child }),
+        "[a-z]{1,4}".prop_map(|key| WireOp::TupleRemove { key }),
+        arb_assoc().prop_map(WireOp::SetAssoc),
+        arb_tree().prop_map(WireOp::SetTree),
+    ]
+}
+
+fn arb_update() -> impl Strategy<Value = UpdateItem> {
+    (arb_addr(), arb_vt(), arb_vt(), arb_wire_op(), any::<bool>()).prop_map(
+        |(addr, t_r, t_g, op, needs_check)| UpdateItem {
+            addr,
+            t_r,
+            t_g,
+            op,
+            needs_check,
+        },
+    )
+}
+
+fn arb_read() -> impl Strategy<Value = ReadItem> {
+    (arb_addr(), arb_vt(), arb_vt(), prop::option::of(arb_vt()))
+        .prop_map(|(addr, t_r, t_g, hi)| ReadItem { addr, t_r, t_g, hi })
+}
+
+fn arb_kind() -> impl Strategy<Value = SubjectKind> {
+    prop_oneof![Just(SubjectKind::Txn), Just(SubjectKind::Snapshot)]
+}
+
+fn arb_outcome() -> impl Strategy<Value = TxnOutcome> {
+    prop_oneof![Just(TxnOutcome::Committed), Just(TxnOutcome::Aborted)]
+}
+
+/// Every one of the sixteen `Message` variants, with arbitrary contents.
+fn arb_msg() -> impl Strategy<Value = Message> {
+    let group_a = prop_oneof![
+        (
+            arb_vt(),
+            arb_site(),
+            proptest::collection::vec(arb_update(), 0..3),
+            proptest::collection::vec(arb_read(), 0..3),
+            prop::option::of(
+                proptest::collection::vec(arb_site(), 0..3).prop_map(|notify| Delegate { notify })
+            ),
+        )
+            .prop_map(|(txn, origin, updates, reads, delegate)| {
+                Message::Txn(TxnPropagate {
+                    txn,
+                    origin,
+                    updates,
+                    reads,
+                    delegate,
+                })
+            }),
+        (
+            arb_vt(),
+            arb_site(),
+            proptest::collection::vec(arb_read(), 0..3)
+        )
+            .prop_map(|(subject, origin, reads)| Message::SnapshotConfirm {
+                subject,
+                origin,
+                reads
+            }),
+        (arb_vt(), arb_kind()).prop_map(|(subject, kind)| Message::Confirm { subject, kind }),
+        (arb_vt(), arb_kind()).prop_map(|(subject, kind)| Message::Deny { subject, kind }),
+        arb_vt().prop_map(|txn| Message::Commit { txn }),
+        arb_vt().prop_map(|txn| Message::Abort { txn }),
+        (
+            arb_vt(),
+            arb_site(),
+            (0u64..100).prop_map(RelationId),
+            arb_node(),
+            arb_graph(),
+            arb_name(),
+            prop::option::of(arb_name()),
+        )
+            .prop_map(
+                |(txn, origin, relation, a_node, a_graph, b_object, assoc_object)| {
+                    Message::JoinRequest {
+                        txn,
+                        origin,
+                        relation,
+                        a_node,
+                        a_graph,
+                        b_object,
+                        assoc_object,
+                    }
+                }
+            ),
+        (
+            arb_vt(),
+            any::<bool>(),
+            arb_node(),
+            arb_graph(),
+            prop::option::of(arb_tree()),
+            arb_vt(),
+            any::<bool>(),
+            any::<u32>(),
+            proptest::collection::vec(arb_site(), 0..3),
+        )
+            .prop_map(
+                |(
+                    txn,
+                    ok,
+                    b_node,
+                    merged,
+                    b_value,
+                    b_value_vt,
+                    b_value_committed,
+                    confirms_expected,
+                    extra_affected,
+                )| Message::JoinReply {
+                    txn,
+                    ok,
+                    b_node,
+                    merged,
+                    b_value,
+                    b_value_vt,
+                    b_value_committed,
+                    confirms_expected,
+                    extra_affected,
+                }
+            ),
+    ]
+    .boxed();
+    let group_b = prop_oneof![
+        (
+            arb_vt(),
+            arb_site(),
+            arb_name(),
+            arb_graph(),
+            arb_vt(),
+            any::<bool>(),
+            prop::option::of(arb_tree()),
+            arb_vt(),
+        )
+            .prop_map(
+                |(txn, origin, target, graph, t_g, needs_check, adopt_value, adopt_value_vt)| {
+                    Message::GraphUpdate {
+                        txn,
+                        origin,
+                        target,
+                        graph,
+                        t_g,
+                        needs_check,
+                        adopt_value,
+                        adopt_value_vt,
+                    }
+                }
+            ),
+        (arb_vt(), arb_site()).prop_map(|(txn, asker)| Message::OutcomeQuery { txn, asker }),
+        (arb_vt(), prop::option::of(arb_outcome()))
+            .prop_map(|(txn, outcome)| Message::OutcomeReport { txn, outcome }),
+        (arb_vt(), arb_outcome())
+            .prop_map(|(txn, outcome)| Message::OutcomeDecision { txn, outcome }),
+        (
+            any::<u64>(),
+            arb_site(),
+            arb_name(),
+            arb_name(),
+            arb_graph(),
+            arb_vt(),
+        )
+            .prop_map(|(ballot, coordinator, target, coord_target, graph, at)| {
+                Message::GraphPropose {
+                    ballot,
+                    coordinator,
+                    target,
+                    coord_target,
+                    graph,
+                    at,
+                }
+            }),
+        (any::<u64>(), arb_name()).prop_map(|(ballot, coord_target)| Message::GraphAck {
+            ballot,
+            coord_target
+        }),
+        Just(Message::Heartbeat),
+        (any::<u64>(), arb_name(), arb_graph(), arb_vt()).prop_map(
+            |(ballot, target, graph, at)| Message::GraphApply {
+                ballot,
+                target,
+                graph,
+                at
+            }
+        ),
+    ]
+    .boxed();
+    prop_oneof![group_a, group_b]
+}
+
+fn arb_envelope() -> impl Strategy<Value = Envelope> {
+    (arb_site(), arb_site(), arb_vt(), arb_msg()).prop_map(|(from, to, clock, msg)| Envelope {
+        from,
+        to,
+        clock,
+        msg,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary envelopes, encoded as either individual DataV2 frames or
+    /// one Batch frame, survive arbitrary stream fragmentation.
+    #[test]
+    fn v2_round_trips_arbitrary_envelopes_under_chunking(
+        envs in proptest::collection::vec(arb_envelope(), 1..5),
+        chunk in 1usize..48,
+        batched in any::<bool>(),
+    ) {
+        let mut stream = Vec::new();
+        if batched {
+            let parts: Vec<Vec<u8>> = envs.iter().map(wire::encode_envelope_v2).collect();
+            stream.extend_from_slice(&encode_frame(FrameKind::Batch, &wire::encode_batch_parts(&parts)));
+        } else {
+            for env in &envs {
+                stream.extend_from_slice(&encode_frame(FrameKind::DataV2, &wire::encode_envelope_v2(env)));
+            }
+        }
+        let mut reader = FrameReader::new();
+        let mut decoded = Vec::new();
+        for piece in stream.chunks(chunk) {
+            reader.feed(piece);
+            while let Some(frame) = reader.next_frame().unwrap() {
+                match frame.kind {
+                    FrameKind::Batch => decoded.extend(wire::decode_batch(&frame.payload).unwrap()),
+                    FrameKind::DataV2 => decoded.push(wire::decode_envelope_v2(&frame.payload).unwrap()),
+                    other => prop_assert!(false, "unexpected frame kind {other:?}"),
+                }
+            }
+        }
+        prop_assert_eq!(&decoded, &envs);
+        prop_assert_eq!(reader.buffered(), 0);
+    }
+
+    /// The deterministic every-variant corpus also survives every chunk size
+    /// the strategy picks — variant coverage and fragmentation composed.
+    #[test]
+    fn every_variant_round_trips_v2_under_arbitrary_chunking(chunk in 1usize..64) {
+        let envs = sample_envelopes();
+        let mut stream = Vec::new();
+        for env in &envs {
+            stream.extend_from_slice(&encode_frame(FrameKind::DataV2, &wire::encode_envelope_v2(env)));
+        }
+        let mut reader = FrameReader::new();
+        let mut decoded = Vec::new();
+        for piece in stream.chunks(chunk) {
+            reader.feed(piece);
+            while let Some(frame) = reader.next_frame().unwrap() {
+                prop_assert_eq!(frame.kind, FrameKind::DataV2);
+                decoded.push(wire::decode_envelope_v2(&frame.payload).unwrap());
+            }
+        }
+        prop_assert_eq!(&decoded, &envs);
+    }
+}
+
+// ---- golden snapshots: protocol version 2 is pinned ----------------------
+//
+// These bytes are the v2 wire format. If any of them change, bump
+// `PROTOCOL_VERSION_V2` — a silent layout change would let two sites with
+// different builds corrupt each other's streams undetected.
+
+fn golden_commit_env() -> Envelope {
+    Envelope {
+        from: SiteId(3),
+        to: SiteId(1),
+        clock: vt(42, 3),
+        msg: Message::Commit { txn: vt(41, 3) },
+    }
+}
+
+fn golden_heartbeat_env() -> Envelope {
+    Envelope {
+        from: SiteId(1),
+        to: SiteId(2),
+        clock: vt(7, 1),
+        msg: Message::Heartbeat,
+    }
+}
+
+#[test]
+fn golden_v2_commit_payload() {
+    let golden = [0x03, 0x01, 0x2a, 0x03, 0x05, 0x29, 0x03];
+    assert_eq!(
+        wire::encode_envelope_v2(&golden_commit_env()),
+        golden,
+        "v2 commit: from | to | clock lamport varint | clock site | tag 5 | txn varint | txn site"
+    );
+    assert_eq!(
+        wire::decode_envelope_v2(&golden).unwrap(),
+        golden_commit_env()
+    );
+}
+
+#[test]
+fn golden_v2_heartbeat_payload() {
+    let golden = [0x01, 0x02, 0x07, 0x01, 0x0f];
+    assert_eq!(
+        wire::encode_envelope_v2(&golden_heartbeat_env()),
+        golden,
+        "v2 heartbeat: five bytes total — envelope header plus tag 15"
+    );
+    assert_eq!(
+        wire::decode_envelope_v2(&golden).unwrap(),
+        golden_heartbeat_env()
+    );
+}
+
+#[test]
+fn golden_v2_batch_payload() {
+    let golden = [
+        0x02, // two envelopes
+        0x07, 0x03, 0x01, 0x2a, 0x03, 0x05, 0x29, 0x03, // len 7 | commit
+        0x05, 0x01, 0x02, 0x07, 0x01, 0x0f, // len 5 | heartbeat
+    ];
+    assert_eq!(
+        wire::encode_batch(&[golden_commit_env(), golden_heartbeat_env()]),
+        golden
+    );
+    assert_eq!(
+        wire::decode_batch(&golden).unwrap(),
+        vec![golden_commit_env(), golden_heartbeat_env()]
+    );
+}
+
+#[test]
+fn golden_v2_data_frame() {
+    assert_eq!(
+        encode_frame(
+            FrameKind::DataV2,
+            &wire::encode_envelope_v2(&golden_commit_env())
+        ),
+        [
+            0x44, 0x43, 0x41, 0x46, // magic 'DCAF'
+            0x02, // protocol version 2
+            0x04, // kind 4 = DataV2
+            0x07, 0x00, 0x00, 0x00, // payload length 7, LE
+            0xb7, 0x82, 0x98, 0x25, // CRC-32 of the payload, LE
+            0x03, 0x01, 0x2a, 0x03, 0x05, 0x29, 0x03, // payload
+        ],
+        "DataV2 frame: same 14-byte header as v1, version byte bumped to 2"
+    );
+}
+
+#[test]
+fn golden_hello_v2() {
+    assert_eq!(wire::encode_hello_v2(SiteId(7), 2), [0x07, 0, 0, 0, 0x02]);
+    // A v2 hello announces the sender's max codec in the fifth byte...
+    assert_eq!(
+        wire::decode_hello_any(&[0x07, 0, 0, 0, 0x02]).unwrap(),
+        (SiteId(7), 2)
+    );
+    // ...while a classic 4-byte hello implies codec 1, so old peers
+    // negotiate down without knowing negotiation exists.
+    assert_eq!(
+        wire::decode_hello_any(&[0x07, 0, 0, 0]).unwrap(),
+        (SiteId(7), 1)
+    );
+}

@@ -35,4 +35,23 @@ run cargo test --workspace --offline -q
 # fixed sim workload must keep producing byte-identical JSONL traces.
 run cargo test -p decaf-net --test trace_golden --offline -q
 
+# Throughput bench smoke: the hot-path bench must run end to end, emit
+# well-formed JSON, and lose no envelopes (the bin itself exits non-zero
+# when delivered < sent; the checks below also pin the report's shape).
+echo "==> p1_throughput --json --smoke"
+P1_JSON="$(cargo run -p decaf-bench --bin p1_throughput --release --offline -q -- --json --smoke)"
+if command -v python3 >/dev/null 2>&1; then
+    echo "$P1_JSON" | python3 -c '
+import json, sys
+r = json.load(sys.stdin)
+assert r["bench"] == "p1_throughput", r
+assert r["check"]["ok"], r["check"]
+assert r["check"]["delivered"] >= r["check"]["sent"], r["check"]
+assert len(r["sections"]) == 2, [s["title"] for s in r["sections"]]
+'
+else
+    echo "$P1_JSON" | grep -q '"bench":"p1_throughput"'
+    echo "$P1_JSON" | grep -q '"ok":true'
+fi
+
 echo "CI OK"

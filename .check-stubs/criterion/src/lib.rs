@@ -1,1 +1,87 @@
+//! Typecheck-only stand-in for `criterion`, mirroring the subset of its API
+//! used by the workspace bench targets. Benchmarks compiled against this
+//! stub run no iterations; the real crate is used by CI.
 
+use std::fmt::Display;
+
+pub fn black_box<T>(value: T) -> T {
+    value
+}
+
+pub struct Bencher;
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut _routine: F) {}
+}
+
+pub struct BenchmarkId(String);
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{parameter}", name.into()))
+    }
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion;
+impl Criterion {
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, _id: &str, mut _f: F) -> &mut Self {
+        self
+    }
+    pub fn benchmark_group(&mut self, _name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup(std::marker::PhantomData)
+    }
+}
+
+pub struct BenchmarkGroup<'a>(std::marker::PhantomData<&'a ()>);
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        _id: impl Into<String>,
+        mut _f: F,
+    ) -> &mut Self {
+        self
+    }
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        _id: BenchmarkId,
+        _input: &I,
+        mut _f: F,
+    ) -> &mut Self {
+        self
+    }
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,1 +1,256 @@
+//! Typecheck-only stand-in for `proptest` used by the offline `cargo check`
+//! wrapper. Strategies carry only their `Value` type; the `proptest!` macro
+//! expands each property into a `#[test]` whose body typechecks inside an
+//! `if false` block and therefore never executes. The real crate is used by
+//! CI; this stub exists so property-test files can be validated for type
+//! errors in an offline container.
 
+pub mod strategy {
+    use std::marker::PhantomData;
+
+    pub trait Strategy: Sized {
+        type Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F, O>
+        where
+            F: Fn(Self::Value) -> O,
+        {
+            Map(self, f, PhantomData)
+        }
+
+        fn prop_recursive<R, F>(
+            self,
+            _depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            _recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+            R: Strategy<Value = Self::Value> + 'static,
+        {
+            BoxedStrategy(PhantomData)
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: 'static,
+        {
+            BoxedStrategy(PhantomData)
+        }
+    }
+
+    pub struct BoxedStrategy<T>(pub(crate) PhantomData<T>);
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+    }
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(PhantomData)
+        }
+    }
+
+    pub struct Map<S, F, O>(pub(crate) S, pub(crate) F, pub(crate) PhantomData<O>);
+    impl<S, F, O> Strategy for Map<S, F, O>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+    }
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T>(pub T);
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+    }
+
+    pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+    }
+
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+    impl<T> Strategy for Any<T> {
+        type Value = T;
+    }
+
+    impl<T> Strategy for core::ops::Range<T> {
+        type Value = T;
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+    /// Conjures a value of the strategy's output type. Only reachable from
+    /// `if false` blocks emitted by the stub `proptest!` macro.
+    pub fn stub_value<S: Strategy>(_strategy: &S) -> S::Value {
+        unreachable!("proptest stub strategies cannot produce values")
+    }
+}
+
+pub mod arbitrary {
+    pub fn any<T>() -> crate::strategy::Any<T> {
+        crate::strategy::Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+
+    pub struct VecStrategy<S>(pub(crate) S);
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+    }
+
+    pub fn vec<S: Strategy, R>(element: S, _size: R) -> VecStrategy<S> {
+        VecStrategy(element)
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+
+    pub struct OptionStrategy<S>(pub(crate) S);
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index;
+    impl Index {
+        pub fn index(&self, _len: usize) -> usize {
+            0
+        }
+    }
+
+    pub struct Select<T>(#[allow(dead_code)] pub(crate) Vec<T>);
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+    }
+
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        Select(values)
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolAny;
+    impl Strategy for BoolAny {
+        type Value = bool;
+    }
+
+    pub const ANY: BoolAny = BoolAny;
+}
+
+pub mod test_runner {
+    #[derive(Clone, Debug, Default)]
+    pub struct Config {
+        pub cases: u32,
+    }
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union(vec![$($crate::strategy::Strategy::boxed($arm)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError(
+                ::std::string::String::new(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {
+        $crate::prop_assert!($lhs == $rhs)
+    };
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {
+        $crate::prop_assert!($lhs == $rhs, $($fmt)+)
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { $($rest)* }
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            #[allow(unused_variables, unused_mut, clippy::all)]
+            fn $name() {
+                if false {
+                    $(let mut $arg = $crate::strategy::stub_value(&($strat));)+
+                    let mut body = move || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    };
+                    let _ = body();
+                }
+            }
+        )*
+    };
+}

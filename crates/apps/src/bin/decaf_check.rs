@@ -1,0 +1,253 @@
+//! `decaf-check`: the DECAF deterministic-simulation model checker CLI.
+//!
+//! Explores fault schedules (message delay/reorder, link partitions with
+//! heal, fail-stop kills) against the invariant oracles of
+//! [`decaf_check`], shrinks any failing schedule to a minimal fault plan,
+//! and emits/replays counterexample artifacts.
+//!
+//! ```text
+//! decaf-check --smoke --json                # bounded CI gate
+//! decaf-check --seeds 2000 --faults all     # random sweep, kills included
+//! decaf-check --sites 4 --depth 3           # + bounded exhaustive faults
+//! decaf-check --mutate drop_pess_commit_notice --seeds 8 --shrink \
+//!             --out bug.json                # seeded-bug self-test
+//! decaf-check --replay bug.json             # re-run a frozen artifact
+//! ```
+//!
+//! Exit codes: 0 clean (or artifact reproduced), 1 violations found (or
+//! artifact failed to reproduce), 2 usage error.
+
+use decaf_check::{
+    exhaustive, mutation_from_name, smoke, sweep, CheckOptions, Counterexample, FaultClasses,
+    ScenarioConfig,
+};
+
+struct Cli {
+    smoke: bool,
+    json: bool,
+    shrink: bool,
+    seeds: u64,
+    seed_start: u64,
+    depth: u32,
+    faults: FaultClasses,
+    config: ScenarioConfig,
+    mutation: Option<String>,
+    replay: Option<String>,
+    out: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: decaf-check [options]\n\
+         \n\
+         exploration:\n\
+         \x20 --seeds N        random schedules to sweep (default 256)\n\
+         \x20 --seed-start N   first seed (default 1)\n\
+         \x20 --depth N        also enumerate all fault sequences of length N (0 = off)\n\
+         \x20 --faults KIND    partitions | kills | all | none (default partitions)\n\
+         \x20 --shrink         delta-debug failing plans to minimal schedules\n\
+         \n\
+         scenario:\n\
+         \x20 --sites N        collaborating sites (default 3)\n\
+         \x20 --objects N      shared counters (default 2)\n\
+         \x20 --txns N         gestures per site (default 4)\n\
+         \x20 --jitter F       latency jitter fraction in [0,1) (default 0.4)\n\
+         \x20 --retries N      engine retry budget (default 64)\n\
+         \n\
+         modes:\n\
+         \x20 --smoke          bounded CI gate: 512 random + 125 exhaustive schedules\n\
+         \x20 --mutate NAME    inject a seeded engine bug (drop_pess_commit_notice |\n\
+         \x20                  skip_rollback_renotify) — the checker must catch it\n\
+         \x20 --replay FILE    re-run a counterexample artifact, verify it reproduces\n\
+         \x20 --out FILE       write the first counterexample artifact as JSON\n\
+         \x20 --json           machine-readable output"
+    );
+    std::process::exit(2)
+}
+
+fn parse() -> Cli {
+    let mut cli = Cli {
+        smoke: false,
+        json: false,
+        shrink: false,
+        seeds: 256,
+        seed_start: 1,
+        depth: 0,
+        faults: FaultClasses::partitions_only(),
+        config: ScenarioConfig::default(),
+        mutation: None,
+        replay: None,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("decaf-check: {name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--smoke" => cli.smoke = true,
+            "--json" => cli.json = true,
+            "--shrink" => cli.shrink = true,
+            "--seeds" => cli.seeds = parse_num(&value("--seeds")),
+            "--seed-start" => cli.seed_start = parse_num(&value("--seed-start")),
+            "--depth" => cli.depth = parse_num(&value("--depth")) as u32,
+            "--sites" => cli.config.sites = parse_num(&value("--sites")) as u32,
+            "--objects" => cli.config.objects = parse_num(&value("--objects")) as u32,
+            "--txns" => cli.config.txns_per_site = parse_num(&value("--txns")) as u32,
+            "--retries" => cli.config.retry_budget = parse_num(&value("--retries")) as u32,
+            "--jitter" => cli.config.jitter = value("--jitter").parse().unwrap_or_else(|_| usage()),
+            "--faults" => {
+                cli.faults = match value("--faults").as_str() {
+                    "partitions" => FaultClasses::partitions_only(),
+                    "kills" => FaultClasses {
+                        partitions: false,
+                        kills: true,
+                    },
+                    "all" => FaultClasses::all(),
+                    "none" => FaultClasses::none(),
+                    other => {
+                        eprintln!("decaf-check: unknown fault class {other:?}");
+                        usage()
+                    }
+                }
+            }
+            "--mutate" => cli.mutation = Some(value("--mutate")),
+            "--replay" => cli.replay = Some(value("--replay")),
+            "--out" => cli.out = Some(value("--out")),
+            "-h" | "--help" => usage(),
+            other => {
+                eprintln!("decaf-check: unknown option {other:?}");
+                usage()
+            }
+        }
+    }
+    cli
+}
+
+fn parse_num(s: &str) -> u64 {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("decaf-check: invalid number {s:?}");
+        usage()
+    })
+}
+
+fn main() {
+    let cli = parse();
+
+    if let Some(path) = &cli.replay {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("decaf-check: {path}: {e}");
+            std::process::exit(2);
+        });
+        let artifact = Counterexample::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("decaf-check: {path}: bad artifact: {e}");
+            std::process::exit(2);
+        });
+        let ok = artifact.reproduces();
+        if cli.json {
+            println!(
+                "{{\"reproduced\": {ok}, \"violations\": {}, \"plan_actions\": {}}}",
+                artifact.violations.len(),
+                artifact.plan.actions.len()
+            );
+        } else {
+            println!(
+                "replay of {path}: {} violation(s), plan of {} action(s), reproduced: {ok}",
+                artifact.violations.len(),
+                artifact.plan.actions.len()
+            );
+            for v in &artifact.violations {
+                println!("  {v}");
+            }
+        }
+        std::process::exit(if ok { 0 } else { 1 });
+    }
+
+    if cli.smoke {
+        let report = smoke();
+        if cli.json {
+            println!(
+                "{}",
+                serde_json::to_string(&report).expect("smoke report serializes")
+            );
+        } else {
+            println!(
+                "smoke: {} schedules ({} random + {} exhaustive), {} gestures, \
+                 {} committed, {} violation(s)",
+                report.schedules,
+                report.random_schedules,
+                report.exhaustive_schedules,
+                report.gestures,
+                report.committed,
+                report.violations
+            );
+        }
+        std::process::exit(if report.ok { 0 } else { 1 });
+    }
+
+    let mutation = match &cli.mutation {
+        Some(name) => match mutation_from_name(name) {
+            Some(m) => Some(m),
+            None => {
+                eprintln!("decaf-check: unknown mutation {name:?}");
+                usage()
+            }
+        },
+        None => None,
+    };
+    let opts = CheckOptions {
+        config: cli.config.clone(),
+        classes: cli.faults,
+        seeds: cli.seeds,
+        seed_start: cli.seed_start,
+        shrink: cli.shrink,
+        stop_at_first: false,
+        mutation,
+    };
+    let mut report = sweep(&opts);
+    if cli.depth > 0 {
+        report.merge(exhaustive(&cli.config, cli.depth, cli.seed_start));
+    }
+
+    if let (Some(path), Some(ce)) = (&cli.out, report.counterexamples.first()) {
+        if let Err(e) = std::fs::write(path, ce.to_json()) {
+            eprintln!("decaf-check: {path}: {e}");
+            std::process::exit(2);
+        }
+        if !cli.json {
+            println!("wrote counterexample artifact to {path}");
+        }
+    }
+
+    if cli.json {
+        println!(
+            "{}",
+            serde_json::to_string(&report).expect("check report serializes")
+        );
+    } else {
+        println!(
+            "explored {} random + {} exhaustive schedule(s): {} gestures, {} committed, \
+             {} violation(s)",
+            report.random_schedules,
+            report.exhaustive_schedules,
+            report.gestures,
+            report.committed,
+            report.violations
+        );
+        for ce in &report.counterexamples {
+            println!(
+                "counterexample: seed {}, {} action(s) (shrunk from {}):",
+                ce.seed,
+                ce.plan.actions.len(),
+                ce.shrunk_from
+            );
+            for v in &ce.violations {
+                println!("  {v}");
+            }
+        }
+    }
+    std::process::exit(if report.violations == 0 { 0 } else { 1 });
+}

@@ -14,7 +14,7 @@ use decaf_net::sim::{Event, LatencyModel, SimNet, SimTime};
 use decaf_vt::{SiteId, VirtualTime};
 use decaf_workload::{
     ArrivalProcess, BlindWrite, LatencyTracker, NotificationTracker, RateWorkload, ReadModifyWrite,
-    SimWorld, TxnKind,
+    SimWorld, TxnKind, TxnMix,
 };
 
 /// Pretty-prints a table of (header, rows) with aligned columns.
@@ -335,12 +335,12 @@ pub fn e3_lost_updates(rate: f64, t_ms: u64, seconds: u64, seed: u64) -> E3Row {
             (
                 SiteId(1),
                 ArrivalProcess::poisson(rate, seed),
-                TxnKind::BlindWrite,
+                TxnMix::single(TxnKind::BlindWrite),
             ),
             (
                 SiteId(2),
                 ArrivalProcess::poisson(rate, seed.wrapping_add(1)),
-                TxnKind::BlindWrite,
+                TxnMix::single(TxnKind::BlindWrite),
             ),
         ],
         duration: SimTime::from_secs(seconds),
@@ -402,12 +402,12 @@ pub fn e4_rollback_rate(b_rate: f64, t_ms: u64, seconds: u64, seed: u64) -> E4Ro
             (
                 SiteId(1),
                 ArrivalProcess::poisson(1.0, seed),
-                TxnKind::ReadModifyWrite,
+                TxnMix::single(TxnKind::ReadModifyWrite),
             ),
             (
                 SiteId(2),
                 ArrivalProcess::poisson(b_rate, seed.wrapping_add(1)),
-                TxnKind::ReadModifyWrite,
+                TxnMix::single(TxnKind::ReadModifyWrite),
             ),
         ],
         duration: SimTime::from_secs(seconds),

@@ -1,0 +1,86 @@
+//! Replayable counterexample artifacts.
+//!
+//! A [`Counterexample`] freezes everything a failing schedule needs to be
+//! reproduced bit-for-bit: the scenario config, the run seed, the
+//! (shrunk) fault plan, the injected mutation (if any), the violations
+//! observed, and the run's `decaf-trace` JSONL. Because the harness is
+//! deterministic, [`Counterexample::replay`] re-derives the identical
+//! run, and [`Counterexample::reproduces`] asserts it.
+
+use decaf_core::TestMutation;
+use serde::{Deserialize, Serialize};
+
+use crate::config::ScenarioConfig;
+use crate::harness::{run_once, RunReport};
+use crate::oracle::Violation;
+use crate::plan::FaultPlan;
+use crate::{mutation_from_name, mutation_name};
+
+/// A frozen failing schedule, serializable to JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Counterexample {
+    /// Scenario the failure occurred under.
+    pub config: ScenarioConfig,
+    /// Run seed (workload mix, jitter, and plan generation).
+    pub seed: u64,
+    /// Injected engine mutation, by canonical name (checker self-tests).
+    pub mutation: Option<String>,
+    /// The failing fault plan — already shrunk when the finder shrinks.
+    pub plan: FaultPlan,
+    /// Action count of the plan before shrinking.
+    pub shrunk_from: usize,
+    /// Violations the plan produces.
+    pub violations: Vec<Violation>,
+    /// Merged `decaf-trace` JSONL of the failing run, one event per line.
+    pub trace: Vec<String>,
+}
+
+impl Counterexample {
+    /// Freezes a failing run into an artifact.
+    pub fn new(
+        config: &ScenarioConfig,
+        seed: u64,
+        mutation: Option<TestMutation>,
+        plan: &FaultPlan,
+        shrunk_from: usize,
+        report: &RunReport,
+    ) -> Self {
+        Counterexample {
+            config: config.clone(),
+            seed,
+            mutation: mutation.map(|m| mutation_name(m).to_string()),
+            plan: plan.clone(),
+            shrunk_from,
+            violations: report.violations.clone(),
+            trace: report.trace.clone(),
+        }
+    }
+
+    /// The injected mutation, decoded.
+    pub fn mutation(&self) -> Option<TestMutation> {
+        self.mutation.as_deref().and_then(mutation_from_name)
+    }
+
+    /// Pretty JSON for writing to disk.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("counterexample serializes")
+    }
+
+    /// Parses an artifact produced by [`Counterexample::to_json`].
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Re-runs the frozen schedule. Determinism guarantees the result
+    /// matches the recorded run exactly.
+    pub fn replay(&self) -> RunReport {
+        run_once(&self.config, &self.plan, self.seed, self.mutation())
+    }
+
+    /// Replays and checks the recorded violations and trace reproduce
+    /// byte-for-byte.
+    pub fn reproduces(&self) -> bool {
+        let report = self.replay();
+        report.violations == self.violations && report.trace == self.trace
+    }
+}

@@ -1,0 +1,110 @@
+//! Scenario configuration: the workload side of an explored schedule.
+
+use decaf_workload::MixWeights;
+use serde::{Deserialize, Serialize};
+
+/// One checker scenario: how many sites collaborate, over how many shared
+/// counters, submitting how many gestures from which transaction mix, and
+/// with what network latency/jitter.
+///
+/// A `ScenarioConfig` deliberately holds only plain numbers so it
+/// serializes into counterexample artifacts and replays bit-identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Number of collaborating sites (≥ 2).
+    pub sites: u32,
+    /// Number of replicated counters wired across all sites (≥ 1).
+    pub objects: u32,
+    /// Gestures each site submits.
+    pub txns_per_site: u32,
+    /// Gap between consecutive gestures at one site, in simulated ms.
+    pub gap_ms: u64,
+    /// Base one-way link latency, in simulated ms.
+    pub latency_ms: u64,
+    /// Latency jitter fraction in `[0, 1)`: per-message delay varies by
+    /// up to this fraction, reordering deliveries *across* links (links
+    /// themselves stay FIFO, matching the paper's §3.4 link model).
+    pub jitter: f64,
+    /// Weight of read-modify-write increments in the gesture mix.
+    pub w_increment: u32,
+    /// Weight of blind writes in the gesture mix.
+    pub w_blind_write: u32,
+    /// Weight of guess-heavy multi-read transactions in the gesture mix.
+    pub w_guess_heavy: u32,
+    /// Engine retry budget: how many times a conflict-aborted transaction
+    /// is automatically re-executed before giving up. Low budgets make
+    /// final aborts common, exercising the rollback/re-notify paths.
+    pub retry_budget: u32,
+}
+
+impl Default for ScenarioConfig {
+    /// A small but adversarial scenario: 3 sites, 2 shared counters, a
+    /// conflict-prone mix, and enough jitter to reorder cross-link
+    /// deliveries.
+    fn default() -> Self {
+        ScenarioConfig {
+            sites: 3,
+            objects: 2,
+            txns_per_site: 4,
+            gap_ms: 30,
+            latency_ms: 10,
+            jitter: 0.4,
+            w_increment: 4,
+            w_blind_write: 3,
+            w_guess_heavy: 2,
+            retry_budget: 64,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// The gesture-mix weights as the workload crate's type. Membership
+    /// churn is driven by fault plans (kills), not the mix, so
+    /// `join_leave` stays zero here.
+    pub fn weights(&self) -> MixWeights {
+        MixWeights {
+            increment: self.w_increment,
+            blind_write: self.w_blind_write,
+            guess_heavy: self.w_guess_heavy,
+            join_leave: 0,
+        }
+    }
+
+    /// Approximate length of the gesture phase in simulated ms — the
+    /// window fault-plan generators place actions in.
+    pub fn horizon_ms(&self) -> u64 {
+        (u64::from(self.txns_per_site) + 1) * self.gap_ms
+    }
+
+    /// Panics if the scenario is degenerate (fewer than 2 sites, no
+    /// objects, a zero mix, or jitter outside `[0, 1)`).
+    pub fn validate(&self) {
+        assert!(self.sites >= 2, "need at least 2 sites");
+        assert!(self.objects >= 1, "need at least 1 object");
+        assert!(
+            self.w_increment + self.w_blind_write + self.w_guess_heavy > 0,
+            "gesture mix must have at least one nonzero weight"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.jitter),
+            "jitter must be in [0, 1)"
+        );
+        assert!(self.gap_ms > 0, "gap_ms must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid_and_round_trips() {
+        let cfg = ScenarioConfig::default();
+        cfg.validate();
+        let json = serde_json::to_string(&cfg).expect("serialize");
+        let back: ScenarioConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(cfg, back);
+        assert!(cfg.horizon_ms() > 0);
+        assert_eq!(cfg.weights().join_leave, 0);
+    }
+}

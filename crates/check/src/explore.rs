@@ -1,0 +1,233 @@
+//! Schedule exploration: seeded random sweeps and bounded exhaustive
+//! enumeration of fault decision sequences.
+
+use decaf_core::TestMutation;
+use serde::{Deserialize, Serialize};
+
+use crate::artifact::Counterexample;
+use crate::config::ScenarioConfig;
+use crate::harness::run_once;
+use crate::plan::{FaultAction, FaultClasses, FaultKind, FaultPlan};
+use crate::shrink::shrink_plan;
+
+/// Cap on counterexamples retained per report (runs keep being counted).
+const MAX_COUNTEREXAMPLES: usize = 4;
+
+/// What a sweep should explore.
+#[derive(Debug, Clone)]
+pub struct CheckOptions {
+    /// The scenario every schedule runs.
+    pub config: ScenarioConfig,
+    /// Fault classes random plans may draw from.
+    pub classes: FaultClasses,
+    /// Number of seeds to sweep.
+    pub seeds: u64,
+    /// First seed (seeds are `seed_start..seed_start + seeds`).
+    pub seed_start: u64,
+    /// Delta-debug failing plans down to minimal schedules.
+    pub shrink: bool,
+    /// Stop at the first failing schedule (mutation-detection budget).
+    pub stop_at_first: bool,
+    /// Engine mutation to inject into every site (checker self-tests).
+    pub mutation: Option<TestMutation>,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            config: ScenarioConfig::default(),
+            classes: FaultClasses::partitions_only(),
+            seeds: 64,
+            seed_start: 1,
+            shrink: true,
+            stop_at_first: false,
+            mutation: None,
+        }
+    }
+}
+
+/// Aggregate outcome of an exploration.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CheckReport {
+    /// Random schedules explored.
+    pub random_schedules: u64,
+    /// Exhaustively enumerated schedules explored.
+    pub exhaustive_schedules: u64,
+    /// Transaction gestures submitted across all runs.
+    pub gestures: u64,
+    /// Transactions committed across all runs.
+    pub committed: u64,
+    /// Number of failing schedules.
+    pub violations: u64,
+    /// Retained (shrunk) counterexamples, capped at a handful.
+    pub counterexamples: Vec<Counterexample>,
+}
+
+impl CheckReport {
+    /// Folds another report into this one.
+    pub fn merge(&mut self, other: CheckReport) {
+        self.random_schedules += other.random_schedules;
+        self.exhaustive_schedules += other.exhaustive_schedules;
+        self.gestures += other.gestures;
+        self.committed += other.committed;
+        self.violations += other.violations;
+        for ce in other.counterexamples {
+            if self.counterexamples.len() < MAX_COUNTEREXAMPLES {
+                self.counterexamples.push(ce);
+            }
+        }
+    }
+
+    fn record_failure(
+        &mut self,
+        cfg: &ScenarioConfig,
+        seed: u64,
+        mutation: Option<TestMutation>,
+        plan: FaultPlan,
+        report: crate::harness::RunReport,
+        shrink: bool,
+    ) {
+        self.violations += 1;
+        if self.counterexamples.len() >= MAX_COUNTEREXAMPLES {
+            return;
+        }
+        let shrunk_from = plan.actions.len();
+        let (final_plan, final_report) = if shrink && !plan.actions.is_empty() {
+            let minimal = shrink_plan(cfg, seed, &plan, mutation);
+            let rerun = run_once(cfg, &minimal, seed, mutation);
+            (minimal, rerun)
+        } else {
+            (plan, report)
+        };
+        self.counterexamples.push(Counterexample::new(
+            cfg,
+            seed,
+            mutation,
+            &final_plan,
+            shrunk_from,
+            &final_report,
+        ));
+    }
+}
+
+/// Sweeps seeded random schedules: for each seed, generates a fault plan
+/// from the enabled classes and runs the scenario under it.
+pub fn sweep(opts: &CheckOptions) -> CheckReport {
+    let mut out = CheckReport::default();
+    for seed in opts.seed_start..opts.seed_start.saturating_add(opts.seeds) {
+        let plan = FaultPlan::random(&opts.config, opts.classes, seed);
+        let report = run_once(&opts.config, &plan, seed, opts.mutation);
+        out.random_schedules += 1;
+        out.gestures += report.gestures;
+        out.committed += report.committed;
+        if !report.violations.is_empty() {
+            out.record_failure(&opts.config, seed, opts.mutation, plan, report, opts.shrink);
+            if opts.stop_at_first {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Bounded exhaustive exploration: every sequence of `depth` fault
+/// decisions, drawn from a small alphabet — *no action*, *heal*, and
+/// every singleton partition (one site cut off from the rest) — placed
+/// at evenly spaced times across the gesture window. All plans run with
+/// the same `seed`, so schedules differ only in their fault decisions.
+///
+/// The schedule count is `(2 + sites)^depth`; `depth` is capped at 6 to
+/// keep that bounded.
+pub fn exhaustive(cfg: &ScenarioConfig, depth: u32, seed: u64) -> CheckReport {
+    assert!(depth <= 6, "exhaustive depth capped at 6");
+    let mut alphabet: Vec<Option<FaultKind>> = vec![None, Some(FaultKind::Heal)];
+    for k in 1..=cfg.sites {
+        let rest: Vec<u32> = (1..=cfg.sites).filter(|s| *s != k).collect();
+        alphabet.push(Some(FaultKind::Partition {
+            a: vec![k],
+            b: rest,
+        }));
+    }
+    let window = (cfg.horizon_ms() / (u64::from(depth) + 1)).max(1);
+    let total = (alphabet.len() as u64).pow(depth);
+    let mut out = CheckReport::default();
+    for index in 0..total {
+        let mut actions = Vec::new();
+        let mut rem = index;
+        for slot in 0..depth {
+            let choice = (rem % alphabet.len() as u64) as usize;
+            rem /= alphabet.len() as u64;
+            if let Some(kind) = alphabet[choice].clone() {
+                actions.push(FaultAction {
+                    at_ms: (u64::from(slot) + 1) * window,
+                    kind,
+                });
+            }
+        }
+        let plan = FaultPlan { actions };
+        let report = run_once(cfg, &plan, seed, None);
+        out.exhaustive_schedules += 1;
+        out.gestures += report.gestures;
+        out.committed += report.committed;
+        if !report.violations.is_empty() {
+            out.record_failure(cfg, seed, None, plan, report, true);
+        }
+    }
+    out
+}
+
+/// The CI smoke report: bounded random + exhaustive exploration with a
+/// machine-checkable verdict.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SmokeReport {
+    /// Random schedules explored.
+    pub random_schedules: u64,
+    /// Exhaustive schedules explored.
+    pub exhaustive_schedules: u64,
+    /// Total schedules explored.
+    pub schedules: u64,
+    /// Gestures submitted across all schedules.
+    pub gestures: u64,
+    /// Transactions committed across all schedules.
+    pub committed: u64,
+    /// Failing schedules found (must be 0 on a healthy engine).
+    pub violations: u64,
+    /// `violations == 0`.
+    pub ok: bool,
+}
+
+/// The bounded CI gate: 512 seeded random partition/jitter schedules over
+/// the default 3-site scenario, plus one exhaustively enumerated 3-site
+/// configuration (125 fault decision sequences). Partitions-only — every
+/// oracle, including losslessness, applies to every schedule.
+pub fn smoke() -> SmokeReport {
+    let random_cfg = ScenarioConfig {
+        txns_per_site: 3,
+        ..ScenarioConfig::default()
+    };
+    let opts = CheckOptions {
+        config: random_cfg,
+        classes: FaultClasses::partitions_only(),
+        seeds: 512,
+        seed_start: 1,
+        shrink: false,
+        stop_at_first: false,
+        mutation: None,
+    };
+    let mut report = sweep(&opts);
+    let exhaustive_cfg = ScenarioConfig {
+        objects: 1,
+        txns_per_site: 2,
+        ..ScenarioConfig::default()
+    };
+    report.merge(exhaustive(&exhaustive_cfg, 3, 1));
+    SmokeReport {
+        random_schedules: report.random_schedules,
+        exhaustive_schedules: report.exhaustive_schedules,
+        schedules: report.random_schedules + report.exhaustive_schedules,
+        gestures: report.gestures,
+        committed: report.committed,
+        violations: report.violations,
+        ok: report.violations == 0,
+    }
+}

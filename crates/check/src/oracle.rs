@@ -1,0 +1,414 @@
+//! Invariant oracles: pluggable checks over a finished (or stepping) run.
+//!
+//! Each oracle is a pure function over data the harness extracts from the
+//! world — engine event logs, view notification ledgers, committed-state
+//! digests, GC watermarks — so every check is unit-testable without a
+//! simulation.
+//!
+//! Oracles are layered by what a fault plan permits:
+//!
+//! - **Always**: convergence, no-commit-rollback, pessimistic
+//!   monotonicity, GC watermark, bounded-step quiescence.
+//! - **Kill-free plans only**: pessimistic losslessness,
+//!   notified-values-are-committed, optimistic superseded-or-committed,
+//!   strict per-site quiescence. §3.4 recovery may abort in-doubt
+//!   transactions of a failed site, so these cannot be demanded under
+//!   fail-stop kills.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use decaf_core::{CommittedDigest, EngineEvent, GcWatermark, ViewLedgerEntry, ViewLedgerKind};
+use decaf_vt::VirtualTime;
+use serde::{Deserialize, Serialize};
+
+/// Which invariant a violation breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OracleKind {
+    /// Live replicas disagree on a committed value at quiescence.
+    Convergence,
+    /// A transaction observed committed at a site was later rolled back
+    /// there.
+    NoCommitRollback,
+    /// A pessimistic view's notifications were not strictly VT-increasing.
+    PessMonotonic,
+    /// A pessimistic view missed a committed update to a watched object.
+    PessLossless,
+    /// A pessimistic view was notified of a VT that never committed at
+    /// its site.
+    NotifiedCommitted,
+    /// An optimistic view's last guess was neither superseded nor
+    /// commit-confirmed, or a commit notification did not match its
+    /// snapshot.
+    OptSettled,
+    /// Garbage collection advanced past the pessimistic-view frontier —
+    /// history a straggler view still needs was discarded.
+    GcWatermark,
+    /// The run failed to drain: the step budget was exhausted, or a live
+    /// site still held undelivered work at the end.
+    Quiescence,
+}
+
+impl fmt::Display for OracleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OracleKind::Convergence => "convergence",
+            OracleKind::NoCommitRollback => "no-commit-rollback",
+            OracleKind::PessMonotonic => "pess-monotonic",
+            OracleKind::PessLossless => "pess-lossless",
+            OracleKind::NotifiedCommitted => "notified-committed",
+            OracleKind::OptSettled => "opt-settled",
+            OracleKind::GcWatermark => "gc-watermark",
+            OracleKind::Quiescence => "quiescence",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One invariant violation found by an oracle.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// The broken invariant.
+    pub oracle: OracleKind,
+    /// The site the violation was observed at, when site-local.
+    pub site: Option<u32>,
+    /// Human-readable specifics (VTs, digests, counts).
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.site {
+            Some(s) => write!(f, "[{}] site {}: {}", self.oracle, s, self.detail),
+            None => write!(f, "[{}] {}", self.oracle, self.detail),
+        }
+    }
+}
+
+/// Per-step oracle: no commit is ever rolled back. Walks a site-stamped
+/// engine event log in order; a `TxnAborted` for a VT previously reported
+/// `TxnCommitted` *at the same site* is a violation.
+pub fn check_no_commit_rollback(events: &[(u32, EngineEvent)]) -> Vec<Violation> {
+    let mut committed: BTreeSet<(u32, VirtualTime)> = BTreeSet::new();
+    let mut out = Vec::new();
+    for (site, event) in events {
+        match event {
+            EngineEvent::TxnCommitted { vt, .. } => {
+                committed.insert((*site, *vt));
+            }
+            EngineEvent::TxnAborted { vt, .. } => {
+                if committed.contains(&(*site, *vt)) {
+                    out.push(Violation {
+                        oracle: OracleKind::NoCommitRollback,
+                        site: Some(*site),
+                        detail: format!("txn {vt:?} committed and later aborted"),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Pessimistic-view oracles over one view's notification ledger.
+///
+/// Monotonicity (strictly increasing update VTs, no commit entries) is
+/// checked always. When `committed` is provided (kill-free plans), the
+/// update set must *equal* the set of committed VTs the site observed in
+/// the checked window: a missing VT is a losslessness violation (§4.2), a
+/// surplus VT is a notification of something that never committed.
+pub fn check_pess_view(
+    site: u32,
+    entries: &[ViewLedgerEntry],
+    committed: Option<&BTreeSet<VirtualTime>>,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut last: Option<VirtualTime> = None;
+    let mut notified: BTreeSet<VirtualTime> = BTreeSet::new();
+    for e in entries {
+        match e.kind {
+            ViewLedgerKind::Update(_) => {
+                if let Some(prev) = last {
+                    if e.ts <= prev {
+                        out.push(Violation {
+                            oracle: OracleKind::PessMonotonic,
+                            site: Some(site),
+                            detail: format!("update at {:?} after {:?}", e.ts, prev),
+                        });
+                    }
+                }
+                last = Some(e.ts);
+                notified.insert(e.ts);
+            }
+            ViewLedgerKind::Commit => out.push(Violation {
+                oracle: OracleKind::PessMonotonic,
+                site: Some(site),
+                detail: format!(
+                    "commit notification at {:?} on a pessimistic view (only \
+                     committed updates are ever shown)",
+                    e.ts
+                ),
+            }),
+        }
+    }
+    if let Some(committed) = committed {
+        for vt in committed.difference(&notified) {
+            out.push(Violation {
+                oracle: OracleKind::PessLossless,
+                site: Some(site),
+                detail: format!("committed update {vt:?} never notified"),
+            });
+        }
+        for vt in notified.difference(committed) {
+            out.push(Violation {
+                oracle: OracleKind::NotifiedCommitted,
+                site: Some(site),
+                detail: format!("notified {vt:?}, which never committed at this site"),
+            });
+        }
+    }
+    out
+}
+
+/// Optimistic-view oracle over one view's notification ledger (§4.1).
+///
+/// Structure is checked always: every commit notification must confirm
+/// the most recent update's snapshot VT. Under `strict` (kill-free plans,
+/// evaluated at quiescence) the final entry must be a commit — every
+/// optimistic guess was eventually superseded by a later update or
+/// confirmed committed, with nothing left dangling.
+pub fn check_opt_view(site: u32, entries: &[ViewLedgerEntry], strict: bool) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut last_update: Option<VirtualTime> = None;
+    for e in entries {
+        match e.kind {
+            ViewLedgerKind::Update(_) => last_update = Some(e.ts),
+            ViewLedgerKind::Commit => match last_update {
+                Some(ts) if ts == e.ts => last_update = None,
+                Some(ts) => out.push(Violation {
+                    oracle: OracleKind::OptSettled,
+                    site: Some(site),
+                    detail: format!("commit at {:?} does not match latest update {ts:?}", e.ts),
+                }),
+                None => out.push(Violation {
+                    oracle: OracleKind::OptSettled,
+                    site: Some(site),
+                    detail: format!("commit at {:?} without a preceding update", e.ts),
+                }),
+            },
+        }
+    }
+    if strict {
+        if let Some(e) = entries.last() {
+            if !matches!(e.kind, ViewLedgerKind::Commit) {
+                out.push(Violation {
+                    oracle: OracleKind::OptSettled,
+                    site: Some(site),
+                    detail: format!(
+                        "final update {:?} neither superseded nor committed at quiescence",
+                        e.ts
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Convergence oracle: every live replica of one logical object agrees on
+/// the latest committed value — same commit VT, same structural digest.
+pub fn check_convergence(
+    object: usize,
+    digests: &[(u32, Option<CommittedDigest>)],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let Some((ref_site, reference)) = digests.first().copied() else {
+        return out;
+    };
+    for (site, digest) in digests.iter().skip(1) {
+        if *digest != reference {
+            out.push(Violation {
+                oracle: OracleKind::Convergence,
+                site: Some(*site),
+                detail: format!(
+                    "object #{object}: {digest:?} differs from site {ref_site}'s {reference:?}"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// GC straggler oracle: the last collection sweep at a site never
+/// discarded history at or above the pessimistic-view frontier it
+/// recorded at sweep time.
+pub fn check_gc(site: u32, gc: Option<GcWatermark>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if let Some(gc) = gc {
+        if let Some(frontier) = gc.pess_frontier {
+            if gc.low > frontier {
+                out.push(Violation {
+                    oracle: OracleKind::GcWatermark,
+                    site: Some(site),
+                    detail: format!(
+                        "gc low watermark {:?} passed pessimistic frontier {frontier:?} \
+                         ({} entries discarded)",
+                        gc.low, gc.discarded
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decaf_core::ViewMode;
+    use decaf_vt::SiteId;
+
+    fn vt(l: u64, s: u32) -> VirtualTime {
+        VirtualTime::new(l, SiteId(s))
+    }
+
+    fn upd(l: u64, s: u32) -> ViewLedgerEntry {
+        ViewLedgerEntry {
+            ts: vt(l, s),
+            kind: ViewLedgerKind::Update(ViewMode::Pessimistic),
+        }
+    }
+
+    fn opt_upd(l: u64, s: u32) -> ViewLedgerEntry {
+        ViewLedgerEntry {
+            ts: vt(l, s),
+            kind: ViewLedgerKind::Update(ViewMode::Optimistic),
+        }
+    }
+
+    fn commit(l: u64, s: u32) -> ViewLedgerEntry {
+        ViewLedgerEntry {
+            ts: vt(l, s),
+            kind: ViewLedgerKind::Commit,
+        }
+    }
+
+    #[test]
+    fn commit_rollback_is_flagged_per_site() {
+        let events = vec![
+            (
+                1,
+                EngineEvent::TxnCommitted {
+                    vt: vt(3, 1),
+                    local_origin: true,
+                },
+            ),
+            // Abort of the same VT at a *different* site is not this
+            // site's rollback.
+            (
+                2,
+                EngineEvent::TxnAborted {
+                    vt: vt(3, 1),
+                    local_origin: false,
+                    retried: false,
+                },
+            ),
+            (
+                1,
+                EngineEvent::TxnAborted {
+                    vt: vt(3, 1),
+                    local_origin: true,
+                    retried: false,
+                },
+            ),
+        ];
+        let v = check_no_commit_rollback(&events);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].oracle, OracleKind::NoCommitRollback);
+        assert_eq!(v[0].site, Some(1));
+    }
+
+    #[test]
+    fn pess_monotonic_and_lossless_pass_on_clean_ledger() {
+        let committed: BTreeSet<VirtualTime> = [vt(2, 1), vt(5, 2), vt(9, 1)].into_iter().collect();
+        let entries = vec![upd(2, 1), upd(5, 2), upd(9, 1)];
+        assert!(check_pess_view(1, &entries, Some(&committed)).is_empty());
+    }
+
+    #[test]
+    fn pess_missing_commit_is_lossless_violation() {
+        let committed: BTreeSet<VirtualTime> = [vt(2, 1), vt(5, 2)].into_iter().collect();
+        let entries = vec![upd(2, 1)];
+        let v = check_pess_view(3, &entries, Some(&committed));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].oracle, OracleKind::PessLossless);
+        // Without the committed set (kill plans) the same ledger passes.
+        assert!(check_pess_view(3, &entries, None).is_empty());
+    }
+
+    #[test]
+    fn pess_regression_and_phantom_are_flagged() {
+        let committed: BTreeSet<VirtualTime> = [vt(5, 2)].into_iter().collect();
+        let entries = vec![upd(5, 2), upd(3, 1)];
+        let kinds: BTreeSet<OracleKind> = check_pess_view(1, &entries, Some(&committed))
+            .into_iter()
+            .map(|v| v.oracle)
+            .collect();
+        assert!(kinds.contains(&OracleKind::PessMonotonic));
+        assert!(kinds.contains(&OracleKind::NotifiedCommitted));
+    }
+
+    #[test]
+    fn opt_ledger_must_end_committed_when_strict() {
+        let ok = vec![opt_upd(2, 1), opt_upd(4, 2), commit(4, 2)];
+        assert!(check_opt_view(1, &ok, true).is_empty());
+        let dangling = vec![opt_upd(2, 1), commit(2, 1), opt_upd(4, 2)];
+        let v = check_opt_view(1, &dangling, true);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].oracle, OracleKind::OptSettled);
+        // Non-strict (kill plans): a dangling final guess is tolerated,
+        // but a mismatched commit never is.
+        assert!(check_opt_view(1, &dangling, false).is_empty());
+        let mismatched = vec![opt_upd(2, 1), commit(9, 9)];
+        assert_eq!(check_opt_view(1, &mismatched, false).len(), 1);
+    }
+
+    #[test]
+    fn convergence_compares_digests_across_sites() {
+        let d = CommittedDigest {
+            vt: vt(7, 2),
+            hash: 42,
+        };
+        let same = vec![(1, Some(d)), (2, Some(d)), (3, Some(d))];
+        assert!(check_convergence(0, &same).is_empty());
+        let other = CommittedDigest {
+            vt: vt(7, 2),
+            hash: 43,
+        };
+        let diverged = vec![(1, Some(d)), (2, Some(other))];
+        let v = check_convergence(1, &diverged);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].oracle, OracleKind::Convergence);
+        assert_eq!(v[0].site, Some(2));
+    }
+
+    #[test]
+    fn gc_watermark_must_stay_below_pess_frontier() {
+        let ok = GcWatermark {
+            low: vt(4, 1),
+            pess_frontier: Some(vt(4, 1)),
+            discarded: 10,
+        };
+        assert!(check_gc(1, Some(ok)).is_empty());
+        assert!(check_gc(1, None).is_empty());
+        let bad = GcWatermark {
+            low: vt(9, 1),
+            pess_frontier: Some(vt(4, 1)),
+            discarded: 10,
+        };
+        let v = check_gc(2, Some(bad));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].oracle, OracleKind::GcWatermark);
+    }
+}

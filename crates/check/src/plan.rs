@@ -1,0 +1,215 @@
+//! Fault plans: the schedule side of an explored run.
+//!
+//! A [`FaultPlan`] is a time-ordered list of fault injections applied to
+//! the simulated network while the workload runs. Plans are plain data —
+//! serializable into counterexample artifacts, shrinkable by delta
+//! debugging, and replayable bit-for-bit.
+
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::config::ScenarioConfig;
+
+/// One fault to inject.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Cut the network into two groups; cross-group traffic is parked
+    /// (delayed, not lost — the paper assumes reliable FIFO links) until
+    /// the next [`FaultKind::Heal`]. Starting a new partition while one
+    /// is active heals the old cut first.
+    Partition {
+        /// Site ids on one side of the cut.
+        a: Vec<u32>,
+        /// Site ids on the other side.
+        b: Vec<u32>,
+    },
+    /// Heal the active partition, releasing parked traffic. No-op when
+    /// nothing is cut.
+    Heal,
+    /// Fail-stop the site: its in-flight traffic is dropped and every
+    /// other site is notified (§3.4 failure model). Kills of site 1 or of
+    /// an already-dead site are ignored by the harness.
+    Kill {
+        /// The victim site id.
+        site: u32,
+    },
+}
+
+/// A fault scheduled at a point in the run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultAction {
+    /// When to inject, in simulated ms after the gesture phase starts.
+    pub at_ms: u64,
+    /// What to inject.
+    pub kind: FaultKind,
+}
+
+/// A time-ordered fault schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Actions in non-decreasing `at_ms` order.
+    pub actions: Vec<FaultAction>,
+}
+
+/// Which fault classes a plan generator may draw from. Latency jitter
+/// (message delay / cross-link reorder) is part of the scenario config,
+/// not the plan: it applies to every message, seeded per run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultClasses {
+    /// Allow partition/heal actions.
+    pub partitions: bool,
+    /// Allow fail-stop kills (keeping at least two survivors).
+    pub kills: bool,
+}
+
+impl FaultClasses {
+    /// Partitions and heals only — every message is eventually delivered
+    /// and no site dies, so all oracles (including losslessness) apply.
+    pub fn partitions_only() -> Self {
+        FaultClasses {
+            partitions: true,
+            kills: false,
+        }
+    }
+
+    /// Every fault class.
+    pub fn all() -> Self {
+        FaultClasses {
+            partitions: true,
+            kills: true,
+        }
+    }
+
+    /// No faults: explores pure message-timing schedules.
+    pub fn none() -> Self {
+        FaultClasses {
+            partitions: false,
+            kills: false,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: no injected faults (timing noise still applies).
+    pub fn quiet() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan fail-stops any site. Kill plans run a reduced
+    /// oracle set: §3.4 recovery may abort in-doubt transactions, so
+    /// losslessness and settled-guess oracles only apply to kill-free
+    /// plans.
+    pub fn has_kills(&self) -> bool {
+        self.actions
+            .iter()
+            .any(|a| matches!(a.kind, FaultKind::Kill { .. }))
+    }
+
+    /// Generates a seeded random plan for `cfg`, drawing up to four
+    /// actions from the enabled `classes` at times inside the gesture
+    /// window. The same `(cfg, classes, seed)` always yields the same
+    /// plan.
+    pub fn random(cfg: &ScenarioConfig, classes: FaultClasses, seed: u64) -> FaultPlan {
+        if !classes.partitions && !classes.kills {
+            return FaultPlan::quiet();
+        }
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xfa17_5eed_0bad_cafe);
+        let horizon = cfg.horizon_ms();
+        let n = rng.gen_range(0..=4u32);
+        let max_kills = cfg.sites.saturating_sub(2);
+        let mut kills = 0u32;
+        let mut actions = Vec::new();
+        for _ in 0..n {
+            let at_ms = rng.gen_range(0..=horizon);
+            let kind = if classes.kills && kills < max_kills && rng.gen_range(0..100u32) < 25 {
+                kills += 1;
+                // Site 1 anchors the fault timers and is never a victim.
+                FaultKind::Kill {
+                    site: rng.gen_range(2..=cfg.sites),
+                }
+            } else if classes.partitions && rng.gen_range(0..100u32) < 70 {
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                for s in 1..=cfg.sites {
+                    if rng.gen_bool(0.5) {
+                        a.push(s);
+                    } else {
+                        b.push(s);
+                    }
+                }
+                if a.is_empty() || b.is_empty() {
+                    FaultKind::Heal
+                } else {
+                    FaultKind::Partition { a, b }
+                }
+            } else {
+                FaultKind::Heal
+            };
+            actions.push(FaultAction { at_ms, kind });
+        }
+        // Stable: equal times keep generation order.
+        actions.sort_by_key(|a| a.at_ms);
+        FaultPlan { actions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_plans_are_deterministic_and_sorted() {
+        let cfg = ScenarioConfig::default();
+        for seed in 0..32 {
+            let p1 = FaultPlan::random(&cfg, FaultClasses::all(), seed);
+            let p2 = FaultPlan::random(&cfg, FaultClasses::all(), seed);
+            assert_eq!(p1, p2);
+            assert!(p1.actions.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+            assert!(p1.actions.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn disabled_classes_yield_quiet_plans() {
+        let cfg = ScenarioConfig::default();
+        let p = FaultPlan::random(&cfg, FaultClasses::none(), 7);
+        assert_eq!(p, FaultPlan::quiet());
+        assert!(!p.has_kills());
+    }
+
+    #[test]
+    fn partitions_only_never_kills() {
+        let cfg = ScenarioConfig::default();
+        for seed in 0..64 {
+            let p = FaultPlan::random(&cfg, FaultClasses::partitions_only(), seed);
+            assert!(!p.has_kills());
+        }
+    }
+
+    #[test]
+    fn plans_round_trip_through_json() {
+        let plan = FaultPlan {
+            actions: vec![
+                FaultAction {
+                    at_ms: 10,
+                    kind: FaultKind::Partition {
+                        a: vec![1],
+                        b: vec![2, 3],
+                    },
+                },
+                FaultAction {
+                    at_ms: 40,
+                    kind: FaultKind::Heal,
+                },
+                FaultAction {
+                    at_ms: 55,
+                    kind: FaultKind::Kill { site: 3 },
+                },
+            ],
+        };
+        let json = serde_json::to_string(&plan).expect("serialize");
+        let back: FaultPlan = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(plan, back);
+        assert!(back.has_kills());
+    }
+}

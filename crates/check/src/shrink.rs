@@ -1,0 +1,138 @@
+//! Counterexample shrinking: delta-debugging (`ddmin`) a failing fault
+//! plan down to a minimal schedule that still violates an oracle.
+//!
+//! Shrinking is *removal-only*: the result is always a subsequence of the
+//! input plan (never larger, never reordered), so a shrunk counterexample
+//! replays with the same scenario config and seed.
+
+use decaf_core::TestMutation;
+
+use crate::config::ScenarioConfig;
+use crate::harness::run_once;
+use crate::plan::{FaultAction, FaultPlan};
+
+/// Classic ddmin (Zeller & Hildebrandt) over a slice of fault actions.
+///
+/// `fails` must be deterministic. Returns a 1-minimal failing
+/// subsequence: removing any single remaining action makes the failure
+/// disappear. If the full input does not fail, it is returned unchanged.
+pub fn ddmin<F>(input: &[FaultAction], fails: F) -> Vec<FaultAction>
+where
+    F: Fn(&[FaultAction]) -> bool,
+{
+    if !fails(input) {
+        return input.to_vec();
+    }
+    if fails(&[]) {
+        return Vec::new();
+    }
+    let mut cur = input.to_vec();
+    let mut n = 2usize;
+    while cur.len() >= 2 {
+        let chunk = cur.len().div_ceil(n);
+        let mut reduced = false;
+        let mut lo = 0;
+        while lo < cur.len() {
+            let hi = (lo + chunk).min(cur.len());
+            // Try the complement of chunk [lo, hi): a strictly smaller
+            // subsequence, preserving order.
+            let complement: Vec<FaultAction> =
+                cur[..lo].iter().chain(cur[hi..].iter()).cloned().collect();
+            if fails(&complement) {
+                cur = complement;
+                n = (n - 1).max(2);
+                reduced = true;
+                break;
+            }
+            lo = hi;
+        }
+        if !reduced {
+            if n >= cur.len() {
+                break;
+            }
+            n = (n * 2).min(cur.len());
+        }
+    }
+    cur
+}
+
+/// Shrinks `plan` against the real harness: a candidate "fails" when
+/// [`run_once`] with the same `(cfg, seed, mutation)` reports at least
+/// one violation. Determinism of the harness makes the predicate stable,
+/// so the returned plan is a minimal schedule that still fails.
+pub fn shrink_plan(
+    cfg: &ScenarioConfig,
+    seed: u64,
+    plan: &FaultPlan,
+    mutation: Option<TestMutation>,
+) -> FaultPlan {
+    let fails = |actions: &[FaultAction]| {
+        let candidate = FaultPlan {
+            actions: actions.to_vec(),
+        };
+        !run_once(cfg, &candidate, seed, mutation)
+            .violations
+            .is_empty()
+    };
+    FaultPlan {
+        actions: ddmin(&plan.actions, fails),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultKind;
+
+    fn heal_at(at_ms: u64) -> FaultAction {
+        FaultAction {
+            at_ms,
+            kind: FaultKind::Heal,
+        }
+    }
+
+    #[test]
+    fn ddmin_isolates_a_single_culprit() {
+        let input: Vec<FaultAction> = (0..16).map(heal_at).collect();
+        let fails = |acts: &[FaultAction]| acts.iter().any(|a| a.at_ms == 7);
+        let out = ddmin(&input, fails);
+        assert_eq!(out, vec![heal_at(7)]);
+    }
+
+    #[test]
+    fn ddmin_finds_a_minimal_interacting_pair() {
+        let input: Vec<FaultAction> = (0..12).map(heal_at).collect();
+        let fails = |acts: &[FaultAction]| {
+            acts.iter().any(|a| a.at_ms == 3) && acts.iter().any(|a| a.at_ms == 9)
+        };
+        let out = ddmin(&input, fails);
+        assert_eq!(out, vec![heal_at(3), heal_at(9)]);
+    }
+
+    #[test]
+    fn ddmin_never_grows_and_preserves_order() {
+        let input: Vec<FaultAction> = (0..9).map(|i| heal_at(i * 10)).collect();
+        let fails = |acts: &[FaultAction]| acts.len() >= 4;
+        let out = ddmin(&input, fails);
+        assert!(out.len() <= input.len());
+        assert!(out.windows(2).all(|w| w[0].at_ms < w[1].at_ms));
+        assert!(fails(&out));
+        // Result is a subsequence of the input.
+        let mut it = input.iter();
+        assert!(out.iter().all(|a| it.any(|b| b == a)));
+    }
+
+    #[test]
+    fn ddmin_returns_input_when_it_does_not_fail() {
+        let input: Vec<FaultAction> = (0..4).map(heal_at).collect();
+        let out = ddmin(&input, |_| false);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn ddmin_returns_empty_when_everything_fails() {
+        let input: Vec<FaultAction> = (0..4).map(heal_at).collect();
+        let out = ddmin(&input, |_| true);
+        assert!(out.is_empty());
+    }
+}

@@ -39,6 +39,10 @@ pub struct SiteConfig {
     /// Whether the delegate-commit optimization (§3.1) is enabled — the
     /// `a1_delegate` ablation turns it off.
     pub delegate_enabled: bool,
+    /// Whether view proxies record a notification ledger for the
+    /// model-checking oracles (see [`crate::ViewLedgerEntry`]). Off by
+    /// default: the ledger grows with every delivery.
+    pub view_ledger: bool,
 }
 
 impl Default for SiteConfig {
@@ -47,6 +51,7 @@ impl Default for SiteConfig {
             selector: PrimarySelector::default(),
             retry_budget: 64,
             delegate_enabled: true,
+            view_ledger: false,
         }
     }
 }
@@ -241,6 +246,12 @@ pub struct Site {
     /// Transactions aborted by a primary failure, re-executed after the
     /// graph repair commits (§3.4).
     pub(crate) retry_after_repair: Vec<(u64, Box<dyn Transaction>)>,
+
+    /// Bookkeeping of the most recent GC sweep, for the checker's
+    /// straggler-view oracle (see [`crate::GcWatermark`]).
+    pub(crate) last_gc: Option<crate::oracle::GcWatermark>,
+    /// Seeded protocol bug, injected only by checker self-tests.
+    pub(crate) mutation: Option<crate::oracle::TestMutation>,
 }
 
 impl fmt::Debug for Site {
@@ -293,6 +304,8 @@ impl Site {
             consensus: HashMap::new(),
             next_ballot: 0,
             retry_after_repair: Vec::new(),
+            last_gc: None,
+            mutation: None,
         }
     }
 
@@ -721,6 +734,22 @@ impl Site {
             obj.graph_reservations.gc(low);
         }
         self.stats.gc_discarded += discarded as u64;
+        // Record the sweep for the checker's straggler-view oracle. The
+        // pessimistic frontier is recomputed here independently of the
+        // `low` fold above, so `low <= pess_frontier` is a genuine
+        // cross-check rather than true by construction.
+        let mut pess_frontier: Option<VirtualTime> = None;
+        for proxy in self.views.values() {
+            if proxy.mode == ViewMode::Pessimistic {
+                let f = proxy.last_notified_vt;
+                pess_frontier = Some(pess_frontier.map_or(f, |p| p.min(f)));
+            }
+        }
+        self.last_gc = Some(crate::oracle::GcWatermark {
+            low,
+            pess_frontier,
+            discarded: discarded as u64,
+        });
         if discarded > 0 {
             self.trace_emit(
                 decaf_trace::TraceKind::GcSweep,

@@ -203,6 +203,12 @@ impl Site {
                 guesses,
                 reads,
             });
+            if self.config.view_ledger {
+                proxy.ledger.push(crate::oracle::ViewLedgerEntry {
+                    ts,
+                    kind: crate::oracle::ViewLedgerKind::Update(ViewMode::Optimistic),
+                });
+            }
             self.stats.opt_notifications += 1;
             self.trace_emit(TraceKind::ViewOptimistic, Some(ts), None, Some(vid.0));
             self.events.push(EngineEvent::ViewUpdated {
@@ -242,6 +248,12 @@ impl Site {
         let proxy = self.views.get_mut(&vid).expect("checked above");
         let snap = proxy.opt.take().expect("checked above");
         proxy.view.commit();
+        if self.config.view_ledger {
+            proxy.ledger.push(crate::oracle::ViewLedgerEntry {
+                ts: snap.ts,
+                kind: crate::oracle::ViewLedgerKind::Commit,
+            });
+        }
         self.snap_tokens.remove(&snap.token);
         self.stats.opt_commits += 1;
         self.trace_emit(TraceKind::ViewCommitted, Some(snap.ts), None, Some(vid.0));
@@ -269,6 +281,8 @@ impl Site {
         updates: &[(ObjectName, VirtualTime)],
         committed: bool,
     ) {
+        let committed =
+            committed && self.mutation != Some(crate::oracle::TestMutation::DropPessCommitNotice);
         let mut touched_views: BTreeSet<ViewId> = BTreeSet::new();
         for (obj, t_r) in updates {
             for (vid, point) in self.watchers_of(*obj, ViewMode::Pessimistic) {
@@ -435,6 +449,12 @@ impl Site {
             proxy.view.update(&notification);
             let spawned = notification.spawned.into_inner();
             proxy.last_notified_vt = ts;
+            if self.config.view_ledger {
+                proxy.ledger.push(crate::oracle::ViewLedgerEntry {
+                    ts,
+                    kind: crate::oracle::ViewLedgerKind::Update(ViewMode::Pessimistic),
+                });
+            }
             for o in &changed {
                 if let Some(cur) = self.store.get(*o).ok().and_then(|m| m.values.current()) {
                     proxy.last_seen.insert(*o, cur.vt);
@@ -500,6 +520,9 @@ impl Site {
         vt: VirtualTime,
         coverage: &BTreeMap<ObjectName, VirtualTime>,
     ) {
+        // Seeded bug (checker self-test): drop the commit notice, so the
+        // snapshot never becomes deliverable — §4.2 losslessness broken.
+        let drop_commit = self.mutation == Some(crate::oracle::TestMutation::DropPessCommitNotice);
         let vids: Vec<ViewId> = self.views.keys().copied().collect();
         for vid in vids {
             let Some(proxy) = self.views.get_mut(&vid) else {
@@ -508,7 +531,9 @@ impl Site {
             match proxy.mode {
                 ViewMode::Pessimistic => {
                     if let Some(snap) = proxy.pess.get_mut(&vt) {
-                        snap.committed = true;
+                        if !drop_commit {
+                            snap.committed = true;
+                        }
                     }
                     // The commit may change `lo` for denied guesses of the
                     // earliest pending snapshot: revise and retry.
@@ -538,6 +563,11 @@ impl Site {
     /// The transaction at `vt` aborted; `objects` are the local objects it
     /// had written.
     pub(crate) fn on_aborted_update(&mut self, vt: VirtualTime, objects: &[ObjectName]) {
+        // Seeded bug (checker self-test): never rerun after a rollback, so
+        // the optimistic view keeps showing rolled-back state — §4.1
+        // superseded-or-committed broken.
+        let skip_renotify =
+            self.mutation == Some(crate::oracle::TestMutation::SkipRollbackRenotify);
         let vids: Vec<ViewId> = self.views.keys().copied().collect();
         for vid in vids {
             let Some(proxy) = self.views.get_mut(&vid) else {
@@ -566,7 +596,7 @@ impl Site {
                         chain.extend(self.store.ancestors(*o));
                         chain.iter().any(|c| proxy.attached.contains(c))
                     });
-                    if depended || watches {
+                    if (depended || watches) && !skip_renotify {
                         let proxy = self.views.get_mut(&vid).expect("checked above");
                         for o in objects {
                             let mut chain = vec![*o];

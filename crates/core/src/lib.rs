@@ -69,6 +69,7 @@ mod error;
 mod graph;
 mod message;
 mod object;
+mod oracle;
 mod persist;
 mod stats;
 mod store;
@@ -86,6 +87,7 @@ pub use message::{
     TreeSnapshot, TxnPropagate, UpdateItem, WireOp,
 };
 pub use object::{Blueprint, ObjectKind, ObjectName};
+pub use oracle::{CommittedDigest, GcWatermark, TestMutation, ViewLedgerEntry, ViewLedgerKind};
 pub use persist::{Checkpoint, CheckpointError, ObjectCheckpoint};
 pub use stats::{SiteStats, TransportStats};
 // Re-exported so engine users can enable tracing ([`Site::set_trace_sink`])

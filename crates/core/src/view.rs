@@ -324,6 +324,9 @@ pub(crate) struct ViewProxy {
     /// `(object, value VT)` pairs shown by the last delivered optimistic
     /// notification, for update-inconsistency accounting (§5.1.2).
     pub last_delivered_reads: Vec<(ObjectName, VirtualTime)>,
+    /// Notification ledger for the model-checking oracles; populated only
+    /// when [`SiteConfig::view_ledger`](crate::SiteConfig) is set.
+    pub ledger: Vec<crate::oracle::ViewLedgerEntry>,
 }
 
 impl fmt::Debug for ViewProxy {
@@ -356,6 +359,7 @@ impl ViewProxy {
             dirty: BTreeSet::new(),
             pending_ts: VirtualTime::ZERO,
             last_delivered_reads: Vec::new(),
+            ledger: Vec::new(),
         }
     }
 }

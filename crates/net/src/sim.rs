@@ -276,10 +276,15 @@ impl<M> Ord for Queued<M> {
 pub struct NetStats {
     /// Messages handed to [`SimNet::send`].
     pub sent: u64,
-    /// Messages delivered to a live site.
+    /// Messages delivered to a live site. With the duplication fault
+    /// enabled this can exceed `sent`.
     pub delivered: u64,
-    /// Messages discarded because an endpoint had failed.
+    /// Messages discarded because an endpoint had failed or a link was
+    /// severed (per-link breakdown via [`SimNet::dropped_on`]).
     pub dropped: u64,
+    /// Extra copies injected by the duplication fault
+    /// ([`SimNet::set_duplication`]); not counted in `sent`.
+    pub duplicated: u64,
 }
 
 /// The deterministic event-driven network.
@@ -313,6 +318,18 @@ pub struct SimNet<M> {
     /// Bidirectionally severed links (network partition). Messages sent
     /// while a link is down are dropped; in-flight messages still arrive.
     down_links: HashSet<(SiteId, SiteId)>,
+    /// Active two-group partition, if any (see [`SimNet::partition`]).
+    partition: Option<(HashSet<SiteId>, HashSet<SiteId>)>,
+    /// Messages parked while a partition separates their endpoints, in
+    /// send order; redelivered FIFO on [`SimNet::heal`].
+    parked: Vec<(SiteId, SiteId, M)>,
+    /// Per-directed-link delivery-time floors keeping a heal's redelivered
+    /// batch FIFO with respect to later sends on the same link.
+    link_floor: HashMap<(SiteId, SiteId), SimTime>,
+    /// Per-(undirected)-link drop counters (see [`SimNet::dropped_on`]).
+    link_drops: HashMap<(SiteId, SiteId), u64>,
+    /// Message-duplication fault: probability plus a dedicated seeded RNG.
+    duplication: Option<(f64, SmallRng)>,
     stats: NetStats,
 }
 
@@ -327,6 +344,11 @@ impl<M> SimNet<M> {
             failed: HashSet::new(),
             fail_mode: FailMode::default(),
             down_links: HashSet::new(),
+            partition: None,
+            parked: Vec::new(),
+            link_floor: HashMap::new(),
+            link_drops: HashMap::new(),
+            duplication: None,
             stats: NetStats::default(),
         }
     }
@@ -352,19 +374,150 @@ impl<M> SimNet<M> {
     }
 
     /// Sends `msg` from `from` to `to`; it will be delivered after the
-    /// link's sampled latency. Messages involving failed sites are counted
-    /// as dropped.
-    pub fn send(&mut self, from: SiteId, to: SiteId, msg: M) {
+    /// link's sampled latency. Messages involving failed sites or a
+    /// severed link are counted as dropped; messages crossing an active
+    /// [`partition`](SimNet::partition) are parked until
+    /// [`heal`](SimNet::heal).
+    pub fn send(&mut self, from: SiteId, to: SiteId, msg: M)
+    where
+        M: Clone,
+    {
         self.stats.sent += 1;
         if self.failed.contains(&from)
             || self.failed.contains(&to)
             || self.down_links.contains(&link_key(from, to))
         {
-            self.stats.dropped += 1;
+            self.drop_on_link(from, to);
             return;
         }
-        let delay = self.latency.sample(from, to);
-        self.push(self.now + delay, Payload::Msg { from, to, msg });
+        if self.crosses_partition(from, to) {
+            self.parked.push((from, to, msg));
+            return;
+        }
+        let dup = match &mut self.duplication {
+            Some((frac, rng)) => rng.gen_bool(*frac).then(|| msg.clone()),
+            None => None,
+        };
+        self.schedule_msg(from, to, msg);
+        if let Some(copy) = dup {
+            self.stats.duplicated += 1;
+            self.schedule_msg(from, to, copy);
+        }
+    }
+
+    /// Schedules one message delivery, clamping to the per-link FIFO
+    /// floor. DECAF assumes reliable FIFO links (§3.4), so jitter varies
+    /// per-message delay but must never reorder a directed link: each
+    /// send raises the link's floor to its own delivery time, and later
+    /// sends that sample a shorter latency are clamped up to it. Equal
+    /// times deliver in schedule order (seq tiebreak), so clamped sends
+    /// stay behind the messages ahead of them — including a heal's
+    /// redelivered batch, which maintains the same floor.
+    fn schedule_msg(&mut self, from: SiteId, to: SiteId, msg: M) {
+        let mut at = self.now + self.latency.sample(from, to);
+        if let Some(&floor) = self.link_floor.get(&(from, to)) {
+            if at < floor {
+                at = floor;
+            }
+        }
+        self.link_floor.insert((from, to), at);
+        self.push(at, Payload::Msg { from, to, msg });
+    }
+
+    fn drop_on_link(&mut self, from: SiteId, to: SiteId) {
+        self.stats.dropped += 1;
+        *self.link_drops.entry(link_key(from, to)).or_insert(0) += 1;
+    }
+
+    /// Messages dropped so far on the (undirected) link between `a` and
+    /// `b` — failed-endpoint and severed-link drops broken out per link;
+    /// the aggregate is [`NetStats::dropped`].
+    pub fn dropped_on(&self, a: SiteId, b: SiteId) -> u64 {
+        *self.link_drops.get(&link_key(a, b)).unwrap_or(&0)
+    }
+
+    /// Partitions the network into two groups: sends between the groups
+    /// are *parked* (not dropped) until [`heal`](SimNet::heal) restores
+    /// connectivity. The DECAF protocol assumes reliable FIFO links with
+    /// fail-stop disconnection (§3.4), so a transient partition must delay
+    /// traffic, not lose it — unlike [`set_link_down`](SimNet::set_link_down),
+    /// which models loss. Messages already in flight when the partition
+    /// starts still arrive; intra-group traffic and traffic involving
+    /// sites in neither group are unaffected. Fail-stop notifications
+    /// ([`fail_site`](SimNet::fail_site)) model an out-of-band failure
+    /// detector and are not parked.
+    ///
+    /// Calling `partition` while one is active heals the old one first
+    /// (releasing its parked traffic), so a fault plan can move straight
+    /// from one cut to another.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two groups overlap.
+    pub fn partition(&mut self, group_a: &[SiteId], group_b: &[SiteId]) {
+        if self.partition.is_some() {
+            self.heal();
+        }
+        let a: HashSet<SiteId> = group_a.iter().copied().collect();
+        let b: HashSet<SiteId> = group_b.iter().copied().collect();
+        assert!(a.is_disjoint(&b), "partition groups must be disjoint");
+        self.partition = Some((a, b));
+    }
+
+    /// Heals an active partition, re-injecting every parked message with a
+    /// freshly sampled latency while preserving per-link FIFO order (each
+    /// directed link's deliveries keep their send order, and later sends
+    /// on that link cannot overtake the redelivered batch). No-op if no
+    /// partition is active.
+    pub fn heal(&mut self) {
+        self.partition = None;
+        let parked = std::mem::take(&mut self.parked);
+        for (from, to, msg) in parked {
+            if self.failed.contains(&from) || self.failed.contains(&to) {
+                self.drop_on_link(from, to);
+                continue;
+            }
+            self.schedule_msg(from, to, msg);
+        }
+    }
+
+    /// Whether a [`partition`](SimNet::partition) is currently active.
+    pub fn is_partitioned(&self) -> bool {
+        self.partition.is_some()
+    }
+
+    /// Number of messages currently parked by an active partition.
+    pub fn parked(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Whether a send `from -> to` would cross the active partition.
+    fn crosses_partition(&self, from: SiteId, to: SiteId) -> bool {
+        match &self.partition {
+            Some((a, b)) => {
+                (a.contains(&from) && b.contains(&to)) || (b.contains(&from) && a.contains(&to))
+            }
+            None => false,
+        }
+    }
+
+    /// Enables the message-duplication fault: each send is delivered an
+    /// extra time with probability `frac`, with independently sampled
+    /// latency, drawn from a RNG seeded with `seed`. Pass `frac = 0.0` to
+    /// disable. Duplicates count in [`NetStats::duplicated`] and
+    /// [`NetStats::delivered`] but not [`NetStats::sent`]; note that the
+    /// DECAF engine assumes reliable (exactly-once) links, so this fault
+    /// is for transport-level testing.
+    pub fn set_duplication(&mut self, frac: f64, seed: u64) {
+        assert!(
+            (0.0..=1.0).contains(&frac),
+            "duplication fraction must be in [0,1]"
+        );
+        self.duplication = if frac > 0.0 {
+            Some((frac, SmallRng::seed_from_u64(seed)))
+        } else {
+            None
+        };
     }
 
     /// Schedules a timer for `site`, expiring `delay` after the current
@@ -403,37 +556,43 @@ impl<M> SimNet<M> {
     /// detector).
     pub fn fail_site(&mut self, site: SiteId, observers: impl IntoIterator<Item = SiteId>) {
         self.failed.insert(site);
-        if self.fail_mode == FailMode::DropInFlight {
-            // Discard queued deliveries involving the failed site.
-            let drained = std::mem::take(&mut self.queue);
-            let mut dropped = 0;
-            self.queue = drained
-                .into_iter()
-                .filter(|q| match &q.payload {
-                    Payload::Msg { from, to, .. } if *from == site || *to == site => {
-                        dropped += 1;
-                        false
-                    }
-                    _ => true,
-                })
-                .collect();
-            self.stats.dropped += dropped;
-        } else {
-            // Only discard deliveries *to* the failed site.
-            let drained = std::mem::take(&mut self.queue);
-            let mut dropped = 0;
-            self.queue = drained
-                .into_iter()
-                .filter(|q| match &q.payload {
-                    Payload::Msg { to, .. } if *to == site => {
-                        dropped += 1;
-                        false
-                    }
-                    _ => true,
-                })
-                .collect();
-            self.stats.dropped += dropped;
+        // Discard queued deliveries involving the failed site: both
+        // directions in DropInFlight, inbound only in DeliverInFlight.
+        let drained = std::mem::take(&mut self.queue);
+        let mut kept = BinaryHeap::with_capacity(drained.len());
+        for q in drained {
+            let cut = match (&q.payload, self.fail_mode) {
+                (Payload::Msg { from, to, .. }, FailMode::DropInFlight) => {
+                    *from == site || *to == site
+                }
+                (Payload::Msg { to, .. }, FailMode::DeliverInFlight) => *to == site,
+                _ => false,
+            };
+            if cut {
+                if let Payload::Msg { from, to, .. } = &q.payload {
+                    let (from, to) = (*from, *to);
+                    self.drop_on_link(from, to);
+                }
+            } else {
+                kept.push(q);
+            }
         }
+        self.queue = kept;
+        // Parked partition traffic involving the failed site will never be
+        // deliverable; account for it now rather than at heal time.
+        let parked = std::mem::take(&mut self.parked);
+        self.parked = parked
+            .into_iter()
+            .filter(|(from, to, _)| {
+                if *from == site || *to == site {
+                    self.stats.dropped += 1;
+                    *self.link_drops.entry(link_key(*from, *to)).or_insert(0) += 1;
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect();
         for observer in observers {
             if observer == site || self.failed.contains(&observer) {
                 continue;
@@ -461,7 +620,7 @@ impl<M> SimNet<M> {
                     let from_dead =
                         self.fail_mode == FailMode::DropInFlight && self.failed.contains(&from);
                     if self.failed.contains(&to) || from_dead {
-                        self.stats.dropped += 1;
+                        self.drop_on_link(from, to);
                         continue;
                     }
                     self.stats.delivered += 1;
@@ -676,7 +835,7 @@ impl<M> SimTransport<M> {
     }
 }
 
-impl<M> Transport for SimTransport<M> {
+impl<M: Clone> Transport for SimTransport<M> {
     type Msg = M;
     type Endpoint = SimEndpoint<M>;
 
@@ -715,7 +874,7 @@ impl<M> Clone for SimEndpoint<M> {
     }
 }
 
-impl<M> TransportEndpoint for SimEndpoint<M> {
+impl<M: Clone> TransportEndpoint for SimEndpoint<M> {
     type Msg = M;
 
     fn site(&self) -> SiteId {
@@ -910,6 +1069,154 @@ mod tests {
         n.set_link_up(SiteId(1), SiteId(2));
         n.send(SiteId(1), SiteId(2), 5);
         assert!(matches!(n.step(), Some(Event::Deliver { msg: 5, .. })));
+    }
+
+    #[test]
+    fn partition_parks_and_heal_redelivers_in_fifo_order() {
+        let model = LatencyModel::uniform(SimTime::from_millis(10)).with_jitter(0.5, 3);
+        let mut n: SimNet<u32> = SimNet::new(model);
+        n.partition(&[SiteId(1)], &[SiteId(2), SiteId(3)]);
+        assert!(n.is_partitioned());
+        for msg in 1..=5 {
+            n.send(SiteId(1), SiteId(2), msg);
+        }
+        n.send(SiteId(2), SiteId(3), 99); // intra-group, unaffected
+        assert_eq!(n.parked(), 5);
+        assert!(matches!(n.step(), Some(Event::Deliver { msg: 99, .. })));
+        assert!(n.step().is_none(), "cross-partition traffic parked");
+        n.heal();
+        assert!(!n.is_partitioned());
+        assert_eq!(n.parked(), 0);
+        let mut order = Vec::new();
+        while let Some(Event::Deliver { msg, .. }) = n.step() {
+            order.push(msg);
+        }
+        assert_eq!(order, vec![1, 2, 3, 4, 5], "per-link FIFO across heal");
+        assert_eq!(n.stats().dropped, 0, "partitions delay, never lose");
+        assert_eq!(n.stats().delivered, 6);
+    }
+
+    #[test]
+    fn send_after_heal_cannot_overtake_redelivered_batch() {
+        // Huge jitter makes an overtake all but certain without the
+        // per-link floor: a post-heal send may sample a far smaller
+        // latency than a redelivered message did.
+        let model = LatencyModel::uniform(SimTime::from_millis(10)).with_jitter(0.9, 11);
+        let mut n: SimNet<u32> = SimNet::new(model);
+        n.partition(&[SiteId(1)], &[SiteId(2)]);
+        for msg in 1..=8 {
+            n.send(SiteId(1), SiteId(2), msg);
+        }
+        n.heal();
+        for msg in 9..=16 {
+            n.send(SiteId(1), SiteId(2), msg);
+        }
+        let mut order = Vec::new();
+        while let Some(Event::Deliver { msg, .. }) = n.step() {
+            order.push(msg);
+        }
+        assert_eq!(order, (1..=16).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn jitter_never_reorders_a_directed_link() {
+        // Many back-to-back sends on one link under heavy jitter: without
+        // the per-link FIFO floor, a later send sampling a small latency
+        // would overtake an earlier one that sampled a large latency.
+        let model = LatencyModel::uniform(SimTime::from_millis(10)).with_jitter(0.9, 7);
+        let mut n: SimNet<u32> = SimNet::new(model);
+        for msg in 0..64 {
+            n.send(SiteId(1), SiteId(2), msg);
+            // Messages on the reverse link and on other links are free to
+            // interleave however jitter dictates; only 1->2 is checked.
+            n.send(SiteId(2), SiteId(1), 1000 + msg);
+        }
+        let mut order = Vec::new();
+        while let Some(Event::Deliver { msg, to, .. }) = n.step() {
+            if to == SiteId(2) {
+                order.push(msg);
+            }
+        }
+        assert_eq!(order, (0..64).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn repartition_heals_previous_cut_first() {
+        let mut n = net(10);
+        n.partition(&[SiteId(1)], &[SiteId(2)]);
+        n.send(SiteId(1), SiteId(2), 1);
+        // Moving to a new cut releases the old cut's parked traffic.
+        n.partition(&[SiteId(1)], &[SiteId(3)]);
+        assert_eq!(n.parked(), 0);
+        assert!(matches!(n.step(), Some(Event::Deliver { msg: 1, .. })));
+        n.send(SiteId(1), SiteId(3), 2);
+        assert_eq!(n.parked(), 1);
+        n.heal();
+        assert!(matches!(n.step(), Some(Event::Deliver { msg: 2, .. })));
+    }
+
+    #[test]
+    fn failed_site_loses_its_parked_traffic() {
+        let mut n = net(10);
+        n.partition(&[SiteId(1)], &[SiteId(2)]);
+        n.send(SiteId(1), SiteId(2), 1);
+        n.send(SiteId(2), SiteId(1), 2);
+        n.fail_site(SiteId(2), []);
+        assert_eq!(n.parked(), 0, "undeliverable parked traffic discarded");
+        assert_eq!(n.stats().dropped, 2);
+        assert_eq!(n.dropped_on(SiteId(1), SiteId(2)), 2);
+        n.heal();
+        assert!(n.step().is_none());
+    }
+
+    #[test]
+    fn per_link_drop_counters_break_out_global_count() {
+        let mut n = net(10);
+        n.set_link_down(SiteId(1), SiteId(2));
+        n.send(SiteId(1), SiteId(2), 1); // dropped on 1-2
+        n.send(SiteId(2), SiteId(1), 2); // dropped on 1-2 (undirected)
+        n.fail_site(SiteId(3), []);
+        n.send(SiteId(4), SiteId(3), 3); // dropped on 3-4
+        assert_eq!(n.stats().dropped, 3);
+        assert_eq!(n.dropped_on(SiteId(1), SiteId(2)), 2);
+        assert_eq!(n.dropped_on(SiteId(3), SiteId(4)), 1);
+        assert_eq!(n.dropped_on(SiteId(1), SiteId(4)), 0);
+    }
+
+    #[test]
+    fn duplication_fault_injects_counted_extra_copies() {
+        let mut n = net(10);
+        n.set_duplication(1.0, 42);
+        for msg in 0..4 {
+            n.send(SiteId(1), SiteId(2), msg);
+        }
+        let mut delivered = Vec::new();
+        while let Some(Event::Deliver { msg, .. }) = n.step() {
+            delivered.push(msg);
+        }
+        assert_eq!(delivered.len(), 8, "every message delivered twice");
+        let s = n.stats();
+        assert_eq!((s.sent, s.duplicated, s.delivered), (4, 4, 8));
+        // Disable and confirm it stops.
+        n.set_duplication(0.0, 42);
+        n.send(SiteId(1), SiteId(2), 9);
+        assert!(matches!(n.step(), Some(Event::Deliver { msg: 9, .. })));
+        assert!(n.step().is_none());
+    }
+
+    #[test]
+    fn duplication_fault_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut n = net(5);
+            n.set_duplication(0.5, seed);
+            for msg in 0..32 {
+                n.send(SiteId(1), SiteId(2), msg);
+            }
+            while n.step().is_some() {}
+            n.stats().duplicated
+        };
+        assert_eq!(run(7), run(7), "same seed, same duplicates");
+        assert!(run(7) > 0, "p=0.5 over 32 sends should duplicate some");
     }
 
     #[test]

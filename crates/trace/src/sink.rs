@@ -38,6 +38,12 @@ pub struct TraceSink(Option<Arc<Shared>>);
 struct Shared {
     site: u32,
     epoch: Instant,
+    /// When `true`, [`TraceSink::emit`] stamps events from `manual_now_ns`
+    /// (a caller-driven clock) instead of `epoch` wall time, making
+    /// emission order a pure function of the run — the deterministic-
+    /// simulation mode the model checker needs for byte-identical dumps.
+    manual: bool,
+    manual_now_ns: AtomicU64,
     dropped: AtomicU64,
     queue_hwm: AtomicU64,
     inner: Mutex<Inner>,
@@ -149,9 +155,30 @@ impl TraceSink {
     /// An enabled sink for `site` retaining at most `capacity` events
     /// (drop-oldest beyond that). Capacity is clamped to at least 16.
     pub fn enabled(site: u32, capacity: usize) -> Self {
+        Self::build(site, capacity, false)
+    }
+
+    /// An enabled sink whose [`emit`](TraceSink::emit) stamps events from a
+    /// caller-driven clock ([`set_now_ns`](TraceSink::set_now_ns)) instead
+    /// of wall time.
+    ///
+    /// Components like the engine call `emit` internally with no way to
+    /// thread a timestamp through; under a deterministic simulation those
+    /// wall-clock stamps would differ between two identical runs. A manual
+    /// sink lets the simulation driver advance the clock to the current
+    /// simulated time before dispatching each event, so full-engine traces
+    /// become byte-identical across same-seed runs (the model checker's
+    /// determinism contract).
+    pub fn enabled_manual(site: u32, capacity: usize) -> Self {
+        Self::build(site, capacity, true)
+    }
+
+    fn build(site: u32, capacity: usize, manual: bool) -> Self {
         TraceSink(Some(Arc::new(Shared {
             site,
             epoch: Instant::now(),
+            manual,
+            manual_now_ns: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             queue_hwm: AtomicU64::new(0),
             inner: Mutex::new(Inner {
@@ -165,6 +192,18 @@ impl TraceSink {
         })))
     }
 
+    /// Advances the manual clock of a sink created with
+    /// [`enabled_manual`](TraceSink::enabled_manual); subsequent `emit`
+    /// calls are stamped with `ts_ns`. No-op on wall-clock or disabled
+    /// sinks.
+    pub fn set_now_ns(&self, ts_ns: u64) {
+        if let Some(shared) = &self.0 {
+            if shared.manual {
+                shared.manual_now_ns.store(ts_ns, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Whether this sink records anything.
     pub fn is_enabled(&self) -> bool {
         self.0.is_some()
@@ -175,11 +214,17 @@ impl TraceSink {
         self.0.as_ref().map(|s| s.site)
     }
 
-    /// Emits an event stamped with the sink's monotonic clock.
+    /// Emits an event stamped with the sink's monotonic clock (or the
+    /// manual clock, for sinks created with
+    /// [`enabled_manual`](TraceSink::enabled_manual)).
     #[inline]
     pub fn emit(&self, kind: TraceKind, vt: Option<(u64, u32)>, peer: Option<u32>, n: Option<u64>) {
         if let Some(shared) = &self.0 {
-            let ts_ns = shared.epoch.elapsed().as_nanos() as u64;
+            let ts_ns = if shared.manual {
+                shared.manual_now_ns.load(Ordering::Relaxed)
+            } else {
+                shared.epoch.elapsed().as_nanos() as u64
+            };
             shared.record(ts_ns, kind, vt, peer, n);
         }
     }
@@ -436,6 +481,23 @@ mod tests {
         b.emit_at(2, TraceKind::SiteFailed, None, Some(3), None);
         assert_eq!(a.snapshot().len(), 2);
         assert_eq!(b.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn manual_clock_stamps_emit_with_caller_time() {
+        let s = TraceSink::enabled_manual(3, 16);
+        s.emit(TraceKind::TxnBegin, Some((1, 3)), None, None);
+        s.set_now_ns(5_000);
+        s.emit(TraceKind::Commit, Some((1, 3)), None, None);
+        let evs = s.snapshot();
+        assert_eq!(evs[0].ts_ns, 0);
+        assert_eq!(evs[1].ts_ns, 5_000);
+        assert_eq!(s.summary().commit_lat_ns.max, 5_000);
+        // set_now_ns on a wall-clock sink is a documented no-op.
+        let wall = TraceSink::enabled(4, 16);
+        wall.set_now_ns(9);
+        let disabled = TraceSink::disabled();
+        disabled.set_now_ns(9);
     }
 
     #[test]

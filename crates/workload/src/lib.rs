@@ -573,6 +573,171 @@ mod tests {
     }
 }
 
+/// A guess-heavy transaction: reads *every* listed object before writing
+/// the target, maximizing the RC/RL guesses a single gesture registers
+/// (each stale or uncommitted read is one more guess to confirm).
+#[derive(Debug)]
+pub struct GuessHeavy {
+    /// Objects read before the write (local to the originating site).
+    pub reads: Vec<ObjectName>,
+    /// Target of the write.
+    pub write: ObjectName,
+    /// Increment added to the sum of the reads.
+    pub delta: i64,
+}
+
+impl Transaction for GuessHeavy {
+    fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+        let mut sum = 0i64;
+        for o in &self.reads {
+            sum = sum.wrapping_add(ctx.read_int(*o)?);
+        }
+        let base = ctx.read_int(self.write)?;
+        let _ = sum;
+        ctx.write_int(self.write, base + self.delta)
+    }
+}
+
+/// What a party submits on each gesture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnKind {
+    /// Blind writes of a running counter value (whiteboard-style).
+    BlindWrite,
+    /// Read-modify-write increments (conflict-prone).
+    ReadModifyWrite,
+    /// Reads of every watched object before an increment
+    /// (RC/RL/NC-guess-heavy; see [`GuessHeavy`]).
+    GuessHeavy,
+}
+
+/// One gesture drawn from a [`TxnMix`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MixOp {
+    /// Submit a transaction of this kind.
+    Txn(TxnKind),
+    /// (Re-)join the collaboration. Interpreted by drivers that model
+    /// membership churn (the checker); the fixed-party [`RateWorkload`]
+    /// treats it as a no-op gesture.
+    Join,
+    /// Leave the collaboration (same caveat as [`MixOp::Join`]).
+    Leave,
+}
+
+/// Integer weights for the seeded transaction mix.
+///
+/// A weight of zero removes that gesture class from the draw; at least one
+/// weight must be positive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MixWeights {
+    /// Read-modify-write increments.
+    pub increment: u32,
+    /// Blind writes.
+    pub blind_write: u32,
+    /// Guess-heavy multi-read transactions.
+    pub guess_heavy: u32,
+    /// Collaboration membership churn (alternating leave/join).
+    pub join_leave: u32,
+}
+
+impl Default for MixWeights {
+    /// A balanced mix: mostly conflict-prone increments, some blind
+    /// writes, some guess-heavy reads, occasional membership churn.
+    fn default() -> Self {
+        MixWeights {
+            increment: 4,
+            blind_write: 3,
+            guess_heavy: 2,
+            join_leave: 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum MixInner {
+    Single(TxnKind),
+    Weighted {
+        weights: MixWeights,
+        rng: SmallRng,
+        in_session: bool,
+    },
+}
+
+/// A seeded random generator of workload gestures, shared by the e-series
+/// benchmark bins and the `decaf-check` model checker.
+///
+/// [`TxnMix::single`] consumes **no** RNG draws, so single-kind workloads
+/// (the paper's E3/E4 benchmarks) are bit-for-bit identical to the old
+/// fixed-kind driver. [`TxnMix::seeded`] draws one weighted sample per
+/// gesture from its own [`SmallRng`], independent of arrival-time RNGs.
+#[derive(Debug, Clone)]
+pub struct TxnMix {
+    inner: MixInner,
+}
+
+impl TxnMix {
+    /// A mix that always yields `kind` (no randomness).
+    pub fn single(kind: TxnKind) -> Self {
+        TxnMix {
+            inner: MixInner::Single(kind),
+        }
+    }
+
+    /// A weighted mix drawing from a dedicated RNG seeded with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all weights are zero.
+    pub fn seeded(weights: MixWeights, seed: u64) -> Self {
+        let total =
+            weights.increment + weights.blind_write + weights.guess_heavy + weights.join_leave;
+        assert!(total > 0, "TxnMix weights must not all be zero");
+        TxnMix {
+            inner: MixInner::Weighted {
+                weights,
+                rng: SmallRng::seed_from_u64(seed),
+                in_session: true,
+            },
+        }
+    }
+
+    /// Draws the next gesture.
+    pub fn next_op(&mut self) -> MixOp {
+        match &mut self.inner {
+            MixInner::Single(kind) => MixOp::Txn(*kind),
+            MixInner::Weighted {
+                weights,
+                rng,
+                in_session,
+            } => {
+                let total = weights.increment
+                    + weights.blind_write
+                    + weights.guess_heavy
+                    + weights.join_leave;
+                let mut draw = rng.gen_range(0..total);
+                if draw < weights.increment {
+                    return MixOp::Txn(TxnKind::ReadModifyWrite);
+                }
+                draw -= weights.increment;
+                if draw < weights.blind_write {
+                    return MixOp::Txn(TxnKind::BlindWrite);
+                }
+                draw -= weights.blind_write;
+                if draw < weights.guess_heavy {
+                    return MixOp::Txn(TxnKind::GuessHeavy);
+                }
+                // Membership churn alternates: a party in the session
+                // leaves, a departed party rejoins.
+                *in_session = !*in_session;
+                if *in_session {
+                    MixOp::Join
+                } else {
+                    MixOp::Leave
+                }
+            }
+        }
+    }
+}
+
 /// A rate-driven multi-party workload over one shared object: each listed
 /// party submits transactions from its own seeded arrival process until the
 /// simulated deadline, then the world drains to quiescence.
@@ -585,15 +750,15 @@ mod tests {
 ///
 /// ```
 /// use decaf_net::sim::{LatencyModel, SimTime};
-/// use decaf_workload::{ArrivalProcess, RateWorkload, SimWorld, TxnKind};
+/// use decaf_workload::{ArrivalProcess, RateWorkload, SimWorld, TxnKind, TxnMix};
 /// use decaf_vt::SiteId;
 ///
 /// let mut world = SimWorld::new(2, LatencyModel::uniform(SimTime::from_millis(50)));
 /// let objs = world.wire_int(0);
 /// RateWorkload {
 ///     parties: vec![
-///         (SiteId(1), ArrivalProcess::fixed_rate(1.0), TxnKind::BlindWrite),
-///         (SiteId(2), ArrivalProcess::fixed_rate(1.0), TxnKind::ReadModifyWrite),
+///         (SiteId(1), ArrivalProcess::fixed_rate(1.0), TxnMix::single(TxnKind::BlindWrite)),
+///         (SiteId(2), ArrivalProcess::fixed_rate(1.0), TxnMix::single(TxnKind::ReadModifyWrite)),
 ///     ],
 ///     duration: SimTime::from_secs(5),
 /// }
@@ -602,25 +767,17 @@ mod tests {
 /// ```
 #[derive(Debug)]
 pub struct RateWorkload {
-    /// `(site, arrivals, transaction kind)` per participating party.
-    pub parties: Vec<(SiteId, ArrivalProcess, TxnKind)>,
+    /// `(site, arrivals, gesture mix)` per participating party.
+    pub parties: Vec<(SiteId, ArrivalProcess, TxnMix)>,
     /// Simulated run length.
     pub duration: SimTime,
-}
-
-/// What a party submits on each gesture.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TxnKind {
-    /// Blind writes of a running counter value (whiteboard-style).
-    BlindWrite,
-    /// Read-modify-write increments (conflict-prone).
-    ReadModifyWrite,
 }
 
 impl RateWorkload {
     /// Runs the workload on `world`; `objs` maps site index (id − 1) to
     /// that site's replica of the shared object. Returns the number of
-    /// gestures submitted.
+    /// transactions submitted (membership gestures drawn from a weighted
+    /// mix are not counted: this driver's party set is fixed).
     pub fn run(mut self, world: &mut SimWorld, objs: &[ObjectName]) -> u64 {
         for (site, arrivals, _) in self.parties.iter_mut() {
             let d = arrivals.next_delay();
@@ -633,26 +790,38 @@ impl RateWorkload {
                 break;
             }
             if let WorldStep::Timer { site, token: 0, .. } = step {
-                let Some((_, arrivals, kind)) = self.parties.iter_mut().find(|(s, ..)| *s == site)
+                let Some((_, arrivals, mix)) = self.parties.iter_mut().find(|(s, ..)| *s == site)
                 else {
                     continue;
                 };
                 let obj = objs[(site.0 - 1) as usize];
-                submitted += 1;
-                match kind {
-                    TxnKind::BlindWrite => {
+                match mix.next_op() {
+                    MixOp::Txn(TxnKind::BlindWrite) => {
+                        submitted += 1;
                         marker += 1;
                         world.site(site).execute(Box::new(BlindWrite {
                             object: obj,
                             value: marker,
                         }));
                     }
-                    TxnKind::ReadModifyWrite => {
+                    MixOp::Txn(TxnKind::ReadModifyWrite) => {
+                        submitted += 1;
                         world.site(site).execute(Box::new(ReadModifyWrite {
                             object: obj,
                             delta: 1,
                         }));
                     }
+                    MixOp::Txn(TxnKind::GuessHeavy) => {
+                        submitted += 1;
+                        world.site(site).execute(Box::new(GuessHeavy {
+                            reads: vec![obj],
+                            write: obj,
+                            delta: 1,
+                        }));
+                    }
+                    // Membership churn needs a churn-aware driver; here the
+                    // gesture is a no-op (the timer still re-arms below).
+                    MixOp::Join | MixOp::Leave => {}
                 }
                 let d = arrivals.next_delay();
                 world.set_timer(site, d, 0);
@@ -668,6 +837,61 @@ mod scenario_tests {
     use super::*;
 
     #[test]
+    fn txn_mix_single_is_constant_and_seedless() {
+        let mut mix = TxnMix::single(TxnKind::BlindWrite);
+        for _ in 0..16 {
+            assert_eq!(mix.next_op(), MixOp::Txn(TxnKind::BlindWrite));
+        }
+    }
+
+    #[test]
+    fn txn_mix_seeded_is_deterministic_and_covers_all_classes() {
+        let weights = MixWeights::default();
+        let mut a = TxnMix::seeded(weights, 99);
+        let mut b = TxnMix::seeded(weights, 99);
+        let ops: Vec<MixOp> = (0..400).map(|_| a.next_op()).collect();
+        let again: Vec<MixOp> = (0..400).map(|_| b.next_op()).collect();
+        assert_eq!(ops, again, "same seed, same gesture stream");
+        for want in [
+            MixOp::Txn(TxnKind::ReadModifyWrite),
+            MixOp::Txn(TxnKind::BlindWrite),
+            MixOp::Txn(TxnKind::GuessHeavy),
+            MixOp::Leave,
+            MixOp::Join,
+        ] {
+            assert!(ops.contains(&want), "missing {want:?} in 400 draws");
+        }
+        // Membership gestures alternate leave/join starting from "in".
+        let membership: Vec<MixOp> = ops
+            .iter()
+            .copied()
+            .filter(|o| matches!(o, MixOp::Join | MixOp::Leave))
+            .collect();
+        for (i, op) in membership.iter().enumerate() {
+            let want = if i % 2 == 0 {
+                MixOp::Leave
+            } else {
+                MixOp::Join
+            };
+            assert_eq!(*op, want, "membership gesture {i}");
+        }
+    }
+
+    #[test]
+    fn guess_heavy_reads_all_objects_and_commits() {
+        let mut world = SimWorld::new(2, LatencyModel::uniform(SimTime::from_millis(5)));
+        let xs = world.wire_int(3);
+        let ys = world.wire_int(10);
+        world.site(SiteId(1)).execute(Box::new(GuessHeavy {
+            reads: vec![xs[0], ys[0]],
+            write: ys[0],
+            delta: 1,
+        }));
+        world.run_to_quiescence();
+        assert_eq!(world.site(SiteId(2)).read_int_committed(ys[1]), Some(11));
+    }
+
+    #[test]
     fn rate_workload_runs_and_converges() {
         let mut world = SimWorld::new(2, LatencyModel::uniform(SimTime::from_millis(25)));
         let objs = world.wire_int(0);
@@ -676,12 +900,12 @@ mod scenario_tests {
                 (
                     SiteId(1),
                     ArrivalProcess::fixed_rate(2.0),
-                    TxnKind::ReadModifyWrite,
+                    TxnMix::single(TxnKind::ReadModifyWrite),
                 ),
                 (
                     SiteId(2),
                     ArrivalProcess::fixed_rate(2.0),
-                    TxnKind::ReadModifyWrite,
+                    TxnMix::single(TxnKind::ReadModifyWrite),
                 ),
             ],
             duration: SimTime::from_secs(10),
@@ -703,12 +927,12 @@ mod scenario_tests {
                 (
                     SiteId(1),
                     ArrivalProcess::poisson(3.0, 1),
-                    TxnKind::BlindWrite,
+                    TxnMix::single(TxnKind::BlindWrite),
                 ),
                 (
                     SiteId(2),
                     ArrivalProcess::poisson(3.0, 2),
-                    TxnKind::BlindWrite,
+                    TxnMix::single(TxnKind::BlindWrite),
                 ),
             ],
             duration: SimTime::from_secs(10),

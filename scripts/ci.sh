@@ -54,4 +54,25 @@ else
     echo "$P1_JSON" | grep -q '"ok":true'
 fi
 
+# Model-checker smoke: bounded deterministic-simulation exploration (512
+# seeded random fault schedules plus one exhaustively enumerated 3-site
+# configuration) with every invariant oracle armed. The bin exits non-zero
+# on any violation; the checks below also pin the exploration floor.
+echo "==> decaf-check --smoke --json"
+CHECK_JSON="$(cargo run -p decaf-apps --bin decaf-check --release --offline -q -- --smoke --json)"
+if command -v python3 >/dev/null 2>&1; then
+    echo "$CHECK_JSON" | python3 -c '
+import json, sys
+r = json.load(sys.stdin)
+assert r["ok"], r
+assert r["violations"] == 0, r
+assert r["random_schedules"] >= 500, r
+assert r["exhaustive_schedules"] >= 100, r
+assert r["committed"] > 0, r
+'
+else
+    echo "$CHECK_JSON" | grep -q '"ok":true'
+    echo "$CHECK_JSON" | grep -q '"violations":0'
+fi
+
 echo "CI OK"

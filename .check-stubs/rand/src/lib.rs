@@ -6,6 +6,7 @@ impl<T: Copy> SampleRange<T> for std::ops::Range<T> { fn start_of(self) -> T { s
 impl<T: Copy> SampleRange<T> for std::ops::RangeInclusive<T> { fn start_of(self) -> T { *self.start() } }
 pub trait Rng {
     fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T { range.start_of() }
+    fn gen_bool(&mut self, _p: f64) -> bool { false }
 }
 pub mod rngs {
     #[derive(Debug, Clone)]

@@ -44,7 +44,7 @@ fn usage() -> ! {
          \x20 --seeds N        random schedules to sweep (default 256)\n\
          \x20 --seed-start N   first seed (default 1)\n\
          \x20 --depth N        also enumerate all fault sequences of length N (0 = off)\n\
-         \x20 --faults KIND    partitions | kills | all | none (default partitions)\n\
+         \x20 --faults KIND    partitions | kills | crashes | all | none (default partitions)\n\
          \x20 --shrink         delta-debug failing plans to minimal schedules\n\
          \n\
          scenario:\n\
@@ -55,7 +55,8 @@ fn usage() -> ! {
          \x20 --retries N      engine retry budget (default 64)\n\
          \n\
          modes:\n\
-         \x20 --smoke          bounded CI gate: 512 random + 125 exhaustive schedules\n\
+         \x20 --smoke          bounded CI gate: 512 random + 128 crash-restart\n\
+         \x20                  + 125 exhaustive schedules\n\
          \x20 --mutate NAME    inject a seeded engine bug (drop_pess_commit_notice |\n\
          \x20                  skip_rollback_renotify) — the checker must catch it\n\
          \x20 --replay FILE    re-run a counterexample artifact, verify it reproduces\n\
@@ -105,7 +106,9 @@ fn parse() -> Cli {
                     "kills" => FaultClasses {
                         partitions: false,
                         kills: true,
+                        crashes: false,
                     },
+                    "crashes" => FaultClasses::crashes_only(),
                     "all" => FaultClasses::all(),
                     "none" => FaultClasses::none(),
                     other => {

@@ -34,6 +34,19 @@
 //! one-line `trace-summary` histogram digest. Analyze the dump with
 //! `decaf-trace-summarize`.
 //!
+//! Durability: `--data-dir DIR` makes the site crash-durable. On a fresh
+//! directory it writes a baseline checkpoint to `DIR/wal.log` and then
+//! appends (fsyncs) every committed transaction before its commit
+//! broadcast leaves the process. On a directory holding an existing log
+//! it *recovers*: newest checkpoint + committed suffix (any torn tail is
+//! truncated to the longest valid record prefix), prints
+//! `recovered wal-records=N value=V`, and runs the §3.4 rejoin/catch-up
+//! protocol against its peers (`rejoin peers=N`). The end-of-run
+//! `run-summary` gains WAL append counts and an fsync-latency histogram,
+//! and the final `exit value=V` line reports the committed counter at
+//! process exit — after lingering, so converged peers print identical
+//! values.
+//!
 //! Wire tuning: `--codec <1|2>` caps the link codec this site offers
 //! (2 = compact binary + batching, the default; 1 = the v1 JSON format,
 //! for interop with old peers — each link independently negotiates
@@ -48,10 +61,12 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use decaf_core::{
-    wiring, NodeRef, ObjectName, Site, TraceSink, Transaction, TxnCtx, TxnError, TxnHandle,
+    wiring, CommitLog, NodeRef, ObjectName, Site, SiteConfig, TraceKind, TraceSink, Transaction,
+    TxnCtx, TxnError, TxnHandle,
 };
 use decaf_net::tcp::{TcpConfig, TcpMesh};
 use decaf_net::{TransportEndpoint, TransportEvent};
+use decaf_trace::Histogram;
 use decaf_vt::SiteId;
 
 /// The daemon's workload: increment the shared counter by one.
@@ -61,6 +76,21 @@ impl Transaction for Incr {
     fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
         let v = ctx.read_int(self.0)?;
         ctx.write_int(self.0, v + 1)
+    }
+}
+
+/// Creates the shared counter and pre-wires its replica graph from the
+/// shared peer table: replica i is the first object created at site i,
+/// so every process derives the identical graph.
+fn init_counter(site: &mut Site, obj: ObjectName, ids: &[u32]) {
+    let created = site.create_int(0);
+    assert_eq!(created, obj, "first object at each site is (site, seq 0)");
+    if ids.len() >= 2 {
+        let nodes: Vec<NodeRef> = ids
+            .iter()
+            .map(|&i| NodeRef::new(SiteId(i), ObjectName::new(SiteId(i), 0)))
+            .collect();
+        site.install_replica_graph(obj, wiring::replica_graph_over(&nodes));
     }
 }
 
@@ -81,6 +111,7 @@ struct Args {
     codec: u8,
     batch_max: usize,
     batch_delay_us: u64,
+    data_dir: Option<PathBuf>,
 }
 
 fn usage() -> ! {
@@ -89,7 +120,8 @@ fn usage() -> ! {
          \x20                [--txns N] [--on-fail-txns K] [--phase1-target V] \\\n\
          \x20                [--final-target V] [--linger-ms MS] [--max-runtime-ms MS] \\\n\
          \x20                [--trace-out PATH] [--trace-buf N] [--summary-every-ms MS] \\\n\
-         \x20                [--codec 1|2] [--batch-max N] [--batch-delay-us US]"
+         \x20                [--codec 1|2] [--batch-max N] [--batch-delay-us US] \\\n\
+         \x20                [--data-dir DIR]"
     );
     std::process::exit(2);
 }
@@ -110,6 +142,7 @@ fn parse_args() -> Args {
     let mut codec = 2u8;
     let mut batch_max = 64usize;
     let mut batch_delay_us = 200u64;
+    let mut data_dir = None;
 
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -144,6 +177,7 @@ fn parse_args() -> Args {
             }
             "--batch-max" => batch_max = value().parse().unwrap_or_else(|_| usage()),
             "--batch-delay-us" => batch_delay_us = value().parse().unwrap_or_else(|_| usage()),
+            "--data-dir" => data_dir = Some(PathBuf::from(value())),
             _ => usage(),
         }
     }
@@ -166,6 +200,7 @@ fn parse_args() -> Args {
         codec,
         batch_max,
         batch_delay_us,
+        data_dir,
     }
 }
 
@@ -181,23 +216,86 @@ fn main() {
     };
 
     // --- engine: one site, one shared counter, pre-wired replicas ---
-    let mut site = Site::new(site_id);
-    site.set_trace_sink(trace.clone());
-    let obj = site.create_int(0); // first object at each site: (site, seq 0)
+    // With --data-dir the site is durable: recover from an existing WAL
+    // (restart), or initialize a fresh log with a baseline checkpoint.
+    let obj = ObjectName::new(site_id, 0); // first object at each site
     let mut ids: Vec<u32> = args.peers.keys().copied().collect();
     ids.push(args.site);
     ids.sort_unstable();
     ids.dedup();
     let n_sites = ids.len() as i64;
-    if ids.len() >= 2 {
-        // Every process derives the identical graph from the shared peer
-        // table: replica i is the first object created at site i.
-        let nodes: Vec<NodeRef> = ids
-            .iter()
-            .map(|&i| NodeRef::new(SiteId(i), ObjectName::new(SiteId(i), 0)))
-            .collect();
-        site.install_replica_graph(obj, wiring::replica_graph_over(&nodes));
-    }
+    let site_cfg = SiteConfig {
+        durable: args.data_dir.is_some(),
+        ..SiteConfig::default()
+    };
+    let mut wal: Option<CommitLog> = None;
+    let mut recovered = false;
+    let mut site = if let Some(dir) = &args.data_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("decaf-site {}: creating {}: {e}", args.site, dir.display());
+            std::process::exit(2);
+        }
+        if dir.join(CommitLog::FILE_NAME).exists() {
+            let (rec, log) = match Site::recover(dir, site_cfg) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!(
+                        "decaf-site {}: recovering from {}: {e}",
+                        args.site,
+                        dir.display()
+                    );
+                    std::process::exit(2);
+                }
+            };
+            if rec.site.id() != site_id {
+                eprintln!(
+                    "decaf-site {}: {} belongs to site {}",
+                    args.site,
+                    dir.display(),
+                    rec.site.id().0
+                );
+                std::process::exit(2);
+            }
+            wal = Some(log);
+            recovered = true;
+            let site = rec.site;
+            // Contract line for the crash-restart integration test.
+            println!(
+                "recovered wal-records={} value={}",
+                rec.replayed,
+                site.read_int_committed(obj).unwrap_or(0)
+            );
+            site
+        } else {
+            let mut site = Site::with_config(site_id, site_cfg);
+            init_counter(&mut site, obj, &ids);
+            let cp = match site.drain_and_checkpoint(16) {
+                Ok(cp) => cp,
+                Err(e) => {
+                    eprintln!("decaf-site {}: baseline checkpoint: {e:?}", args.site);
+                    std::process::exit(2);
+                }
+            };
+            let mut log = match CommitLog::open(dir) {
+                Ok((log, _scan)) => log,
+                Err(e) => {
+                    eprintln!("decaf-site {}: opening {}: {e}", args.site, dir.display());
+                    std::process::exit(2);
+                }
+            };
+            if let Err(e) = log.append_checkpoint(&cp) {
+                eprintln!("decaf-site {}: writing baseline checkpoint: {e}", args.site);
+                std::process::exit(2);
+            }
+            wal = Some(log);
+            site
+        }
+    } else {
+        let mut site = Site::new(site_id);
+        init_counter(&mut site, obj, &ids);
+        site
+    };
+    site.set_trace_sink(trace.clone());
 
     // --- transport: TCP mesh over the peer table ---
     let mut cfg = TcpConfig::new(site_id, args.listen)
@@ -221,6 +319,14 @@ fn main() {
     );
     let endpoint = mesh.endpoint();
 
+    // A recovered site announces itself and catches up before (well,
+    // while) doing new work: gestures submitted mid-rejoin are deferred
+    // by the engine until every peer has acknowledged.
+    if recovered {
+        let peers = site.begin_rejoin();
+        println!("rejoin peers={peers}");
+    }
+
     let phase1_target = args.phase1_target.unwrap_or(args.txns as i64 * n_sites);
     let start = Instant::now();
     let max_runtime = Duration::from_millis(args.max_runtime_ms);
@@ -233,6 +339,9 @@ fn main() {
     let mut finished_at: Option<Instant> = None;
     let summary_every = Duration::from_millis(args.summary_every_ms);
     let mut next_summary = start + summary_every;
+    // WAL bookkeeping (durable sites): fsync latency histogram in µs.
+    let mut fsync_hist = Histogram::new();
+    let mut wal_appends = 0u64;
 
     loop {
         if start.elapsed() > max_runtime {
@@ -285,6 +394,30 @@ fn main() {
                 }
             }
         }
+        // Durable sites persist (fsync) every captured commit before the
+        // commit broadcasts below leave the process: a crash after this
+        // point can tear the file tail, never lose an acknowledged commit.
+        if let Some(log) = wal.as_mut() {
+            for rec in site.drain_wal() {
+                let before = log.len_bytes();
+                match log.append_commit(&rec) {
+                    Ok(latency) => {
+                        wal_appends += 1;
+                        fsync_hist.record(latency.as_micros() as u64);
+                        trace.emit(
+                            TraceKind::WalAppend,
+                            Some((rec.vt.lamport, rec.vt.site.0)),
+                            None,
+                            Some(log.len_bytes() - before),
+                        );
+                    }
+                    Err(e) => {
+                        eprintln!("decaf-site {}: wal append: {e}", args.site);
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
         for env in site.drain_outbox() {
             endpoint.send(env.to, env);
         }
@@ -326,6 +459,16 @@ fn main() {
                     t.frames_coalesced,
                     t.bytes_saved,
                 );
+                if let Some(log) = wal.as_ref() {
+                    println!(
+                        "wal-summary appends={wal_appends} bytes={} \
+                         fsync-p50-us={} fsync-p99-us={} fsync-max-us={}",
+                        log.len_bytes(),
+                        fsync_hist.quantile(0.50),
+                        fsync_hist.quantile(0.99),
+                        fsync_hist.max(),
+                    );
+                }
                 println!("transport: {}", mesh.stats());
                 println!("engine: {}", site.stats());
                 if trace.is_enabled() {
@@ -341,6 +484,10 @@ fn main() {
             }
         }
     }
+    // The committed counter at exit, after lingering: peers that stayed
+    // up long enough print identical values here — the convergence
+    // assertion the crash-restart integration test greps for.
+    println!("exit value={}", site.read_int_committed(obj).unwrap_or(0));
     mesh.shutdown();
 
     // Dump the retained trace after the mesh threads have joined, so the

@@ -1,0 +1,39 @@
+//! R1 — crash-recovery time vs WAL length (§3.4, DESIGN.md §S20).
+//!
+//! A durable replica pair commits N transactions (each fsynced to a real
+//! WAL file), one site crashes, the survivor commits a fixed backlog, and
+//! the victim restarts via `Site::recover` + the rejoin protocol. The two
+//! halves of the restart — local scan-and-replay, networked catch-up —
+//! are timed separately to show how each scales with log length.
+
+use decaf_bench::{emit_table, r1_recovery};
+
+fn main() {
+    let missed = 128u64;
+    let mut rows = Vec::new();
+    for log_commits in [64u64, 512, 4096] {
+        let r = r1_recovery(log_commits, missed);
+        rows.push(vec![
+            r.log_commits.to_string(),
+            format!("{:.1}", r.wal_bytes as f64 / 1024.0),
+            format!("{:.2}", r.replay_ms),
+            r.replayed.to_string(),
+            r.missed.to_string(),
+            format!("{:.2}", r.rejoin_ms),
+            format!("{:.2}", r.replay_ms + r.rejoin_ms),
+        ]);
+    }
+    emit_table(
+        "R1: restart cost vs WAL length — scan+replay, then catch-up (§3.4)",
+        &[
+            "log(commits)",
+            "wal(KiB)",
+            "replay(ms)",
+            "replayed",
+            "missed",
+            "catch-up(ms)",
+            "restart total(ms)",
+        ],
+        &rows,
+    );
+}

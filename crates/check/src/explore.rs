@@ -197,16 +197,19 @@ pub struct SmokeReport {
 }
 
 /// The bounded CI gate: 512 seeded random partition/jitter schedules over
-/// the default 3-site scenario, plus one exhaustively enumerated 3-site
-/// configuration (125 fault decision sequences). Partitions-only — every
-/// oracle, including losslessness, applies to every schedule.
+/// the default 3-site scenario, 128 crash-restart schedules exercising
+/// WAL recovery, torn tails, and the rejoin protocol, plus one
+/// exhaustively enumerated 3-site configuration (125 fault decision
+/// sequences). The partition sweep is kill- and crash-free, so every
+/// oracle — including losslessness — applies to it; the crash sweep adds
+/// the crash-durability and restart-coverage oracles.
 pub fn smoke() -> SmokeReport {
     let random_cfg = ScenarioConfig {
         txns_per_site: 3,
         ..ScenarioConfig::default()
     };
     let opts = CheckOptions {
-        config: random_cfg,
+        config: random_cfg.clone(),
         classes: FaultClasses::partitions_only(),
         seeds: 512,
         seed_start: 1,
@@ -215,6 +218,15 @@ pub fn smoke() -> SmokeReport {
         mutation: None,
     };
     let mut report = sweep(&opts);
+    report.merge(sweep(&CheckOptions {
+        config: random_cfg,
+        classes: FaultClasses::crashes_only(),
+        seeds: 128,
+        seed_start: 1,
+        shrink: false,
+        stop_at_first: false,
+        mutation: None,
+    }));
     let exhaustive_cfg = ScenarioConfig {
         objects: 1,
         txns_per_site: 2,

@@ -11,7 +11,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use decaf_core::{
-    EngineEvent, ObjectName, RecordingView, SiteConfig, TestMutation, TraceSink, ViewId, ViewMode,
+    append_frame, scan_wal, EngineEvent, ObjectName, RecordingView, Site, SiteConfig, TestMutation,
+    TraceSink, ViewId, ViewLedgerEntry, ViewLedgerKind, ViewMode, WalRecord,
 };
 use decaf_net::sim::{LatencyModel, SimTime};
 use decaf_vt::{SiteId, VirtualTime};
@@ -27,6 +28,9 @@ use crate::plan::{FaultAction, FaultKind, FaultPlan};
 const GESTURE_TOKEN: u64 = 0;
 /// Timer tokens `FAULT_TOKEN_BASE + i` inject `plan.actions[i]`.
 const FAULT_TOKEN_BASE: u64 = 1_000_000;
+/// Timer tokens `RESTART_TOKEN_BASE + i` restart the site crashed by
+/// `plan.actions[i]` (a [`FaultKind::CrashRestart`]).
+const RESTART_TOKEN_BASE: u64 = 2_000_000;
 /// Hard cap on simulator steps before the run is declared hung.
 const STEP_BUDGET: u64 = 500_000;
 /// Per-site trace buffer capacity.
@@ -68,9 +72,15 @@ pub fn run_once(
     if cfg.jitter > 0.0 {
         model = model.with_jitter(cfg.jitter, seed ^ 0x6a09_e667_f3bc_c909);
     }
+    // Crash plans run durable sites: commits are captured as WAL records,
+    // persisted by the harness after every step, and restarts recover from
+    // them. Other plans keep durability off so their traces and hot paths
+    // are unchanged.
+    let durable = plan.has_crashes();
     let site_cfg = SiteConfig {
         view_ledger: true,
         retry_budget: cfg.retry_budget,
+        durable,
         ..SiteConfig::default()
     };
     let mut world = SimWorld::with_config(cfg.sites, model, site_cfg);
@@ -112,6 +122,27 @@ pub fn run_once(
         // every step, so traces are byte-identical across same-seed runs.
         site.set_trace_sink(TraceSink::enabled_manual(id.0, TRACE_CAPACITY));
     }
+    // Per-site WAL images for crash plans: a byte buffer standing in for
+    // the fsynced `wal.log` file, seeded with a baseline checkpoint taken
+    // at the post-wiring quiescent point. Commits queued before the
+    // baseline (wiring traffic) are discarded — recovery replays from the
+    // newest checkpoint anyway.
+    let mut wal_bytes: BTreeMap<SiteId, Vec<u8>> = BTreeMap::new();
+    let mut wal_floor: BTreeMap<SiteId, usize> = BTreeMap::new();
+    if durable {
+        let ids: Vec<SiteId> = locals.keys().copied().collect();
+        for id in ids {
+            let _ = world.site(id).drain_wal();
+            let cp = world
+                .site(id)
+                .drain_and_checkpoint(16)
+                .expect("sites are quiescent after wiring");
+            let mut buf = Vec::new();
+            append_frame(&mut buf, &WalRecord::Checkpoint(Box::new(cp)));
+            wal_floor.insert(id, buf.len());
+            wal_bytes.insert(id, buf);
+        }
+    }
     let log_baseline = world.log.len();
     let stats_baseline = world.total_stats();
 
@@ -144,6 +175,17 @@ pub fn run_once(
     }
 
     let mut live: BTreeSet<SiteId> = locals.keys().copied().collect();
+    let mut crashed: BTreeSet<SiteId> = BTreeSet::new();
+    // Stashed at restart, when the pre-crash site instance is replaced:
+    // its view-ledger segments, trace events, and commit/conflict counters.
+    let mut pess_stash: BTreeMap<u32, Vec<Vec<ViewLedgerEntry>>> = BTreeMap::new();
+    let mut opt_stash: BTreeMap<u32, Vec<Vec<ViewLedgerEntry>>> = BTreeMap::new();
+    let mut trace_stash = Vec::new();
+    let mut committed_carry: u64 = 0;
+    let mut conflicts_carry: u64 = 0;
+    // Commit VTs each restarted site recovered from its WAL prefix, for
+    // the crash-durability oracle.
+    let mut recovered_vts: BTreeMap<u32, BTreeSet<VirtualTime>> = BTreeMap::new();
     let mut violations: Vec<Violation> = Vec::new();
     let mut steps: u64 = 0;
     let mut gestures: u64 = 0;
@@ -160,13 +202,105 @@ pub fn run_once(
             hung = true;
             break;
         }
+        persist_wal(&mut world, &mut wal_bytes, &crashed);
         let WorldStep::Timer { site, token, .. } = ws else {
             continue;
         };
-        if token >= FAULT_TOKEN_BASE {
-            let action = &plan.actions[(token - FAULT_TOKEN_BASE) as usize];
-            apply_fault(&mut world, &mut live, action);
-        } else if token == GESTURE_TOKEN && live.contains(&site) {
+        if token >= RESTART_TOKEN_BASE {
+            let idx = (token - RESTART_TOKEN_BASE) as usize;
+            let FaultKind::CrashRestart { site, torn, .. } = &plan.actions[idx].kind else {
+                continue; // restart tokens are only ever scheduled for crashes
+            };
+            let id = SiteId(*site);
+            if !crashed.contains(&id) {
+                continue;
+            }
+            // Stash the dying instance's ledgers, trace, and counters —
+            // they belong to the run even though the object is replaced.
+            {
+                let old = world.site(id);
+                let st = old.stats();
+                committed_carry += st.txns_committed;
+                conflicts_carry += st.txns_aborted_conflict;
+                trace_stash.extend(old.trace_sink().drain());
+                let pess = old.view_ledger(pess_ids[&id]).unwrap_or_default();
+                pess_stash.entry(id.0).or_default().push(pess);
+                let opt = old.view_ledger(opt_ids[&id]).unwrap_or_default();
+                opt_stash.entry(id.0).or_default().push(opt);
+            }
+            // Torn tail: chop `torn` bytes off the WAL (never into the
+            // baseline checkpoint), then recover the longest valid record
+            // prefix — exactly what `CommitLog::open` does on disk.
+            let buf = wal_bytes.get_mut(&id).expect("crash plans are durable");
+            let cut = buf.len().saturating_sub(*torn as usize).max(wal_floor[&id]);
+            buf.truncate(cut);
+            let scan = scan_wal(buf).expect("self-written log is schema-clean");
+            buf.truncate(scan.valid_len);
+            recovered_vts
+                .entry(id.0)
+                .or_default()
+                .extend(scan.records.iter().filter_map(|r| match r {
+                    WalRecord::Commit(c) => Some(c.vt),
+                    WalRecord::Checkpoint(_) => None,
+                }));
+            let recovery = Site::recover_from_records(scan.records, site_cfg)
+                .expect("baseline checkpoint always survives the torn clamp");
+            let mut fresh = recovery.site;
+            if let Some(m) = mutation {
+                fresh.inject_test_mutation(m);
+            }
+            // Fresh instrumented views over the same watch list; the
+            // recovered store keeps the pre-crash object names.
+            let watch = locals[&id].clone();
+            let opt = fresh.attach_view(
+                Box::new(RecordingView::new(watch.clone())),
+                &watch,
+                ViewMode::Optimistic,
+            );
+            let pess = fresh.attach_view(
+                Box::new(RecordingView::new(watch.clone())),
+                &watch,
+                ViewMode::Pessimistic,
+            );
+            opt_ids.insert(id, opt);
+            pess_ids.insert(id, pess);
+            fresh.set_trace_sink(TraceSink::enabled_manual(id.0, TRACE_CAPACITY));
+            fresh
+                .trace_sink()
+                .set_now_ns(world.now().as_micros() * 1000);
+            world.net.restart_site(id);
+            world.sites.insert(id, fresh);
+            world.site(id).begin_rejoin();
+            crashed.remove(&id);
+            // Resume the site's gesture stream where it left off (gestures
+            // submitted mid-rejoin are deferred by the engine).
+            if remaining[&id] > 0 {
+                world.set_timer(id, SimTime::from_millis(cfg.gap_ms), GESTURE_TOKEN);
+            }
+        } else if token >= FAULT_TOKEN_BASE {
+            let idx = token - FAULT_TOKEN_BASE;
+            let action = &plan.actions[idx as usize];
+            if let FaultKind::CrashRestart { site, down_ms, .. } = &action.kind {
+                let id = SiteId(*site);
+                // Site 1 anchors the fault timers; keep at least two
+                // sites actually up through any outage.
+                if *site != 1
+                    && live.contains(&id)
+                    && !crashed.contains(&id)
+                    && live.len() - crashed.len() > 2
+                {
+                    world.net.crash_site(id);
+                    crashed.insert(id);
+                    world.set_timer(
+                        SiteId(1),
+                        SimTime::from_millis((*down_ms).max(1)),
+                        RESTART_TOKEN_BASE + idx,
+                    );
+                }
+            } else {
+                apply_fault(&mut world, &mut live, action);
+            }
+        } else if token == GESTURE_TOKEN && live.contains(&site) && !crashed.contains(&site) {
             let rem = remaining.get_mut(&site).expect("known site");
             if *rem == 0 {
                 continue;
@@ -208,7 +342,7 @@ pub fn run_once(
     // ------------------------------------------------------------------
     // Oracles.
     // ------------------------------------------------------------------
-    let strict = !plan.has_kills();
+    let strict = !plan.has_kills() && !plan.has_crashes();
     let live_ids: Vec<u32> = live.iter().map(|s| s.0).collect();
 
     // Per-step: no commit ever rolled back (any plan).
@@ -271,8 +405,54 @@ pub fn run_once(
         violations.extend(oracle::check_gc(id.0, world.site(*id).gc_watermark()));
     }
 
-    // Merge the per-site traces into one time-ordered JSONL stream.
-    let mut trace_events = Vec::new();
+    // Crash-plan oracles: no durably recovered commit may be lost, and
+    // pessimistic notifications must stay lossless *through* the restart
+    // boundary. Pre-crash ledger segments are checked structurally on
+    // their own — no ordering constraint spans the boundary.
+    if durable && !hung {
+        for (site, segs) in &pess_stash {
+            for seg in segs {
+                violations.extend(oracle::check_pess_view(*site, seg, None));
+            }
+        }
+        for (site, segs) in &opt_stash {
+            for seg in segs {
+                violations.extend(oracle::check_opt_view(*site, seg, false));
+            }
+        }
+        let empty = BTreeSet::new();
+        for id in &live {
+            let committed = committed_at.get(&id.0).unwrap_or(&empty);
+            let recovered = recovered_vts.get(&id.0).unwrap_or(&empty);
+            let mut notified: BTreeSet<VirtualTime> = BTreeSet::new();
+            let final_pess = world
+                .site(*id)
+                .view_ledger(pess_ids[id])
+                .unwrap_or_default();
+            let stashed = pess_stash.get(&id.0).map_or(&[][..], |s| s.as_slice());
+            for seg in stashed.iter().chain(std::iter::once(&final_pess)) {
+                notified.extend(seg.iter().filter_map(|e| match e.kind {
+                    ViewLedgerKind::Update(_) => Some(e.ts),
+                    ViewLedgerKind::Commit => None,
+                }));
+            }
+            violations.extend(oracle::check_pess_coverage(
+                id.0, &notified, committed, recovered,
+            ));
+        }
+        for (site, vts) in &recovered_vts {
+            let committed_now: BTreeSet<VirtualTime> = vts
+                .iter()
+                .filter(|vt| world.site(SiteId(*site)).committed_contains(**vt))
+                .copied()
+                .collect();
+            violations.extend(oracle::check_crash_durability(*site, vts, &committed_now));
+        }
+    }
+
+    // Merge the per-site traces into one time-ordered JSONL stream,
+    // including events stashed from pre-crash site instances.
+    let mut trace_events = trace_stash;
     for id in locals.keys() {
         trace_events.extend(world.site(*id).trace_sink().drain());
     }
@@ -284,10 +464,31 @@ pub fn run_once(
         violations,
         steps,
         gestures,
-        committed: totals.txns_committed - stats_baseline.txns_committed,
-        conflicts: totals.txns_aborted_conflict - stats_baseline.txns_aborted_conflict,
+        committed: (totals.txns_committed + committed_carry)
+            .saturating_sub(stats_baseline.txns_committed),
+        conflicts: (totals.txns_aborted_conflict + conflicts_carry)
+            .saturating_sub(stats_baseline.txns_aborted_conflict),
         live: live_ids,
         trace,
+    }
+}
+
+/// Drains every up site's queued WAL records into its byte image —
+/// the simulated equivalent of the fsync a durable site performs before
+/// acknowledging a commit. Crashed sites are skipped: whatever they had
+/// not yet persisted is exactly what a torn tail may lose.
+fn persist_wal(
+    world: &mut SimWorld,
+    wal: &mut BTreeMap<SiteId, Vec<u8>>,
+    crashed: &BTreeSet<SiteId>,
+) {
+    for (id, buf) in wal.iter_mut() {
+        if crashed.contains(id) {
+            continue;
+        }
+        for rec in world.site(*id).drain_wal() {
+            append_frame(buf, &WalRecord::Commit(rec));
+        }
     }
 }
 
@@ -331,6 +532,9 @@ fn apply_fault(world: &mut SimWorld, live: &mut BTreeSet<SiteId>, action: &Fault
                 live.remove(&id);
             }
         }
+        // Crash-restarts are handled inline by the run loop: they need
+        // the WAL images and restart timers that live in its scope.
+        FaultKind::CrashRestart { .. } => {}
     }
 }
 

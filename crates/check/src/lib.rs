@@ -4,8 +4,11 @@
 //! The checker drives N-site collaborations over the deterministic
 //! [`SimNet`](decaf_net::sim::SimNet) under seeded *fault plans* — message
 //! delay and cross-link reorder (latency jitter), link partitions with
-//! heal, and fail-stop site kills — and checks the paper's §3/§4
-//! guarantees with a layer of *invariant oracles*:
+//! heal, fail-stop site kills, and transient crash-restarts (a durable
+//! site killed mid-run, its WAL tail torn at an arbitrary byte, then
+//! restarted through recovery and the §3.4 rejoin/catch-up protocol) —
+//! and checks the paper's §3/§4 guarantees with a layer of *invariant
+//! oracles*:
 //!
 //! - **Convergence**: at quiescence, all live replicas agree on every
 //!   committed value (same VT, same structural digest).
@@ -22,6 +25,11 @@
 //!   straggler pessimistic view still needs.
 //! - **Quiescence**: the run terminates (bounded steps) and every live
 //!   site drains completely.
+//! - **Crash durability** (crash plans): every commit a restarted site
+//!   recovered from its write-ahead log is still committed at the end of
+//!   the run, and pessimistic notifications stay lossless *through* the
+//!   restart boundary (pre-crash ledger segments plus the re-attached
+//!   view's ledger jointly cover every committed update).
 //!
 //! Schedules are explored two ways: seeded *random sweeps*
 //! ([`sweep`](explore::sweep)) over generated fault plans, and *bounded

@@ -47,6 +47,10 @@ pub enum OracleKind {
     /// The run failed to drain: the step budget was exhausted, or a live
     /// site still held undelivered work at the end.
     Quiescence,
+    /// A commit recovered from a restarted site's WAL prefix was no longer
+    /// committed at that site by the end of the run — restart recovery
+    /// silently dropped a durably logged transaction.
+    CrashDurability,
 }
 
 impl fmt::Display for OracleKind {
@@ -60,6 +64,7 @@ impl fmt::Display for OracleKind {
             OracleKind::OptSettled => "opt-settled",
             OracleKind::GcWatermark => "gc-watermark",
             OracleKind::Quiescence => "quiescence",
+            OracleKind::CrashDurability => "crash-durability",
         };
         f.write_str(s)
     }
@@ -240,6 +245,70 @@ pub fn check_convergence(
     out
 }
 
+/// Crash-durability oracle: every commit present in the WAL prefix a
+/// restarted site recovered from must still be committed at that site at
+/// the end of the run. The WAL is the durability promise — recovery and
+/// the subsequent rejoin may *add* commits the site missed while down,
+/// but must never lose one it had fsynced.
+pub fn check_crash_durability(
+    site: u32,
+    recovered: &BTreeSet<VirtualTime>,
+    committed_now: &BTreeSet<VirtualTime>,
+) -> Vec<Violation> {
+    recovered
+        .difference(committed_now)
+        .map(|vt| Violation {
+            oracle: OracleKind::CrashDurability,
+            site: Some(site),
+            detail: format!("wal-recovered commit {vt:?} no longer committed after restart"),
+        })
+        .collect()
+}
+
+/// Pessimistic coverage oracle for crash plans: the union of a site's
+/// pessimistic update notifications across the whole run — pre-crash
+/// ledger segments plus the post-restart ledger — must equal the set of
+/// committed VTs the site observed, modulo the `recovered` exemption
+/// below. Unlike [`check_pess_view`]'s strict mode this places no
+/// ordering constraint across the restart boundary (each segment is
+/// checked monotonic separately), but losslessness must hold *through*
+/// the crash: a commit notified before the crash stays covered by the
+/// stashed segment, one lost with the torn tail must be re-notified
+/// after catch-up re-commits it. Commits in `recovered` — the VTs the
+/// site replayed from its WAL — may go un-notified: the restarted view
+/// incarnation observes them as its initial state instead.
+pub fn check_pess_coverage(
+    site: u32,
+    notified: &BTreeSet<VirtualTime>,
+    committed: &BTreeSet<VirtualTime>,
+    recovered: &BTreeSet<VirtualTime>,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for vt in committed.difference(notified) {
+        // A commit the site durably recovered from its WAL surfaces as
+        // the restarted store's *initial state*: the view incarnation
+        // that would have received the update died with the process, and
+        // the re-attached one starts from the recovered snapshot. Only
+        // commits outside the recovered prefix must be (re-)notified.
+        if recovered.contains(vt) {
+            continue;
+        }
+        out.push(Violation {
+            oracle: OracleKind::PessLossless,
+            site: Some(site),
+            detail: format!("committed update {vt:?} never notified across restart"),
+        });
+    }
+    for vt in notified.difference(committed) {
+        out.push(Violation {
+            oracle: OracleKind::NotifiedCommitted,
+            site: Some(site),
+            detail: format!("notified {vt:?}, which never committed at this site"),
+        });
+    }
+    out
+}
+
 /// GC straggler oracle: the last collection sweep at a site never
 /// discarded history at or above the pessimistic-view frontier it
 /// recorded at sweep time.
@@ -391,6 +460,40 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].oracle, OracleKind::Convergence);
         assert_eq!(v[0].site, Some(2));
+    }
+
+    #[test]
+    fn crash_durability_flags_lost_wal_commits() {
+        let recovered: BTreeSet<VirtualTime> = [vt(2, 1), vt(5, 2)].into_iter().collect();
+        let committed: BTreeSet<VirtualTime> = [vt(2, 1), vt(5, 2), vt(9, 3)].into_iter().collect();
+        // Extra commits (gained via catch-up) are fine.
+        assert!(check_crash_durability(2, &recovered, &committed).is_empty());
+        // A recovered commit missing from the final committed set is not.
+        let lossy: BTreeSet<VirtualTime> = [vt(2, 1)].into_iter().collect();
+        let v = check_crash_durability(2, &recovered, &lossy);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].oracle, OracleKind::CrashDurability);
+        assert_eq!(v[0].site, Some(2));
+    }
+
+    #[test]
+    fn pess_coverage_checks_both_directions_across_restart() {
+        let none = BTreeSet::new();
+        let committed: BTreeSet<VirtualTime> = [vt(2, 1), vt(5, 2)].into_iter().collect();
+        let exact = committed.clone();
+        assert!(check_pess_coverage(1, &exact, &committed, &none).is_empty());
+        let missing: BTreeSet<VirtualTime> = [vt(2, 1)].into_iter().collect();
+        let v = check_pess_coverage(1, &missing, &committed, &none);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].oracle, OracleKind::PessLossless);
+        // ... unless the missing commit was recovered from the WAL: the
+        // re-attached view sees it as initial state, not an update.
+        let recovered: BTreeSet<VirtualTime> = [vt(5, 2)].into_iter().collect();
+        assert!(check_pess_coverage(1, &missing, &committed, &recovered).is_empty());
+        let phantom: BTreeSet<VirtualTime> = [vt(2, 1), vt(5, 2), vt(8, 3)].into_iter().collect();
+        let v = check_pess_coverage(1, &phantom, &committed, &none);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].oracle, OracleKind::NotifiedCommitted);
     }
 
     #[test]

@@ -33,6 +33,28 @@ pub enum FaultKind {
         /// The victim site id.
         site: u32,
     },
+    /// Crash the site's process and restart it `down_ms` later from its
+    /// write-ahead log (durable sites only — the harness turns on
+    /// [`SiteConfig::durable`](decaf_core::SiteConfig) for plans containing
+    /// this action). No failure notification is emitted: the outage is
+    /// assumed shorter than the detector window. In-flight deliveries to
+    /// the victim are lost; the last `torn` bytes of its WAL are chopped at
+    /// restart (down to the baseline checkpoint) to model a torn tail, and
+    /// the restarted site recovers the longest valid record prefix and runs
+    /// the §3.4 rejoin/catch-up protocol. Crashes of site 1, of an already
+    /// crashed site, or leaving fewer than two sites up are ignored by the
+    /// harness. Generators never mix `CrashRestart` with [`FaultKind::Kill`]
+    /// in one plan: a kill's failure notices would race the victim's
+    /// restart-and-rejoin.
+    CrashRestart {
+        /// The victim site id.
+        site: u32,
+        /// Outage length in simulated ms; the restart fires this long
+        /// after the crash.
+        down_ms: u64,
+        /// Bytes chopped off the WAL tail at restart (torn-tail model).
+        torn: u64,
+    },
 }
 
 /// A fault scheduled at a point in the run.
@@ -60,6 +82,10 @@ pub struct FaultClasses {
     pub partitions: bool,
     /// Allow fail-stop kills (keeping at least two survivors).
     pub kills: bool,
+    /// Allow transient crash-restarts (WAL recovery + rejoin). When both
+    /// `kills` and `crashes` are enabled, each generated plan draws from
+    /// only one of the two — the classes never mix within a plan.
+    pub crashes: bool,
 }
 
 impl FaultClasses {
@@ -69,14 +95,28 @@ impl FaultClasses {
         FaultClasses {
             partitions: true,
             kills: false,
+            crashes: false,
         }
     }
 
-    /// Every fault class.
+    /// Crash-restarts only: sites go down transiently and recover from
+    /// their WAL. No permanent kills, so convergence and the
+    /// durability/coverage oracles apply to every site, restarted ones
+    /// included.
+    pub fn crashes_only() -> Self {
+        FaultClasses {
+            partitions: false,
+            kills: false,
+            crashes: true,
+        }
+    }
+
+    /// Every fault class (kills and crashes still never share one plan).
     pub fn all() -> Self {
         FaultClasses {
             partitions: true,
             kills: true,
+            crashes: true,
         }
     }
 
@@ -85,6 +125,7 @@ impl FaultClasses {
         FaultClasses {
             partitions: false,
             kills: false,
+            crashes: false,
         }
     }
 }
@@ -105,23 +146,51 @@ impl FaultPlan {
             .any(|a| matches!(a.kind, FaultKind::Kill { .. }))
     }
 
+    /// Whether the plan crash-restarts any site. Crash plans run with
+    /// durable sites and gain the crash-durability oracles; like kill
+    /// plans, they drop the strict settled-guess checks (a restart leaves
+    /// pre-crash optimistic guesses legitimately dangling).
+    pub fn has_crashes(&self) -> bool {
+        self.actions
+            .iter()
+            .any(|a| matches!(a.kind, FaultKind::CrashRestart { .. }))
+    }
+
     /// Generates a seeded random plan for `cfg`, drawing up to four
     /// actions from the enabled `classes` at times inside the gesture
     /// window. The same `(cfg, classes, seed)` always yields the same
-    /// plan.
+    /// plan. Kills and crashes never appear in the same plan: when both
+    /// classes are enabled, a per-plan coin picks which one this plan may
+    /// use.
     pub fn random(cfg: &ScenarioConfig, classes: FaultClasses, seed: u64) -> FaultPlan {
-        if !classes.partitions && !classes.kills {
+        if !classes.partitions && !classes.kills && !classes.crashes {
             return FaultPlan::quiet();
         }
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xfa17_5eed_0bad_cafe);
+        let (allow_kills, allow_crashes) = match (classes.kills, classes.crashes) {
+            (true, true) => {
+                let crash_plan = rng.gen_bool(0.5);
+                (!crash_plan, crash_plan)
+            }
+            other => other,
+        };
         let horizon = cfg.horizon_ms();
         let n = rng.gen_range(0..=4u32);
         let max_kills = cfg.sites.saturating_sub(2);
         let mut kills = 0u32;
+        let mut crashes = 0u32;
         let mut actions = Vec::new();
         for _ in 0..n {
             let at_ms = rng.gen_range(0..=horizon);
-            let kind = if classes.kills && kills < max_kills && rng.gen_range(0..100u32) < 25 {
+            let kind = if allow_crashes && crashes < 2 && rng.gen_range(0..100u32) < 30 {
+                crashes += 1;
+                // Site 1 anchors the fault timers and is never a victim.
+                FaultKind::CrashRestart {
+                    site: rng.gen_range(2..=cfg.sites),
+                    down_ms: rng.gen_range(20..=250),
+                    torn: rng.gen_range(0..=48),
+                }
+            } else if allow_kills && kills < max_kills && rng.gen_range(0..100u32) < 25 {
                 kills += 1;
                 // Site 1 anchors the fault timers and is never a victim.
                 FaultKind::Kill {
@@ -183,7 +252,53 @@ mod tests {
         for seed in 0..64 {
             let p = FaultPlan::random(&cfg, FaultClasses::partitions_only(), seed);
             assert!(!p.has_kills());
+            assert!(!p.has_crashes());
         }
+    }
+
+    #[test]
+    fn kills_and_crashes_never_share_a_plan() {
+        let cfg = ScenarioConfig::default();
+        let mut saw_kill_plan = false;
+        let mut saw_crash_plan = false;
+        for seed in 0..256 {
+            let p = FaultPlan::random(&cfg, FaultClasses::all(), seed);
+            assert!(
+                !(p.has_kills() && p.has_crashes()),
+                "seed {seed} mixed kills and crashes: {p:?}"
+            );
+            saw_kill_plan |= p.has_kills();
+            saw_crash_plan |= p.has_crashes();
+        }
+        assert!(saw_kill_plan, "all() never drew a kill in 256 plans");
+        assert!(saw_crash_plan, "all() never drew a crash in 256 plans");
+    }
+
+    #[test]
+    fn crashes_only_targets_restartable_sites() {
+        let cfg = ScenarioConfig::default();
+        let mut crash_actions = 0;
+        for seed in 0..128 {
+            let p = FaultPlan::random(&cfg, FaultClasses::crashes_only(), seed);
+            assert!(!p.has_kills());
+            for a in &p.actions {
+                match &a.kind {
+                    FaultKind::CrashRestart {
+                        site,
+                        down_ms,
+                        torn,
+                    } => {
+                        crash_actions += 1;
+                        assert!((2..=cfg.sites).contains(site), "site 1 never crashes");
+                        assert!((20..=250).contains(down_ms));
+                        assert!(*torn <= 48);
+                    }
+                    FaultKind::Heal => {}
+                    other => panic!("crashes_only drew {other:?}"),
+                }
+            }
+        }
+        assert!(crash_actions > 0, "crashes_only never drew a crash");
     }
 
     #[test]
@@ -205,11 +320,20 @@ mod tests {
                     at_ms: 55,
                     kind: FaultKind::Kill { site: 3 },
                 },
+                FaultAction {
+                    at_ms: 70,
+                    kind: FaultKind::CrashRestart {
+                        site: 2,
+                        down_ms: 90,
+                        torn: 17,
+                    },
+                },
             ],
         };
         let json = serde_json::to_string(&plan).expect("serialize");
         let back: FaultPlan = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(plan, back);
         assert!(back.has_kills());
+        assert!(back.has_crashes());
     }
 }

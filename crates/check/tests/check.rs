@@ -92,6 +92,74 @@ fn kill_schedules_converge_among_survivors() {
 }
 
 #[test]
+fn crash_restart_schedule_recovers_and_converges() {
+    // One site crashes mid-run with a torn WAL tail, restarts, recovers,
+    // and rejoins: every oracle — convergence including the restarted
+    // site, crash durability, pessimistic coverage through the restart —
+    // must hold, and nobody is permanently dead at the end.
+    let cfg = small_cfg();
+    let plan = FaultPlan {
+        actions: vec![FaultAction {
+            at_ms: 50,
+            kind: FaultKind::CrashRestart {
+                site: 3,
+                down_ms: 80,
+                torn: 24,
+            },
+        }],
+    };
+    let report = run_once(&cfg, &plan, 11, None);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert_eq!(report.live, vec![1, 2, 3], "a crash is not a kill");
+    assert!(report.committed > 0);
+}
+
+#[test]
+fn crash_restart_schedules_are_deterministic() {
+    let cfg = small_cfg();
+    let plan = FaultPlan {
+        actions: vec![
+            FaultAction {
+                at_ms: 35,
+                kind: FaultKind::CrashRestart {
+                    site: 2,
+                    down_ms: 60,
+                    torn: 0,
+                },
+            },
+            FaultAction {
+                at_ms: 70,
+                kind: FaultKind::Heal,
+            },
+        ],
+    };
+    let a = run_once(&cfg, &plan, 23, None);
+    let b = run_once(&cfg, &plan, 23, None);
+    assert!(a.violations.is_empty(), "{:?}", a.violations);
+    assert_eq!(a.violations, b.violations);
+    assert_eq!(a.steps, b.steps);
+    assert_eq!(a.committed, b.committed);
+    assert_eq!(a.trace, b.trace);
+}
+
+#[test]
+fn crash_sweep_passes_all_oracles() {
+    let opts = CheckOptions {
+        config: small_cfg(),
+        classes: FaultClasses::crashes_only(),
+        seeds: 24,
+        seed_start: 1,
+        shrink: false,
+        stop_at_first: false,
+        mutation: None,
+    };
+    let report = sweep(&opts);
+    assert_eq!(report.random_schedules, 24);
+    assert_eq!(report.violations, 0, "{:#?}", report.counterexamples);
+    assert!(report.committed > 0);
+}
+
+#[test]
 fn exhaustive_enumerates_the_full_alphabet() {
     let cfg = ScenarioConfig {
         objects: 1,

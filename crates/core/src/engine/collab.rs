@@ -803,7 +803,7 @@ impl Site {
         self.resolve_rc_commit(txn);
         let coverage: std::collections::BTreeMap<ObjectName, VirtualTime> =
             [(op.local, txn)].into_iter().collect();
-        self.on_committed_update(txn, &coverage);
+        self.on_committed_update(txn, self.id, &coverage);
         self.run_gc();
     }
 

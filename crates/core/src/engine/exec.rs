@@ -32,6 +32,15 @@ impl Site {
         let handle_id = self.next_handle;
         self.next_handle += 1;
         self.stats.txns_started += 1;
+        if !self.rejoin_awaiting.is_empty() {
+            // Mid-rejoin: defer the gesture until catch-up completes so it
+            // executes against caught-up state (released by finish_rejoin).
+            self.rejoin_deferred.push((handle_id, txn));
+            return TxnHandle {
+                site: self.id,
+                id: handle_id,
+            };
+        }
         let budget = self.config.retry_budget;
         self.run_attempt(handle_id, txn, budget);
         // Local execution may have committed or aborted state that parked
@@ -311,6 +320,7 @@ impl Site {
                 delegate_site: delegate_to,
                 retries_left,
                 write_tr,
+                sent_batches: Vec::new(),
             },
         );
 
@@ -327,16 +337,21 @@ impl Site {
                 }),
                 _ => None,
             };
-            self.send(
-                site,
-                Message::Txn(TxnPropagate {
-                    txn: vt,
-                    origin: self.id,
-                    updates: batch.updates,
-                    reads: batch.reads,
-                    delegate,
-                }),
-            );
+            let propagate = TxnPropagate {
+                txn: vt,
+                origin: self.id,
+                updates: batch.updates,
+                reads: batch.reads,
+                delegate,
+            };
+            // Durable sites keep each sent batch so a peer that crashes
+            // before voting can be re-sent its copy when it rejoins.
+            if self.config.durable {
+                if let Some(p) = self.pending.get_mut(&vt) {
+                    p.sent_batches.push((site, propagate.clone()));
+                }
+            }
+            self.send(site, Message::Txn(propagate));
         }
 
         self.events.push(EngineEvent::TxnExecuted {
@@ -554,7 +569,7 @@ impl Site {
             local_origin: true,
         });
         self.resolve_rc_commit(vt);
-        self.on_committed_update(vt, &p.write_tr);
+        self.on_committed_update(vt, self.id, &p.write_tr);
         self.run_gc();
     }
 

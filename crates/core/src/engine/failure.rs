@@ -31,6 +31,13 @@ impl Site {
         self.repair_graphs(failed);
         self.reap_failed_from_protocols(failed);
 
+        // A rejoin in flight must not wedge on a peer that died before
+        // acknowledging: drop it from the awaiting set and finish the
+        // rejoin if it was the last one outstanding.
+        if self.rejoin_awaiting.remove(&failed) && self.rejoin_awaiting.is_empty() {
+            self.finish_rejoin();
+        }
+
         self.events.push(EngineEvent::SiteFailureHandled { failed });
     }
 

@@ -140,6 +140,13 @@ impl Site {
                 graph,
                 at,
             } => self.on_graph_apply(ballot, target, graph, at),
+            Message::RejoinRequest {
+                frontier,
+                have,
+                serve,
+            } => self.on_rejoin_request(from, frontier, have, serve),
+            Message::RejoinAck { frontier, have } => self.on_rejoin_ack(from, frontier, have),
+            Message::CatchUp { commits, rejoined } => self.on_catch_up(from, commits, rejoined),
         }
     }
 
@@ -155,6 +162,14 @@ impl Site {
         match self.decided.get(&p.txn).copied() {
             Some(TxnOutcome::Aborted) => return,
             Some(TxnOutcome::Committed) => {
+                if self.committed_log.contains_key(&p.txn) {
+                    // Durable sites: the commit is fully applied and
+                    // recorded — a redelivery (e.g. a transport replaying
+                    // stranded envelopes after a reconnect, or an
+                    // overlapping catch-up) must not re-notify views or
+                    // append a duplicate WAL record.
+                    return;
+                }
                 match self.prevalidate(&p) {
                     Err(ApplyBlocked::MissingDependency(_)) => {
                         self.buffered.push((from, p));
@@ -175,7 +190,7 @@ impl Site {
                 let names: Vec<ObjectName> = coverage.keys().copied().collect();
                 self.schedule_optimistic(&names);
                 self.create_pess_snapshots(p.txn, &objs, true);
-                self.on_committed_update(p.txn, &coverage);
+                self.on_committed_update(p.txn, p.origin, &coverage);
                 self.run_gc();
                 return;
             }
@@ -561,7 +576,7 @@ impl Site {
         self.resolve_rc_commit(txn);
         let coverage: BTreeMap<ObjectName, VirtualTime> =
             r.objects.iter().map(|(o, t)| (*o, *t)).collect();
-        self.on_committed_update(txn, &coverage);
+        self.on_committed_update(txn, r.origin, &coverage);
         self.run_gc();
     }
 

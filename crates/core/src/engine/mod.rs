@@ -5,6 +5,7 @@ mod collab;
 mod exec;
 mod failure;
 mod handlers;
+mod recovery;
 mod views;
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -43,6 +44,11 @@ pub struct SiteConfig {
     /// model-checking oracles (see [`crate::ViewLedgerEntry`]). Off by
     /// default: the ledger grows with every delivery.
     pub view_ledger: bool,
+    /// Whether the site captures a durable [`CommitRecord`] for every
+    /// committed transaction (drained with [`Site::drain_wal`] and kept in
+    /// the in-memory committed log that serves peer catch-up). Off by
+    /// default: capture snapshots every written object on the commit path.
+    pub durable: bool,
 }
 
 impl Default for SiteConfig {
@@ -52,6 +58,7 @@ impl Default for SiteConfig {
             retry_budget: 64,
             delegate_enabled: true,
             view_ledger: false,
+            durable: false,
         }
     }
 }
@@ -77,6 +84,10 @@ pub(crate) struct PendingTxn {
     /// Per written object, the `tR` carried in its updates (pessimistic
     /// views use it as reservation coverage, §5.1.2).
     pub write_tr: BTreeMap<ObjectName, VirtualTime>,
+    /// The propagate batch sent to each peer, retained on durable sites so
+    /// a peer that crashed before voting can be re-sent its copy when it
+    /// rejoins (empty when `SiteConfig::durable` is off).
+    pub sent_batches: Vec<(SiteId, TxnPropagate)>,
 }
 
 impl fmt::Debug for PendingTxn {
@@ -252,6 +263,21 @@ pub struct Site {
     pub(crate) last_gc: Option<crate::oracle::GcWatermark>,
     /// Seeded protocol bug, injected only by checker self-tests.
     pub(crate) mutation: Option<crate::oracle::TestMutation>,
+
+    /// Durable sites only: every commit this site has fully applied, by
+    /// VT — the dedup guard for catch-up redelivery and the source a live
+    /// peer streams from when a rejoiner announces its frontier. Never
+    /// pruned (commit records are small; pruning would silently cap how
+    /// far behind a rejoiner may fall — future work is checkpoint-anchored
+    /// truncation).
+    pub(crate) committed_log: BTreeMap<VirtualTime, crate::persist::CommitRecord>,
+    /// Commit records captured since the last [`Site::drain_wal`], in
+    /// commit order; the I/O layer appends them to the on-disk log.
+    pub(crate) wal_queue: Vec<crate::persist::CommitRecord>,
+    /// Peers whose `RejoinAck` is outstanding after [`Site::begin_rejoin`].
+    pub(crate) rejoin_awaiting: BTreeSet<SiteId>,
+    /// Gestures submitted while rejoining, deferred until every ack is in.
+    pub(crate) rejoin_deferred: Vec<(u64, Box<dyn Transaction>)>,
 }
 
 impl fmt::Debug for Site {
@@ -306,6 +332,10 @@ impl Site {
             retry_after_repair: Vec::new(),
             last_gc: None,
             mutation: None,
+            committed_log: BTreeMap::new(),
+            wal_queue: Vec::new(),
+            rejoin_awaiting: BTreeSet::new(),
+            rejoin_deferred: Vec::new(),
         }
     }
 
@@ -371,12 +401,15 @@ impl Site {
     }
 
     /// Whether this site has no in-flight work (pending transactions,
-    /// joins, buffered stragglers, or unsent messages).
+    /// joins, buffered stragglers, an in-progress rejoin, or unsent
+    /// messages).
     pub fn is_quiescent(&self) -> bool {
         self.pending.is_empty()
             && self.joins.is_empty()
             && self.graph_txns.is_empty()
             && self.buffered.is_empty()
+            && self.rejoin_awaiting.is_empty()
+            && self.rejoin_deferred.is_empty()
             && self.outbox.is_empty()
     }
 
@@ -561,6 +594,12 @@ impl Site {
         }
         if !self.parked_snaps.is_empty() {
             let _ = write!(out, "parked={}; ", self.parked_snaps.len());
+        }
+        if !self.rejoin_awaiting.is_empty() {
+            let _ = write!(out, "rejoin_awaiting={:?}; ", self.rejoin_awaiting);
+        }
+        if !self.rejoin_deferred.is_empty() {
+            let _ = write!(out, "rejoin_deferred={}; ", self.rejoin_deferred.len());
         }
         out
     }

@@ -425,7 +425,15 @@ impl Site {
 
     /// Delivers every deliverable pessimistic snapshot in VT order:
     /// committed, guesses settled, and all predecessors delivered (§4.2).
+    ///
+    /// Held entirely while a rejoin is in flight: catch-up may still be
+    /// streaming commits with VTs *below* anything already pending, so
+    /// delivering now could violate monotonicity. [`Site::finish_rejoin`]
+    /// pumps every view once the history is complete.
     pub(crate) fn pump_pessimistic(&mut self, vid: ViewId) {
+        if !self.rejoin_awaiting.is_empty() {
+            return;
+        }
         loop {
             let Some(proxy) = self.views.get(&vid) else {
                 return;
@@ -513,11 +521,14 @@ impl Site {
         }
     }
 
-    /// The transaction at `vt` committed; `coverage` maps its written
-    /// objects to their `tR`.
+    /// The transaction at `vt` (originated by `origin`) committed;
+    /// `coverage` maps its written objects to their `tR`. Every commit
+    /// path funnels through here, which is also why durable WAL capture
+    /// hangs off the end.
     pub(crate) fn on_committed_update(
         &mut self,
         vt: VirtualTime,
+        origin: SiteId,
         coverage: &BTreeMap<ObjectName, VirtualTime>,
     ) {
         // Seeded bug (checker self-test): drop the commit notice, so the
@@ -557,7 +568,7 @@ impl Site {
                 }
             }
         }
-        let _ = coverage;
+        self.capture_commit(vt, origin, coverage);
     }
 
     /// The transaction at `vt` aborted; `objects` are the local objects it
@@ -746,8 +757,8 @@ impl Site {
     }
 
     /// Wire address of `obj` from the perspective of `site` (for snapshot
-    /// CONFIRM-READ requests).
-    fn addr_for(&self, obj: ObjectName, site: SiteId) -> Option<ObjectAddr> {
+    /// CONFIRM-READ requests and catch-up streaming).
+    pub(crate) fn addr_for(&self, obj: ObjectName, site: SiteId) -> Option<ObjectAddr> {
         let (root, path) = self.store.path_to(obj).ok()?;
         let (graph, _) = self.store.effective_graph(root).ok()?;
         let root_there = graph.node_at(site)?.object;

@@ -88,7 +88,10 @@ pub use message::{
 };
 pub use object::{Blueprint, ObjectKind, ObjectName};
 pub use oracle::{CommittedDigest, GcWatermark, TestMutation, ViewLedgerEntry, ViewLedgerKind};
-pub use persist::{Checkpoint, CheckpointError, ObjectCheckpoint};
+pub use persist::{
+    append_frame, crc32, scan_wal, Checkpoint, CheckpointError, CommitLog, CommitRecord,
+    ObjectCheckpoint, Recovery, WalError, WalRecord, WalScan, WAL_FORMAT_VERSION,
+};
 pub use stats::{SiteStats, TransportStats};
 // Re-exported so engine users can enable tracing ([`Site::set_trace_sink`])
 // without naming `decaf-trace` in their own dependency list.

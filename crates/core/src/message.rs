@@ -457,6 +457,44 @@ pub enum Message {
         /// Common VT at which to apply it.
         at: VirtualTime,
     },
+    /// A restarted site announcing its recovered commit frontier (§3.4's
+    /// rejoin, made durable): "I am back; here is everything I know is
+    /// committed — vote-pending work of mine is lost, and I need the
+    /// committed suffix I missed."
+    RejoinRequest {
+        /// The rejoiner's highest committed VT after WAL replay.
+        frontier: VirtualTime,
+        /// Every committed VT the rejoiner knows, so the catch-up server
+        /// can stream exactly the gap (the frontier alone is not a sound
+        /// filter: a commit with a *lower* VT may still have been in
+        /// flight at crash time).
+        have: Vec<VirtualTime>,
+        /// True at exactly one live peer — the one asked to stream the
+        /// missed committed suffix back as a [`Message::CatchUp`].
+        serve: bool,
+    },
+    /// A live peer's answer to [`Message::RejoinRequest`]: its own
+    /// committed frontier and VT set, so the rejoiner can stream *its*
+    /// side of the gap back (commits it durably logged whose broadcast the
+    /// crash swallowed).
+    RejoinAck {
+        /// The responder's highest committed VT.
+        frontier: VirtualTime,
+        /// Every committed VT the responder knows.
+        have: Vec<VirtualTime>,
+    },
+    /// A batch of already-committed transactions streamed for catch-up.
+    /// Each entry is a plain [`TxnPropagate`] (no reads, no delegate, no
+    /// reply expected) whose updates the receiver applies pre-decided.
+    CatchUp {
+        /// The missed commits, in VT order.
+        commits: Vec<TxnPropagate>,
+        /// True when sent *by* a rejoiner completing its return: after
+        /// applying `commits`, the receiver aborts any still-undecided
+        /// remote transaction originated by the sender — the crash lost
+        /// that work, and parked snapshot checks must stop waiting on it.
+        rejoined: bool,
+    },
 }
 
 impl Message {
@@ -477,6 +515,10 @@ impl Message {
             | Message::OutcomeReport { txn, .. }
             | Message::OutcomeDecision { txn, .. } => Some(*txn),
             Message::GraphPropose { at, .. } | Message::GraphApply { at, .. } => Some(*at),
+            Message::RejoinRequest { frontier, .. } | Message::RejoinAck { frontier, .. } => {
+                Some(*frontier)
+            }
+            Message::CatchUp { commits, .. } => commits.last().map(|p| p.txn),
             Message::GraphAck { .. } | Message::Heartbeat => None,
         }
     }
@@ -501,6 +543,9 @@ impl Message {
             Message::GraphPropose { .. } => "GRAPH-PROPOSE",
             Message::GraphAck { .. } => "GRAPH-ACK",
             Message::GraphApply { .. } => "GRAPH-APPLY",
+            Message::RejoinRequest { .. } => "REJOIN-REQ",
+            Message::RejoinAck { .. } => "REJOIN-ACK",
+            Message::CatchUp { .. } => "CATCH-UP",
         }
     }
 }

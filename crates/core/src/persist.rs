@@ -14,6 +14,19 @@
 //! so a recovering site either resumes from its checkpoint — if the
 //! collaboration has not repaired it away — or restores its private state
 //! and re-joins.
+//!
+//! On top of checkpoints sits the **write-ahead commit log**: an
+//! append-only file of CRC-framed, length-prefixed records — one
+//! [`CommitRecord`] per committed transaction, plus periodic inline
+//! [`Checkpoint`] records. The reader ([`scan_wal`]) tolerates torn or
+//! truncated tails by recovering the longest valid record prefix, and
+//! [`Site::recover`] rebuilds a site from the newest checkpoint plus the
+//! committed suffix, resuming the Lamport clock strictly ahead of anything
+//! logged. See DESIGN.md §S20.
+
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
@@ -21,6 +34,7 @@ use decaf_vt::{History, LamportClock, ReservationSet, SiteId, VirtualTime};
 
 use crate::engine::{Site, SiteConfig};
 use crate::graph::ReplicationGraph;
+use crate::message::WireOp;
 use crate::object::{ModelObject, ObjectKind, ObjectName, ObjectValue, PropagationMode};
 use crate::txn::TxnOutcome;
 
@@ -171,5 +185,435 @@ impl Site {
             }),
         );
         site
+    }
+
+    /// Runs bounded local drain passes (buffered stragglers, parked
+    /// snapshot evaluations, post-repair retries) and checkpoints as soon
+    /// as the site is quiescent, so callers don't hand-roll the loop
+    /// around [`Site::checkpoint`].
+    ///
+    /// # Quiescence contract
+    ///
+    /// A site is quiescent when it has no pending local transactions, no
+    /// in-flight joins or graph transactions, no buffered straggler
+    /// messages, and an empty outbox. Only the first three can ever be
+    /// resolved *locally* (a straggler unblocks once its dependency has
+    /// been applied; a parked snapshot re-evaluates after a rollback);
+    /// pending transactions wait on peer verdicts and the outbox waits on
+    /// the caller's transport, so this method cannot force quiescence on a
+    /// site mid-collaboration — drive the network until message exchange
+    /// settles, then call this. On failure, [`Site::debug_stuck`] lists
+    /// what is still in flight.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`CheckpointError::NotQuiescent`] if the site still has
+    /// in-flight work after `max_steps` passes.
+    pub fn drain_and_checkpoint(&mut self, max_steps: u32) -> Result<Checkpoint, CheckpointError> {
+        for _ in 0..max_steps.max(1) {
+            if self.is_quiescent() {
+                return self.checkpoint();
+            }
+            self.drain_pass();
+        }
+        if self.is_quiescent() {
+            return self.checkpoint();
+        }
+        Err(CheckpointError::NotQuiescent)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Write-ahead commit log
+// ---------------------------------------------------------------------------
+
+/// Format-version byte stamped on every WAL frame. A complete, CRC-valid
+/// frame with any *other* version byte makes the reader fail loudly
+/// ([`WalError::UnsupportedVersion`]) instead of misdecoding — bump this
+/// constant on any schema change to [`CommitRecord`] or [`Checkpoint`].
+pub const WAL_FORMAT_VERSION: u8 = 1;
+
+/// Frame kind byte for a [`CommitRecord`] payload.
+const WAL_KIND_COMMIT: u8 = 1;
+/// Frame kind byte for a [`Checkpoint`] payload.
+const WAL_KIND_CHECKPOINT: u8 = 2;
+/// Bytes in a frame header: version, kind, payload length, CRC-32.
+const WAL_HEADER_LEN: usize = 10;
+
+/// One committed transaction as recorded durably: its VT, the site that
+/// originated it, and the post-state of every object it touched at the
+/// logging site (serialized effects, not closures — replay is a wholesale
+/// state write, not a re-execution).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommitRecord {
+    /// The transaction's virtual time (its identity).
+    pub vt: VirtualTime,
+    /// The site that originated the transaction.
+    pub origin: SiteId,
+    /// `(object, read-time, post-state)` per touched local object.
+    pub updates: Vec<(ObjectName, VirtualTime, WireOp)>,
+}
+
+/// A decoded WAL record: a committed transaction or an inline checkpoint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[allow(clippy::large_enum_variant)]
+pub enum WalRecord {
+    /// One committed transaction.
+    Commit(CommitRecord),
+    /// A full durable-state checkpoint; replay restarts from the newest one.
+    Checkpoint(Box<Checkpoint>),
+}
+
+/// Why a WAL could not be read or written.
+#[derive(Debug)]
+pub enum WalError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A complete, CRC-valid frame carries an unknown format-version byte:
+    /// the log was written by a different schema revision. Refusing loudly
+    /// beats silently misdecoding it.
+    UnsupportedVersion {
+        /// The version byte found in the frame header.
+        found: u8,
+    },
+    /// A complete, CRC-valid frame carries an unknown kind byte.
+    UnknownKind {
+        /// The kind byte found in the frame header.
+        found: u8,
+    },
+    /// A CRC-valid payload failed to deserialize — a schema change without
+    /// a version bump.
+    SchemaMismatch {
+        /// The frame's kind byte.
+        kind: u8,
+        /// The deserializer's complaint.
+        detail: String,
+    },
+    /// Recovery needs at least one checkpoint record in the log (durable
+    /// sites write a baseline checkpoint when first opening their log).
+    NoCheckpoint,
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal io error: {e}"),
+            WalError::UnsupportedVersion { found } => write!(
+                f,
+                "wal frame has format version {found}, this build reads {WAL_FORMAT_VERSION}"
+            ),
+            WalError::UnknownKind { found } => write!(f, "wal frame has unknown kind {found}"),
+            WalError::SchemaMismatch { kind, detail } => {
+                write!(f, "wal frame (kind {kind}) failed to decode: {detail}")
+            }
+            WalError::NoCheckpoint => write!(f, "wal contains no checkpoint record"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// CRC-32 (IEEE, reflected) lookup table, built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xedb8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+fn crc32_update(state: u32, bytes: &[u8]) -> u32 {
+    bytes.iter().fold(state, |crc, &b| {
+        CRC32_TABLE[((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8)
+    })
+}
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    !crc32_update(!0, bytes)
+}
+
+/// Appends one framed record to `buf`:
+/// `[version u8][kind u8][payload-len u32 LE][crc32 u32 LE][payload]`,
+/// where the CRC covers the version, kind, and length bytes plus the
+/// payload (everything except the CRC field itself).
+pub fn append_frame(buf: &mut Vec<u8>, record: &WalRecord) {
+    let (kind, payload) = match record {
+        WalRecord::Commit(c) => (
+            WAL_KIND_COMMIT,
+            serde_json::to_vec(c).expect("commit record serializes"),
+        ),
+        WalRecord::Checkpoint(cp) => (
+            WAL_KIND_CHECKPOINT,
+            serde_json::to_vec(cp).expect("checkpoint serializes"),
+        ),
+    };
+    let mut head = [0u8; 6];
+    head[0] = WAL_FORMAT_VERSION;
+    head[1] = kind;
+    head[2..6].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    let crc = !crc32_update(crc32_update(!0, &head), &payload);
+    buf.extend_from_slice(&head);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf.extend_from_slice(&payload);
+}
+
+/// The result of scanning a WAL byte stream.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Every record in the longest valid prefix, in append order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of that prefix; anything past it is a torn tail.
+    pub valid_len: usize,
+}
+
+impl WalScan {
+    /// True if the scanned bytes ended in a torn/truncated frame.
+    pub fn truncated_at(&self, total_len: usize) -> bool {
+        self.valid_len < total_len
+    }
+}
+
+/// Decodes the longest valid record prefix of `bytes`.
+///
+/// A tail that is incomplete (truncated header or payload) or fails its
+/// CRC is treated as torn: scanning stops and `valid_len` marks the end of
+/// the last intact record — truncating a valid log at *any* byte offset
+/// recovers exactly the record prefix that fits, never panics, and never
+/// decodes a partial record. A frame that is complete and CRC-valid but
+/// carries an unknown version or kind byte, or a payload the current
+/// schema cannot decode, is *not* torn — it is a schema mismatch, and the
+/// scan fails loudly instead of guessing.
+///
+/// ```
+/// use decaf_core::{append_frame, scan_wal, CommitRecord, WalRecord};
+/// use decaf_vt::{SiteId, VirtualTime};
+///
+/// let rec = CommitRecord {
+///     vt: VirtualTime::new(3, SiteId(1)),
+///     origin: SiteId(1),
+///     updates: vec![],
+/// };
+/// let mut log = Vec::new();
+/// append_frame(&mut log, &WalRecord::Commit(rec));
+/// let whole = log.len();
+/// log.extend_from_slice(&log.clone()[..whole / 2]); // torn second record
+///
+/// let scan = scan_wal(&log).unwrap();
+/// assert_eq!(scan.records.len(), 1);
+/// assert_eq!(scan.valid_len, whole);
+/// ```
+pub fn scan_wal(bytes: &[u8]) -> Result<WalScan, WalError> {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while bytes.len() - pos >= WAL_HEADER_LEN {
+        let head = &bytes[pos..pos + WAL_HEADER_LEN];
+        let len = u32::from_le_bytes(head[2..6].try_into().expect("4 bytes")) as usize;
+        if bytes.len() - pos - WAL_HEADER_LEN < len {
+            break; // torn payload
+        }
+        let payload = &bytes[pos + WAL_HEADER_LEN..pos + WAL_HEADER_LEN + len];
+        let stored = u32::from_le_bytes(head[6..10].try_into().expect("4 bytes"));
+        let computed = !crc32_update(crc32_update(!0, &head[..6]), payload);
+        if stored != computed {
+            break; // torn or corrupt tail
+        }
+        // From here on the frame is complete and integrity-checked, so any
+        // decode trouble is a schema problem, not a torn tail.
+        if head[0] != WAL_FORMAT_VERSION {
+            return Err(WalError::UnsupportedVersion { found: head[0] });
+        }
+        let record = match head[1] {
+            WAL_KIND_COMMIT => WalRecord::Commit(serde_json::from_slice(payload).map_err(|e| {
+                WalError::SchemaMismatch {
+                    kind: WAL_KIND_COMMIT,
+                    detail: e.to_string(),
+                }
+            })?),
+            WAL_KIND_CHECKPOINT => {
+                WalRecord::Checkpoint(serde_json::from_slice(payload).map_err(|e| {
+                    WalError::SchemaMismatch {
+                        kind: WAL_KIND_CHECKPOINT,
+                        detail: e.to_string(),
+                    }
+                })?)
+            }
+            other => return Err(WalError::UnknownKind { found: other }),
+        };
+        records.push(record);
+        pos += WAL_HEADER_LEN + len;
+    }
+    Ok(WalScan {
+        records,
+        valid_len: pos,
+    })
+}
+
+/// An append-only, fsync-on-commit WAL file (`wal.log` under a site's data
+/// directory). Opening scans the existing contents, truncates any torn
+/// tail, and positions appends at the end of the valid prefix.
+#[derive(Debug)]
+pub struct CommitLog {
+    file: std::fs::File,
+    path: PathBuf,
+    len: u64,
+}
+
+impl CommitLog {
+    /// File name of the log inside a data directory.
+    pub const FILE_NAME: &'static str = "wal.log";
+
+    /// Opens (creating as needed) the log under `data_dir` and scans it.
+    pub fn open(data_dir: &Path) -> Result<(CommitLog, WalScan), WalError> {
+        std::fs::create_dir_all(data_dir)?;
+        let path = data_dir.join(Self::FILE_NAME);
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let scan = scan_wal(&bytes)?;
+        if scan.valid_len < bytes.len() {
+            file.set_len(scan.valid_len as u64)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::Start(scan.valid_len as u64))?;
+        let len = scan.valid_len as u64;
+        Ok((CommitLog { file, path, len }, scan))
+    }
+
+    fn append(&mut self, record: &WalRecord) -> Result<Duration, WalError> {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, record);
+        self.file.write_all(&buf)?;
+        let start = Instant::now();
+        self.file.sync_data()?;
+        self.len += buf.len() as u64;
+        Ok(start.elapsed())
+    }
+
+    /// Appends one committed transaction and fsyncs; returns the fsync
+    /// latency (for the WAL latency histogram).
+    pub fn append_commit(&mut self, rec: &CommitRecord) -> Result<Duration, WalError> {
+        self.append(&WalRecord::Commit(rec.clone()))
+    }
+
+    /// Appends an inline checkpoint record and fsyncs.
+    pub fn append_checkpoint(&mut self, cp: &Checkpoint) -> Result<Duration, WalError> {
+        self.append(&WalRecord::Checkpoint(Box::new(cp.clone())))
+    }
+
+    /// Atomically rewrites the log as just `cp` (tmp file + rename),
+    /// dropping the commit prefix the checkpoint already covers.
+    pub fn compact(&mut self, cp: &Checkpoint) -> Result<(), WalError> {
+        let tmp = self.path.with_extension("log.tmp");
+        let mut buf = Vec::new();
+        append_frame(&mut buf, &WalRecord::Checkpoint(Box::new(cp.clone())));
+        let mut out = std::fs::File::create(&tmp)?;
+        out.write_all(&buf)?;
+        out.sync_all()?;
+        std::fs::rename(&tmp, &self.path)?;
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&self.path)?;
+        file.seek(SeekFrom::End(0))?;
+        self.file = file;
+        self.len = buf.len() as u64;
+        Ok(())
+    }
+
+    /// Current byte length of the valid log.
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// Path of the log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// The outcome of rebuilding a site from its WAL.
+#[derive(Debug)]
+pub struct Recovery {
+    /// The recovered site (checkpoint restored, commit suffix replayed,
+    /// clock strictly ahead of everything logged).
+    pub site: Site,
+    /// How many commit records were replayed past the checkpoint.
+    pub replayed: usize,
+    /// The highest committed VT known after recovery — the frontier a
+    /// rejoining site announces to its peers for catch-up.
+    pub frontier: Option<VirtualTime>,
+}
+
+impl Site {
+    /// Rebuilds a site from scanned WAL records: restore the newest
+    /// [`Checkpoint`], replay every [`CommitRecord`] after it.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`WalError::NoCheckpoint`] if the log holds no
+    /// checkpoint record (durable sites write a baseline checkpoint when
+    /// first opening their log, so this indicates a foreign or empty log).
+    pub fn recover_from_records(
+        records: Vec<WalRecord>,
+        config: SiteConfig,
+    ) -> Result<Recovery, WalError> {
+        let mut checkpoint: Option<Box<Checkpoint>> = None;
+        let mut suffix: Vec<CommitRecord> = Vec::new();
+        for record in records {
+            match record {
+                WalRecord::Checkpoint(cp) => {
+                    checkpoint = Some(cp);
+                    suffix.clear();
+                }
+                WalRecord::Commit(c) => suffix.push(c),
+            }
+        }
+        let checkpoint = checkpoint.ok_or(WalError::NoCheckpoint)?;
+        let mut site = Site::restore_with_config(*checkpoint, config);
+        let replayed = suffix.len();
+        for rec in &suffix {
+            site.replay_commit(rec);
+        }
+        site.bump_clock_past_recovery();
+        let frontier = site.committed_frontier();
+        Ok(Recovery {
+            site,
+            replayed,
+            frontier,
+        })
+    }
+
+    /// Full restart path for a durable site: open the WAL under
+    /// `data_dir`, truncate any torn tail, restore the newest checkpoint,
+    /// and replay the committed suffix. Returns the recovery outcome plus
+    /// the open log, ready for further appends.
+    pub fn recover(data_dir: &Path, config: SiteConfig) -> Result<(Recovery, CommitLog), WalError> {
+        let (log, scan) = CommitLog::open(data_dir)?;
+        let recovery = Site::recover_from_records(scan.records, config)?;
+        Ok((recovery, log))
     }
 }

@@ -224,6 +224,184 @@ fn duplicate_failure_notifications_are_idempotent() {
 }
 
 #[test]
+fn queue_retry_after_repair_reexecutes_once_repair_lands() {
+    // A transaction parked for post-repair retry must re-execute as soon
+    // as the (fast-path) graph repair flushes the queue — and not before.
+    let (mut a, mut b, mut c, oa, ob, _oc) = trio();
+    a.queue_retry_after_repair(Box::new(Incr(oa)));
+    assert_eq!(a.read_int_current(oa), Some(0), "parked, not executed");
+    assert_eq!(a.stats().retries, 0);
+
+    // Site 3 (not the primary) fails: site 1 runs the fast-path repair,
+    // whose completion flushes the parked retry.
+    a.notify_site_failed(SiteId(3));
+    b.notify_site_failed(SiteId(3));
+    pump_alive(&mut [&mut a, &mut b, &mut c], &[SiteId(3)]);
+
+    assert_eq!(a.stats().retries, 1, "flush counts as a retry");
+    assert_eq!(a.read_int_committed(oa), Some(1));
+    assert_eq!(b.read_int_committed(ob), Some(1));
+}
+
+#[test]
+fn parked_retries_wait_for_consensus_repair() {
+    // When the dead site was the primary, repair goes through the
+    // consensus fallback — parked retries must stay parked until the
+    // repaired graph is applied, then run against it.
+    let (mut a, mut b, mut c, _oa, ob, oc) = trio();
+    b.queue_retry_after_repair(Box::new(Incr(ob)));
+
+    b.notify_site_failed(SiteId(1));
+    assert_eq!(
+        b.read_int_current(ob),
+        Some(0),
+        "consensus round in flight: the retry must not have run yet"
+    );
+
+    c.notify_site_failed(SiteId(1));
+    pump_alive(&mut [&mut a, &mut b, &mut c], &[SiteId(1)]);
+
+    assert_eq!(b.primary_of(ob).unwrap().site, SiteId(2));
+    assert_eq!(b.read_int_committed(ob), Some(1));
+    assert_eq!(c.read_int_committed(oc), Some(1));
+}
+
+/// Pumps `a` and `b` to quiescence, delivering to `c` whatever is
+/// addressed to it, while *holding* everything `c` emits — a one-way
+/// stalled link, the shape that starves a straggler of fresh state.
+fn pump_holding(a: &mut Site, b: &mut Site, c: &mut Site, held: &mut Vec<Envelope>) {
+    loop {
+        held.extend(c.drain_outbox());
+        let batch: Vec<Envelope> = a
+            .drain_outbox()
+            .into_iter()
+            .chain(b.drain_outbox())
+            .collect();
+        if batch.is_empty() {
+            held.extend(c.drain_outbox());
+            return;
+        }
+        for e in batch {
+            if e.to == a.id() {
+                a.handle_message(e);
+            } else if e.to == b.id() {
+                b.handle_message(e);
+            } else {
+                c.handle_message(e);
+            }
+        }
+    }
+}
+
+#[test]
+fn retry_budget_is_consumed_then_exhaustion_aborts_for_good() {
+    // A straggler whose every retry is denied: site 3 increments from
+    // stale state with a budget of ONE retry; between each of its attempts
+    // reaching the primary, site 2 commits another conflicting increment.
+    // Attempt 1 is denied (budget spent, retried=true), attempt 2 is
+    // denied with the budget gone — the abort must be final, surfaced to
+    // the handle and to `Transaction::handle_abort` exactly once.
+    use decaf_core::{SiteConfig, TxnOutcome};
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    struct CountingIncr(ObjectName, Arc<AtomicU32>);
+    impl Transaction for CountingIncr {
+        fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+            let v = ctx.read_int(self.0)?;
+            ctx.write_int(self.0, v + 1)
+        }
+        fn handle_abort(&mut self, _reason: &decaf_core::AbortReason) {
+            self.1.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    let cfg = SiteConfig {
+        retry_budget: 1,
+        ..SiteConfig::default()
+    };
+    let mut a = Site::with_config(SiteId(1), cfg);
+    let mut b = Site::with_config(SiteId(2), cfg);
+    let mut c = Site::with_config(SiteId(3), cfg);
+    let oa = a.create_int(0);
+    let ob = b.create_int(0);
+    let oc = c.create_int(0);
+    wiring::wire_replicas(&mut [(&mut a, oa), (&mut b, ob), (&mut c, oc)]);
+
+    let aborts = Arc::new(AtomicU32::new(0));
+    let h = c.execute(Box::new(CountingIncr(oc, Arc::clone(&aborts))));
+    let mut held: Vec<Envelope> = c.drain_outbox();
+
+    // Site 2 commits a conflicting increment everywhere while c's attempt
+    // is still in flight (held).
+    b.execute(Box::new(Incr(ob)));
+    pump_holding(&mut a, &mut b, &mut c, &mut held);
+    assert_eq!(c.read_int_committed(oc), Some(1));
+
+    // Release attempt 1: the primary denies it (a commit landed inside its
+    // read interval), c consumes its one retry and re-submits — held again.
+    for e in std::mem::take(&mut held) {
+        if e.to == a.id() {
+            a.handle_message(e);
+        } else if e.to == b.id() {
+            b.handle_message(e);
+        }
+    }
+    pump_holding(&mut a, &mut b, &mut c, &mut held);
+    assert_eq!(c.stats().retries, 1, "the single budgeted retry ran");
+    assert_eq!(c.txn_outcome(h), None, "retry still in flight");
+    assert_eq!(
+        aborts.load(Ordering::SeqCst),
+        0,
+        "not surfaced while retryable"
+    );
+
+    // Another conflicting commit lands before the retry reaches the
+    // primary.
+    b.execute(Box::new(Incr(ob)));
+    pump_holding(&mut a, &mut b, &mut c, &mut held);
+    assert_eq!(c.read_int_committed(oc), Some(2));
+
+    // Release attempt 2: denied again, and the budget is gone.
+    for e in std::mem::take(&mut held) {
+        if e.to == a.id() {
+            a.handle_message(e);
+        } else if e.to == b.id() {
+            b.handle_message(e);
+        }
+    }
+    pump_holding(&mut a, &mut b, &mut c, &mut held);
+
+    assert_eq!(c.txn_outcome(h), Some(TxnOutcome::Aborted), "final abort");
+    assert_eq!(c.stats().retries, 1, "no retry past the budget");
+    assert_eq!(
+        aborts.load(Ordering::SeqCst),
+        1,
+        "handle_abort exactly once"
+    );
+    // The final abort event is marked non-retried; the budgeted one was.
+    let events = c.drain_events();
+    let aborted: Vec<bool> = events
+        .iter()
+        .filter_map(|e| match e {
+            decaf_core::EngineEvent::TxnAborted {
+                local_origin: true,
+                retried,
+                ..
+            } => Some(*retried),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(aborted, vec![true, false], "one budgeted retry, then final");
+
+    // Let c's abort notices drain; the mesh converges without c's incr.
+    wiring::run_to_quiescence(&mut [&mut a, &mut b, &mut c]);
+    for (site, obj) in [(&a, oa), (&b, ob), (&c, oc)] {
+        assert_eq!(site.read_int_committed(obj), Some(2));
+    }
+}
+
+#[test]
 fn unrelated_objects_survive_failure_untouched() {
     let (mut a, mut b, mut c, _oa, _ob, _oc) = trio();
     // A private (unshared) object at site 1.

@@ -1,0 +1,400 @@
+//! Write-ahead commit log tests (DESIGN.md §S20): golden frame bytes pin
+//! the on-disk format, a property test proves truncation at *any* byte
+//! offset recovers exactly the longest valid record prefix, and
+//! `CommitLog`/`Site::recover` round trips exercise the full crash-restart
+//! path on a real filesystem.
+
+use std::path::PathBuf;
+
+use decaf_core::{
+    append_frame, crc32, scan_wal, wiring, CommitLog, CommitRecord, ObjectName, Site, SiteConfig,
+    Transaction, TxnCtx, TxnError, WalError, WalRecord, WAL_FORMAT_VERSION,
+};
+use decaf_vt::{SiteId, VirtualTime};
+
+struct Incr(ObjectName);
+impl Transaction for Incr {
+    fn execute(&mut self, ctx: &mut TxnCtx<'_>) -> Result<(), TxnError> {
+        let v = ctx.read_int(self.0)?;
+        ctx.write_int(self.0, v + 1)
+    }
+}
+
+fn durable_config() -> SiteConfig {
+    SiteConfig {
+        durable: true,
+        ..SiteConfig::default()
+    }
+}
+
+fn vt(lamport: u64, site: u32) -> VirtualTime {
+    VirtualTime::new(lamport, SiteId(site))
+}
+
+fn sample_commit(lamport: u64) -> CommitRecord {
+    CommitRecord {
+        vt: vt(lamport, 1),
+        origin: SiteId(1),
+        updates: vec![],
+    }
+}
+
+/// A scratch directory under the system temp dir, cleaned before use.
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("decaf-wal-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+// ---- golden bytes: the WAL frame layout is pinned -------------------------
+
+/// The frame layout — version byte, kind byte, LE length, LE CRC over
+/// header-plus-payload, then the serde_json payload — must never drift
+/// without a `WAL_FORMAT_VERSION` bump: a silent change would make old
+/// logs unreadable (or worse, misread).
+#[test]
+fn golden_commit_frame_bytes() {
+    let mut buf = Vec::new();
+    append_frame(&mut buf, &WalRecord::Commit(sample_commit(3)));
+
+    let payload = br#"{"vt":{"lamport":3,"site":1},"origin":1,"updates":[]}"#;
+    assert_eq!(buf[0], WAL_FORMAT_VERSION, "format-version byte");
+    assert_eq!(buf[0], 1, "this build writes WAL format 1");
+    assert_eq!(buf[1], 1, "kind byte 1 = Commit");
+    assert_eq!(
+        &buf[2..6],
+        (payload.len() as u32).to_le_bytes(),
+        "LE payload length"
+    );
+    assert_eq!(&buf[10..], payload, "serde_json payload");
+
+    // The CRC covers the first six header bytes plus the payload.
+    let mut covered = buf[..6].to_vec();
+    covered.extend_from_slice(payload);
+    assert_eq!(&buf[6..10], crc32(&covered).to_le_bytes(), "LE CRC-32");
+}
+
+#[test]
+fn golden_checkpoint_frame_has_kind_two() {
+    let site = Site::new(SiteId(4));
+    let cp = site.checkpoint().expect("fresh site is quiescent");
+    let mut buf = Vec::new();
+    append_frame(&mut buf, &WalRecord::Checkpoint(Box::new(cp)));
+    assert_eq!(buf[0], WAL_FORMAT_VERSION);
+    assert_eq!(buf[1], 2, "kind byte 2 = Checkpoint");
+    let len = u32::from_le_bytes(buf[2..6].try_into().unwrap()) as usize;
+    assert_eq!(buf.len(), 10 + len);
+}
+
+#[test]
+fn crc32_known_vector() {
+    // Standard IEEE check value; pins the polynomial and reflection.
+    assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+}
+
+// ---- torn tails vs schema mismatches --------------------------------------
+
+fn sample_log() -> (Vec<u8>, Vec<usize>) {
+    // A realistic log: baseline checkpoint, commits, inline checkpoint,
+    // more commits — with record boundaries for the truncation oracle.
+    let site = Site::new(SiteId(1));
+    let cp = site.checkpoint().expect("quiescent");
+    let records = vec![
+        WalRecord::Checkpoint(Box::new(cp.clone())),
+        WalRecord::Commit(sample_commit(2)),
+        WalRecord::Commit(sample_commit(3)),
+        WalRecord::Checkpoint(Box::new(cp)),
+        WalRecord::Commit(sample_commit(4)),
+    ];
+    let mut bytes = Vec::new();
+    let mut boundaries = vec![0usize];
+    for r in &records {
+        append_frame(&mut bytes, r);
+        boundaries.push(bytes.len());
+    }
+    (bytes, boundaries)
+}
+
+#[test]
+fn scan_recovers_full_log() {
+    let (bytes, boundaries) = sample_log();
+    let scan = scan_wal(&bytes).expect("intact log");
+    assert_eq!(scan.records.len(), boundaries.len() - 1);
+    assert_eq!(scan.valid_len, bytes.len());
+    assert!(!scan.truncated_at(bytes.len()));
+}
+
+/// A complete, CRC-valid frame with a foreign version byte is a schema
+/// mismatch, not a torn tail: the reader must refuse loudly.
+#[test]
+fn unknown_version_fails_loudly() {
+    let mut bytes = Vec::new();
+    append_frame(&mut bytes, &WalRecord::Commit(sample_commit(2)));
+    // Re-stamp the version byte and fix up the CRC so the frame is intact.
+    bytes[0] = WAL_FORMAT_VERSION + 1;
+    let crc = {
+        let mut covered = bytes[..6].to_vec();
+        covered.extend_from_slice(&bytes[10..]);
+        crc32(&covered)
+    };
+    bytes[6..10].copy_from_slice(&crc.to_le_bytes());
+    match scan_wal(&bytes) {
+        Err(WalError::UnsupportedVersion { found }) => {
+            assert_eq!(found, WAL_FORMAT_VERSION + 1);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_kind_fails_loudly() {
+    let mut bytes = Vec::new();
+    append_frame(&mut bytes, &WalRecord::Commit(sample_commit(2)));
+    bytes[1] = 9;
+    let crc = {
+        let mut covered = bytes[..6].to_vec();
+        covered.extend_from_slice(&bytes[10..]);
+        crc32(&covered)
+    };
+    bytes[6..10].copy_from_slice(&crc.to_le_bytes());
+    assert!(matches!(
+        scan_wal(&bytes),
+        Err(WalError::UnknownKind { found: 9 })
+    ));
+}
+
+#[test]
+fn undecodable_payload_fails_loudly() {
+    // An integrity-checked frame whose payload the schema cannot decode is
+    // a schema bug (a change without a version bump), never a silent skip.
+    let payload = b"not json";
+    let mut bytes = vec![WAL_FORMAT_VERSION, 1];
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    let crc = {
+        let mut covered = bytes.clone();
+        covered.extend_from_slice(payload);
+        crc32(&covered)
+    };
+    bytes.extend_from_slice(&crc.to_le_bytes());
+    bytes.extend_from_slice(payload);
+    assert!(matches!(
+        scan_wal(&bytes),
+        Err(WalError::SchemaMismatch { kind: 1, .. })
+    ));
+}
+
+/// Any single corrupted byte in the final record reads as a torn tail (the
+/// CRC covers header and payload alike), so the prefix survives.
+#[test]
+fn corrupt_final_record_is_torn_not_fatal() {
+    let (bytes, boundaries) = sample_log();
+    let last_start = boundaries[boundaries.len() - 2];
+    for pos in last_start..bytes.len() {
+        let mut copy = bytes.clone();
+        copy[pos] ^= 0x55;
+        let scan = scan_wal(&copy).expect("corruption reads as torn tail");
+        assert_eq!(scan.records.len(), boundaries.len() - 2, "byte {pos}");
+        assert_eq!(scan.valid_len, last_start, "byte {pos}");
+    }
+}
+
+mod truncation_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// ISSUE acceptance property: truncating a valid log at ANY byte
+        /// offset recovers exactly the longest valid record prefix — never
+        /// a panic, never a partially decoded record.
+        #[test]
+        fn any_byte_truncation_recovers_longest_valid_prefix(cut_seed in 0usize..10_000) {
+            let (bytes, boundaries) = sample_log();
+            let cut = cut_seed % (bytes.len() + 1);
+            let scan = scan_wal(&bytes[..cut]).expect("truncation is never a schema error");
+            // The longest prefix of whole records that fits in `cut` bytes:
+            let expect = boundaries.iter().filter(|b| **b <= cut).count() - 1;
+            prop_assert_eq!(scan.records.len(), expect);
+            prop_assert_eq!(scan.valid_len, boundaries[expect]);
+            prop_assert_eq!(scan.truncated_at(cut), cut != boundaries[expect]);
+        }
+    }
+}
+
+// ---- CommitLog on a real filesystem ---------------------------------------
+
+#[test]
+fn commit_log_round_trips_across_reopen() {
+    let dir = scratch_dir("reopen");
+    let site = Site::new(SiteId(1));
+    let cp = site.checkpoint().unwrap();
+
+    let (mut log, scan) = CommitLog::open(&dir).expect("fresh dir");
+    assert!(scan.records.is_empty());
+    log.append_checkpoint(&cp).unwrap();
+    log.append_commit(&sample_commit(2)).unwrap();
+    log.append_commit(&sample_commit(3)).unwrap();
+    let len = log.len_bytes();
+    drop(log);
+
+    let (log, scan) = CommitLog::open(&dir).expect("reopen");
+    assert_eq!(log.len_bytes(), len);
+    assert_eq!(scan.records.len(), 3);
+    assert!(matches!(&scan.records[0], WalRecord::Checkpoint(_)));
+    match &scan.records[2] {
+        WalRecord::Commit(c) => assert_eq!(c.vt, vt(3, 1)),
+        other => panic!("expected commit, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_tail_on_disk_is_truncated_and_appends_resume() {
+    let dir = scratch_dir("torn");
+    let site = Site::new(SiteId(1));
+    let cp = site.checkpoint().unwrap();
+    let (mut log, _) = CommitLog::open(&dir).unwrap();
+    log.append_checkpoint(&cp).unwrap();
+    log.append_commit(&sample_commit(2)).unwrap();
+    let valid = log.len_bytes();
+    let path = log.path().to_path_buf();
+    drop(log);
+
+    // Simulate a crash mid-append: half of a frame, then garbage.
+    let mut tail = Vec::new();
+    append_frame(&mut tail, &WalRecord::Commit(sample_commit(3)));
+    tail.truncate(tail.len() / 2);
+    tail.extend_from_slice(b"\xde\xad\xbe\xef");
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(&tail).unwrap();
+    }
+
+    let (mut log, scan) = CommitLog::open(&dir).expect("torn tail tolerated");
+    assert_eq!(scan.records.len(), 2, "prefix survives");
+    assert_eq!(log.len_bytes(), valid, "tail truncated away");
+    assert_eq!(std::fs::metadata(&path).unwrap().len(), valid);
+
+    // Appends after recovery land on the valid prefix.
+    log.append_commit(&sample_commit(4)).unwrap();
+    drop(log);
+    let (_, scan) = CommitLog::open(&dir).unwrap();
+    assert_eq!(scan.records.len(), 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compaction_drops_covered_prefix() {
+    let dir = scratch_dir("compact");
+    let site = Site::new(SiteId(1));
+    let cp = site.checkpoint().unwrap();
+    let (mut log, _) = CommitLog::open(&dir).unwrap();
+    log.append_checkpoint(&cp).unwrap();
+    for l in 2..30 {
+        log.append_commit(&sample_commit(l)).unwrap();
+    }
+    let before = log.len_bytes();
+    log.compact(&cp).unwrap();
+    assert!(log.len_bytes() < before, "compaction shrinks the log");
+    log.append_commit(&sample_commit(30)).unwrap();
+    drop(log);
+
+    let (_, scan) = CommitLog::open(&dir).unwrap();
+    assert_eq!(scan.records.len(), 2, "one checkpoint, one fresh commit");
+    assert!(matches!(&scan.records[0], WalRecord::Checkpoint(_)));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---- Site-level recovery --------------------------------------------------
+
+#[test]
+fn durable_site_recovers_committed_state_from_wal() {
+    let dir = scratch_dir("recover");
+    let counter;
+    {
+        let mut site = Site::with_config(SiteId(1), durable_config());
+        counter = site.create_int(0);
+        let (mut log, _) = CommitLog::open(&dir).unwrap();
+        log.append_checkpoint(&site.checkpoint().unwrap()).unwrap();
+        for _ in 0..5 {
+            site.execute(Box::new(Incr(counter)));
+        }
+        for rec in site.drain_wal() {
+            log.append_commit(&rec).unwrap();
+        }
+        assert_eq!(site.committed_log_len(), 5);
+        // Crash: site and log dropped without a final checkpoint.
+    }
+
+    let (recovery, _log) = Site::recover(&dir, durable_config()).expect("recover");
+    assert_eq!(recovery.replayed, 5, "commit suffix replayed");
+    let frontier = recovery.frontier.expect("five commits recovered");
+    assert_eq!(frontier.site, SiteId(1));
+    let mut site = recovery.site;
+    assert_eq!(site.read_int_committed(counter), Some(5));
+    assert_eq!(site.committed_log_len(), 5, "catch-up log rebuilt");
+    // The clock resumes strictly ahead of everything logged: the next
+    // commit's VT lands past the recovered frontier.
+    site.execute(Box::new(Incr(counter)));
+    assert_eq!(site.read_int_committed(counter), Some(6));
+    let fresh = site.drain_wal();
+    assert_eq!(fresh.len(), 1, "only the new commit is queued for the WAL");
+    assert!(fresh[0].vt > frontier);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovery_without_checkpoint_fails_loudly() {
+    let dir = scratch_dir("nocp");
+    let (mut log, _) = CommitLog::open(&dir).unwrap();
+    log.append_commit(&sample_commit(2)).unwrap();
+    drop(log);
+    assert!(matches!(
+        Site::recover(&dir, SiteConfig::default()),
+        Err(WalError::NoCheckpoint)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn replica_pair_logs_identical_commit_sets() {
+    let mut a = Site::with_config(SiteId(1), durable_config());
+    let mut b = Site::with_config(SiteId(2), durable_config());
+    let oa = a.create_int(0);
+    let ob = b.create_int(0);
+    wiring::wire_pair(&mut a, oa, &mut b, ob);
+    a.execute(Box::new(Incr(oa)));
+    b.execute(Box::new(Incr(ob)));
+    wiring::run_to_quiescence(&mut [&mut a, &mut b]);
+
+    let vts = |recs: Vec<CommitRecord>| {
+        let mut v: Vec<VirtualTime> = recs.into_iter().map(|r| r.vt).collect();
+        v.sort();
+        v
+    };
+    let wa = vts(a.drain_wal());
+    let wb = vts(b.drain_wal());
+    assert!(!wa.is_empty());
+    assert_eq!(wa, wb, "both replicas log the same committed VTs");
+    // Draining leaves the in-memory catch-up log intact.
+    assert_eq!(a.committed_log_len(), wa.len());
+    assert!(a.drain_wal().is_empty(), "drain is a take, not a copy");
+}
+
+#[test]
+fn drain_and_checkpoint_reaches_quiescence_locally() {
+    let mut site = Site::with_config(SiteId(1), durable_config());
+    let counter = site.create_int(0);
+    site.execute(Box::new(Incr(counter)));
+    // A lone site commits locally; any parked work drains without a peer.
+    let cp = site
+        .drain_and_checkpoint(16)
+        .expect("single site reaches quiescence");
+    assert_eq!(cp.site, SiteId(1));
+    assert!(cp.object_count() >= 1);
+}

@@ -314,6 +314,14 @@ pub struct SimNet<M> {
     queue: BinaryHeap<Queued<M>>,
     latency: LatencyModel,
     failed: HashSet<SiteId>,
+    /// Sites transiently down (crash-restart, **without** fail-stop
+    /// notification — the failure detector hasn't fired, or the site is
+    /// expected back before it would). In-flight deliveries to a crashed
+    /// site are lost with its process; *new* sends are parked per the
+    /// sender's retrying transport and redelivered FIFO on restart.
+    crashed: HashSet<SiteId>,
+    /// Messages parked while their destination is crashed, in send order.
+    crash_parked: Vec<(SiteId, SiteId, M)>,
     fail_mode: FailMode,
     /// Bidirectionally severed links (network partition). Messages sent
     /// while a link is down are dropped; in-flight messages still arrive.
@@ -342,6 +350,8 @@ impl<M> SimNet<M> {
             queue: BinaryHeap::new(),
             latency,
             failed: HashSet::new(),
+            crashed: HashSet::new(),
+            crash_parked: Vec::new(),
             fail_mode: FailMode::default(),
             down_links: HashSet::new(),
             partition: None,
@@ -385,9 +395,18 @@ impl<M> SimNet<M> {
         self.stats.sent += 1;
         if self.failed.contains(&from)
             || self.failed.contains(&to)
+            || self.crashed.contains(&from)
             || self.down_links.contains(&link_key(from, to))
         {
             self.drop_on_link(from, to);
+            return;
+        }
+        if self.crashed.contains(&to) {
+            // The destination's process is down but expected back: the
+            // sender's transport holds the envelope and retries after
+            // reconnect (mirroring the TCP mesh's stranded-envelope
+            // redelivery), so park rather than drop.
+            self.crash_parked.push((from, to, msg));
             return;
         }
         if self.crosses_partition(from, to) {
@@ -477,6 +496,10 @@ impl<M> SimNet<M> {
                 self.drop_on_link(from, to);
                 continue;
             }
+            if self.crashed.contains(&to) {
+                self.crash_parked.push((from, to, msg));
+                continue;
+            }
             self.schedule_msg(from, to, msg);
         }
     }
@@ -489,6 +512,11 @@ impl<M> SimNet<M> {
     /// Number of messages currently parked by an active partition.
     pub fn parked(&self) -> usize {
         self.parked.len()
+    }
+
+    /// Number of messages parked for crashed destinations.
+    pub fn crash_parked(&self) -> usize {
+        self.crash_parked.len()
     }
 
     /// Whether a send `from -> to` would cross the active partition.
@@ -608,6 +636,74 @@ impl<M> SimNet<M> {
         }
     }
 
+    /// Crashes `site` *transiently*: its process dies now but is expected
+    /// to restart ([`restart_site`](SimNet::restart_site)), so — unlike
+    /// [`fail_site`](SimNet::fail_site) — **no** failure notification is
+    /// emitted (the failure detector's window is assumed longer than the
+    /// outage). In-flight deliveries addressed to the site are lost with
+    /// its process (kernel socket buffers die with it); traffic it already
+    /// put on the wire still arrives. Sends addressed to it while down are
+    /// parked FIFO and redelivered on restart, modelling peers' retrying
+    /// transports. Timers for the site are *kept*: the fault injector uses
+    /// a timer to schedule the restart itself, and the driver is expected
+    /// to ignore application timers that fire for a crashed site.
+    pub fn crash_site(&mut self, site: SiteId) {
+        self.crashed.insert(site);
+        let drained = std::mem::take(&mut self.queue);
+        let mut kept = BinaryHeap::with_capacity(drained.len());
+        for q in drained {
+            match &q.payload {
+                Payload::Msg { from, to, .. } if *to == site => {
+                    let (from, to) = (*from, *to);
+                    self.drop_on_link(from, to);
+                }
+                _ => kept.push(q),
+            }
+        }
+        self.queue = kept;
+        // Partition-parked traffic addressed to the crashed site moves to
+        // the crash queue so a heal during the outage cannot deliver it
+        // early; it is released (and re-checked against any partition) at
+        // restart.
+        let parked = std::mem::take(&mut self.parked);
+        for (from, to, msg) in parked {
+            if to == site {
+                self.crash_parked.push((from, to, msg));
+            } else {
+                self.parked.push((from, to, msg));
+            }
+        }
+    }
+
+    /// Brings a crashed site back: parked traffic addressed to it is
+    /// re-injected in send order with freshly sampled latencies (per-link
+    /// FIFO floors keep each directed link ordered, and later sends cannot
+    /// overtake the redelivered batch). Messages whose sender has since
+    /// fail-stopped are dropped; messages that would cross an active
+    /// partition are parked with the partition's traffic instead.
+    pub fn restart_site(&mut self, site: SiteId) {
+        if !self.crashed.remove(&site) {
+            return;
+        }
+        let parked = std::mem::take(&mut self.crash_parked);
+        for (from, to, msg) in parked {
+            if to != site {
+                self.crash_parked.push((from, to, msg));
+            } else if self.failed.contains(&from) {
+                self.drop_on_link(from, to);
+            } else if self.crosses_partition(from, to) {
+                self.parked.push((from, to, msg));
+            } else {
+                self.schedule_msg(from, to, msg);
+            }
+        }
+    }
+
+    /// Whether `site` is currently crashed (down but expected back).
+    pub fn is_crashed(&self, site: SiteId) -> bool {
+        self.crashed.contains(&site)
+    }
+
     /// Pops the next event, advancing simulated time to it.
     ///
     /// Returns `None` when the queue is empty (the system has quiesced).
@@ -621,6 +717,14 @@ impl<M> SimNet<M> {
                         self.fail_mode == FailMode::DropInFlight && self.failed.contains(&from);
                     if self.failed.contains(&to) || from_dead {
                         self.drop_on_link(from, to);
+                        continue;
+                    }
+                    if self.crashed.contains(&to) {
+                        // Scheduled before the crash via a path that did
+                        // not purge (e.g. a heal raced the outage): the
+                        // destination is down, so the sender's transport
+                        // holds it for redelivery at restart.
+                        self.crash_parked.push((from, to, msg));
                         continue;
                     }
                     self.stats.delivered += 1;
@@ -642,7 +746,10 @@ impl<M> SimNet<M> {
                     });
                 }
                 Payload::FailNotice { observer, failed } => {
-                    if self.failed.contains(&observer) {
+                    if self.failed.contains(&observer) || self.crashed.contains(&observer) {
+                        // A crashed observer's detector state dies with
+                        // it; after restart it re-learns membership from
+                        // the rejoin exchange instead.
                         continue;
                     }
                     return Some(Event::SiteFailed {
@@ -1024,6 +1131,93 @@ mod tests {
         // final delivery also requires the sender to be alive at delivery
         // time only in DropInFlight mode.
         assert!(delivered, "pre-failure sends delivered in DeliverInFlight");
+    }
+
+    #[test]
+    fn crash_loses_inbound_in_flight_keeps_outbound_and_parks_new_sends() {
+        let mut n = net(10);
+        n.send(SiteId(1), SiteId(2), 7); // inbound to the crashing site
+        n.send(SiteId(2), SiteId(3), 8); // already on the wire from it
+        n.crash_site(SiteId(2));
+        assert!(n.is_crashed(SiteId(2)));
+        assert_eq!(n.stats().dropped, 1, "inbound in-flight died with it");
+        let mut got = Vec::new();
+        while let Some(e) = n.step() {
+            match e {
+                Event::Deliver { msg, .. } => got.push(msg),
+                Event::SiteFailed { .. } => panic!("crash must not emit a failure notice"),
+                _ => {}
+            }
+        }
+        assert_eq!(got, vec![8], "outbound in-flight still arrives");
+        // New sends to the crashed site are parked, not dropped.
+        n.send(SiteId(3), SiteId(2), 9);
+        assert_eq!(n.crash_parked(), 1);
+        assert_eq!(n.stats().dropped, 1);
+    }
+
+    #[test]
+    fn restart_redelivers_parked_sends_in_order() {
+        let mut n = net(10);
+        n.crash_site(SiteId(2));
+        n.send(SiteId(1), SiteId(2), 1);
+        n.send(SiteId(1), SiteId(2), 2);
+        n.send(SiteId(3), SiteId(2), 3);
+        assert!(n.step().is_none(), "everything parked while down");
+        n.restart_site(SiteId(2));
+        assert!(!n.is_crashed(SiteId(2)));
+        assert_eq!(n.crash_parked(), 0);
+        n.send(SiteId(1), SiteId(2), 4); // must not overtake the batch
+        let mut got = Vec::new();
+        while let Some(e) = n.step() {
+            if let Event::Deliver { to, msg, .. } = e {
+                assert_eq!(to, SiteId(2));
+                got.push(msg);
+            }
+        }
+        assert_eq!(got, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn timers_for_crashed_site_still_fire() {
+        // The fault injector schedules the restart itself as a timer for
+        // the crashed site, so crash must not swallow timers.
+        let mut n = net(10);
+        n.crash_site(SiteId(2));
+        n.set_timer(SiteId(2), SimTime::from_millis(5), 77);
+        assert!(matches!(
+            n.step(),
+            Some(Event::Timer {
+                site: SiteId(2),
+                token: 77,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn heal_during_crash_holds_traffic_until_restart() {
+        let mut n = net(10);
+        n.partition(&[SiteId(1)], &[SiteId(2)]);
+        n.send(SiteId(1), SiteId(2), 5);
+        assert_eq!(n.parked(), 1);
+        n.crash_site(SiteId(2));
+        assert_eq!(n.parked(), 0, "moved to the crash queue");
+        assert_eq!(n.crash_parked(), 1);
+        n.heal();
+        assert!(
+            n.step().is_none(),
+            "healing must not deliver to a crashed site"
+        );
+        n.restart_site(SiteId(2));
+        assert!(matches!(
+            n.step(),
+            Some(Event::Deliver {
+                to: SiteId(2),
+                msg: 5,
+                ..
+            })
+        ));
     }
 
     #[test]

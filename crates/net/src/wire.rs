@@ -1177,6 +1177,33 @@ mod json {
                 vt(o, at);
                 o.push_str("}}");
             }
+            Message::RejoinRequest {
+                frontier,
+                have,
+                serve,
+            } => {
+                o.push_str("{\"RejoinRequest\":{\"frontier\":");
+                vt(o, frontier);
+                o.push_str(",\"have\":");
+                seq(o, have, vt);
+                o.push_str(",\"serve\":");
+                boolean(o, *serve);
+                o.push_str("}}");
+            }
+            Message::RejoinAck { frontier, have } => {
+                o.push_str("{\"RejoinAck\":{\"frontier\":");
+                vt(o, frontier);
+                o.push_str(",\"have\":");
+                seq(o, have, vt);
+                o.push_str("}}");
+            }
+            Message::CatchUp { commits, rejoined } => {
+                o.push_str("{\"CatchUp\":{\"commits\":");
+                seq(o, commits, propagate);
+                o.push_str(",\"rejoined\":");
+                boolean(o, *rejoined);
+                o.push_str("}}");
+            }
         }
     }
 
@@ -1835,6 +1862,15 @@ mod json {
         Ok(out)
     }
 
+    fn d_vts(p: &mut P) -> Result<Vec<VirtualTime>, String> {
+        let mut out = Vec::new();
+        arr(p, |p| {
+            out.push(d_vt(p)?);
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
     fn d_delegate(p: &mut P) -> Result<Delegate, String> {
         let mut notify = None;
         obj(p, |p, k| {
@@ -2226,6 +2262,60 @@ mod json {
                     at: miss(at, "at")?,
                 })
             }
+            "RejoinRequest" => {
+                let (mut frontier, mut have, mut serve) = (None, None, None);
+                obj(p, |p, k| {
+                    match k {
+                        "frontier" => frontier = Some(d_vt(p)?),
+                        "have" => have = Some(d_vts(p)?),
+                        "serve" => serve = Some(p.boolv()?),
+                        _ => p.skip()?,
+                    }
+                    Ok(())
+                })?;
+                Ok(Message::RejoinRequest {
+                    frontier: miss(frontier, "frontier")?,
+                    have: miss(have, "have")?,
+                    serve: miss(serve, "serve")?,
+                })
+            }
+            "RejoinAck" => {
+                let (mut frontier, mut have) = (None, None);
+                obj(p, |p, k| {
+                    match k {
+                        "frontier" => frontier = Some(d_vt(p)?),
+                        "have" => have = Some(d_vts(p)?),
+                        _ => p.skip()?,
+                    }
+                    Ok(())
+                })?;
+                Ok(Message::RejoinAck {
+                    frontier: miss(frontier, "frontier")?,
+                    have: miss(have, "have")?,
+                })
+            }
+            "CatchUp" => {
+                let (mut commits, mut rejoined) = (None, None);
+                obj(p, |p, k| {
+                    match k {
+                        "commits" => {
+                            let mut cs = Vec::new();
+                            arr(p, |p| {
+                                cs.push(d_propagate(p)?);
+                                Ok(())
+                            })?;
+                            commits = Some(cs);
+                        }
+                        "rejoined" => rejoined = Some(p.boolv()?),
+                        _ => p.skip()?,
+                    }
+                    Ok(())
+                })?;
+                Ok(Message::CatchUp {
+                    commits: miss(commits, "commits")?,
+                    rejoined: miss(rejoined, "rejoined")?,
+                })
+            }
             t => Err(format!("unknown Message variant {t:?}")),
         })
     }
@@ -2516,6 +2606,13 @@ mod bin {
         }
     }
 
+    fn vts(o: &mut Vec<u8>, xs: &[VirtualTime]) {
+        put_varint(o, xs.len() as u64);
+        for t in xs {
+            vt(o, t);
+        }
+    }
+
     fn graph(o: &mut Vec<u8>, g: &ReplicationGraph) {
         let nodes: Vec<&NodeRef> = g.nodes().collect();
         put_varint(o, nodes.len() as u64);
@@ -2704,6 +2801,29 @@ mod bin {
                 oname(o, target);
                 graph(o, g);
                 vt(o, at);
+            }
+            Message::RejoinRequest {
+                frontier,
+                have,
+                serve,
+            } => {
+                o.push(17);
+                vt(o, frontier);
+                vts(o, have);
+                put_bool(o, *serve);
+            }
+            Message::RejoinAck { frontier, have } => {
+                o.push(18);
+                vt(o, frontier);
+                vts(o, have);
+            }
+            Message::CatchUp { commits, rejoined } => {
+                o.push(19);
+                put_varint(o, commits.len() as u64);
+                for c in commits {
+                    propagate(o, c);
+                }
+                put_bool(o, *rejoined);
             }
         }
     }
@@ -2999,6 +3119,15 @@ mod bin {
         })
     }
 
+    fn d_vts(r: &mut R) -> Result<Vec<VirtualTime>, String> {
+        let n = r.count()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(d_vt(r)?);
+        }
+        Ok(out)
+    }
+
     fn d_sites(r: &mut R) -> Result<Vec<SiteId>, String> {
         let n = r.count()?;
         let mut out = Vec::with_capacity(n);
@@ -3153,6 +3282,26 @@ mod bin {
                 graph: d_graph(r)?,
                 at: d_vt(r)?,
             }),
+            17 => Ok(Message::RejoinRequest {
+                frontier: d_vt(r)?,
+                have: d_vts(r)?,
+                serve: r.boolv()?,
+            }),
+            18 => Ok(Message::RejoinAck {
+                frontier: d_vt(r)?,
+                have: d_vts(r)?,
+            }),
+            19 => {
+                let n = r.count()?;
+                let mut commits = Vec::with_capacity(n);
+                for _ in 0..n {
+                    commits.push(d_propagate(r)?);
+                }
+                Ok(Message::CatchUp {
+                    commits,
+                    rejoined: r.boolv()?,
+                })
+            }
             t => Err(format!("unknown Message tag {t}")),
         }
     }

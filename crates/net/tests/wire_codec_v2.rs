@@ -266,6 +266,34 @@ fn sample_envelopes() -> Vec<Envelope> {
             graph: sample_graph(),
             at: vt(250, 1),
         },
+        Message::RejoinRequest {
+            frontier: vt(260, 2),
+            have: vec![vt(255, 1), vt(260, 2)],
+            serve: true,
+        },
+        Message::RejoinRequest {
+            frontier: VirtualTime::ZERO,
+            have: vec![],
+            serve: false,
+        },
+        Message::RejoinAck {
+            frontier: vt(261, 3),
+            have: vec![vt(255, 1)],
+        },
+        Message::CatchUp {
+            commits: vec![TxnPropagate {
+                txn: vt(262, 1),
+                origin: SiteId(1),
+                updates: sample_updates(),
+                reads: vec![],
+                delegate: None,
+            }],
+            rejoined: false,
+        },
+        Message::CatchUp {
+            commits: vec![],
+            rejoined: true,
+        },
     ];
     msgs.into_iter()
         .enumerate()
@@ -489,7 +517,7 @@ fn arb_outcome() -> impl Strategy<Value = TxnOutcome> {
     prop_oneof![Just(TxnOutcome::Committed), Just(TxnOutcome::Aborted)]
 }
 
-/// Every one of the sixteen `Message` variants, with arbitrary contents.
+/// Every one of the nineteen `Message` variants, with arbitrary contents.
 fn arb_msg() -> impl Strategy<Value = Message> {
     let group_a = prop_oneof![
         (
@@ -643,6 +671,37 @@ fn arb_msg() -> impl Strategy<Value = Message> {
                 at
             }
         ),
+        (
+            arb_vt(),
+            proptest::collection::vec(arb_vt(), 0..4),
+            any::<bool>(),
+        )
+            .prop_map(|(frontier, have, serve)| Message::RejoinRequest {
+                frontier,
+                have,
+                serve
+            }),
+        (arb_vt(), proptest::collection::vec(arb_vt(), 0..4))
+            .prop_map(|(frontier, have)| Message::RejoinAck { frontier, have }),
+        (
+            proptest::collection::vec(
+                (
+                    arb_vt(),
+                    arb_site(),
+                    proptest::collection::vec(arb_update(), 0..3),
+                )
+                    .prop_map(|(txn, origin, updates)| TxnPropagate {
+                        txn,
+                        origin,
+                        updates,
+                        reads: vec![],
+                        delegate: None,
+                    }),
+                0..3,
+            ),
+            any::<bool>(),
+        )
+            .prop_map(|(commits, rejoined)| Message::CatchUp { commits, rejoined }),
     ]
     .boxed();
     prop_oneof![group_a, group_b]
@@ -765,6 +824,82 @@ fn golden_v2_heartbeat_payload() {
         wire::decode_envelope_v2(&golden).unwrap(),
         golden_heartbeat_env()
     );
+}
+
+#[test]
+fn golden_v2_rejoin_request_payload() {
+    let env = Envelope {
+        from: SiteId(3),
+        to: SiteId(1),
+        clock: vt(42, 3),
+        msg: Message::RejoinRequest {
+            frontier: vt(41, 3),
+            have: vec![vt(40, 1), vt(41, 3)],
+            serve: true,
+        },
+    };
+    let golden = [
+        0x03, 0x01, 0x2a, 0x03, // from | to | clock
+        0x11, // tag 17 = RejoinRequest
+        0x29, 0x03, // frontier
+        0x02, 0x28, 0x01, 0x29, 0x03, // have: count | vt | vt
+        0x01, // serve = true
+    ];
+    assert_eq!(wire::encode_envelope_v2(&env), golden);
+    assert_eq!(wire::decode_envelope_v2(&golden).unwrap(), env);
+}
+
+#[test]
+fn golden_v2_rejoin_ack_payload() {
+    let env = Envelope {
+        from: SiteId(1),
+        to: SiteId(3),
+        clock: vt(43, 1),
+        msg: Message::RejoinAck {
+            frontier: vt(41, 3),
+            have: vec![vt(40, 1)],
+        },
+    };
+    let golden = [
+        0x01, 0x03, 0x2b, 0x01, // from | to | clock
+        0x12, // tag 18 = RejoinAck
+        0x29, 0x03, // frontier
+        0x01, 0x28, 0x01, // have: count | vt
+    ];
+    assert_eq!(wire::encode_envelope_v2(&env), golden);
+    assert_eq!(wire::decode_envelope_v2(&golden).unwrap(), env);
+}
+
+#[test]
+fn golden_v2_catch_up_payload() {
+    let env = Envelope {
+        from: SiteId(3),
+        to: SiteId(1),
+        clock: vt(44, 3),
+        msg: Message::CatchUp {
+            commits: vec![TxnPropagate {
+                txn: vt(41, 3),
+                origin: SiteId(3),
+                updates: vec![],
+                reads: vec![],
+                delegate: None,
+            }],
+            rejoined: true,
+        },
+    };
+    let golden = [
+        0x03, 0x01, 0x2c, 0x03, // from | to | clock
+        0x13, // tag 19 = CatchUp
+        0x01, // one commit
+        0x29, 0x03, // txn
+        0x03, // origin
+        0x00, // no updates
+        0x00, // no reads
+        0x00, // no delegate
+        0x01, // rejoined = true
+    ];
+    assert_eq!(wire::encode_envelope_v2(&env), golden);
+    assert_eq!(wire::decode_envelope_v2(&golden).unwrap(), env);
 }
 
 #[test]

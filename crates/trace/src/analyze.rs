@@ -43,6 +43,16 @@ pub struct SiteReplay {
     pub sites_failed: u64,
     /// History entries discarded by GC sweeps (sum of `n`).
     pub gc_discarded: u64,
+    /// WAL append events seen (file appends and engine captures alike).
+    pub wal_appends: u64,
+    /// Bytes (or captured updates — whichever the emitter counts in `n`)
+    /// appended to the write-ahead log.
+    pub wal_bytes: u64,
+    /// Completed crash recoveries (RecoveryDone events).
+    pub recoveries: u64,
+    /// Gestures that were deferred during catch-up and released when
+    /// recovery finished (sum of RecoveryDone `n`).
+    pub deferred_released: u64,
     /// TxnBegin → Commit latency, nanoseconds.
     pub commit_lat_ns: Histogram,
     /// ViewOptimistic → ViewCommitted staleness, nanoseconds.
@@ -109,7 +119,17 @@ impl fmt::Display for SiteReplay {
             self.reconnects,
             self.sites_failed,
             self.gc_discarded,
-        )
+        )?;
+        // Durability counters only appear for durable runs, so digests of
+        // WAL-less traces are byte-identical to what they always were.
+        if self.wal_appends > 0 || self.recoveries > 0 {
+            write!(
+                f,
+                "\n  wal: appends={} bytes={} recoveries={} deferred-released={}",
+                self.wal_appends, self.wal_bytes, self.recoveries, self.deferred_released,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -193,6 +213,14 @@ impl Replay {
             TraceKind::Reconnect => site.reconnects += 1,
             TraceKind::SiteFailed => site.sites_failed += 1,
             TraceKind::GcSweep => site.gc_discarded += ev.n.unwrap_or(0),
+            TraceKind::WalAppend => {
+                site.wal_appends += 1;
+                site.wal_bytes += ev.n.unwrap_or(0);
+            }
+            TraceKind::RecoveryDone => {
+                site.recoveries += 1;
+                site.deferred_released += ev.n.unwrap_or(0);
+            }
             _ => {}
         }
     }
@@ -274,6 +302,32 @@ mod tests {
         let text = "{\"site\":1,\"ts_ns\":1,\"kind\":\"Commit\"}\n\nnot json\n";
         let err = replay.observe_jsonl(text).unwrap_err();
         assert_eq!(err.0, 3);
+    }
+
+    #[test]
+    fn durability_events_fold_into_wal_counters() {
+        let mut replay = Replay::new();
+        let ev = |kind, n| TraceEvent {
+            site: 3,
+            ts_ns: 1,
+            kind,
+            vt: None,
+            peer: None,
+            n,
+        };
+        replay.observe(&ev(TraceKind::RecoveryBegin, None));
+        replay.observe(&ev(TraceKind::RecoveryDone, Some(2)));
+        replay.observe(&ev(TraceKind::WalAppend, Some(64)));
+        replay.observe(&ev(TraceKind::WalAppend, Some(32)));
+        let site = &replay.sites()[&3];
+        assert_eq!(site.recoveries, 1);
+        assert_eq!(site.deferred_released, 2);
+        assert_eq!(site.wal_appends, 2);
+        assert_eq!(site.wal_bytes, 96);
+        let text = format!("{site}");
+        assert!(text.contains("wal: appends=2 bytes=96 recoveries=1 deferred-released=2"));
+        // WAL-less digests keep their historical shape.
+        assert!(!format!("{}", SiteReplay::default()).contains("wal:"));
     }
 
     #[test]

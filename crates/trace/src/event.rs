@@ -49,11 +49,23 @@ pub enum TraceKind {
     SiteFailed,
     /// A garbage-collection sweep discarded `n` history entries.
     GcSweep,
+    /// A restarted site began its recovery/rejoin: `vt` is the recovered
+    /// commit frontier, `peer` the chosen catch-up server, `n` how many
+    /// peers were contacted.
+    RecoveryBegin,
+    /// Recovery finished (every rejoin ack received): `vt` is the
+    /// committed frontier afterwards, `n` how many deferred gestures were
+    /// released.
+    RecoveryDone,
+    /// A commit record was appended to the write-ahead log; `vt` is the
+    /// committed transaction, `n` the number of object updates captured
+    /// (engine capture) or the record's byte size (file append).
+    WalAppend,
 }
 
 impl TraceKind {
     /// All kinds, in declaration order. Handy for table-driven tests.
-    pub const ALL: [TraceKind; 12] = [
+    pub const ALL: [TraceKind; 15] = [
         TraceKind::TxnBegin,
         TraceKind::Guess,
         TraceKind::Commit,
@@ -66,6 +78,9 @@ impl TraceKind {
         TraceKind::Reconnect,
         TraceKind::SiteFailed,
         TraceKind::GcSweep,
+        TraceKind::RecoveryBegin,
+        TraceKind::RecoveryDone,
+        TraceKind::WalAppend,
     ];
 
     /// The canonical wire name of this kind.
@@ -83,6 +98,9 @@ impl TraceKind {
             TraceKind::Reconnect => "Reconnect",
             TraceKind::SiteFailed => "SiteFailed",
             TraceKind::GcSweep => "GcSweep",
+            TraceKind::RecoveryBegin => "RecoveryBegin",
+            TraceKind::RecoveryDone => "RecoveryDone",
+            TraceKind::WalAppend => "WalAppend",
         }
     }
 

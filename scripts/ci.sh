@@ -31,6 +31,14 @@ run env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 # test, so parallel runs do not collide).
 run cargo test --workspace --offline -q
 
+# Crash-restart durability gate: three real processes, SIGKILL the durable
+# one mid-run, restart it from its --data-dir, and require WAL replay +
+# catch-up + convergence on the identical exit value. Included in the
+# workspace run above, but gated by name so a test-filter change can never
+# silently drop it.
+run cargo test -p decaf-apps --test tcp_transport --offline -q \
+    durable_site_recovers_from_sigkill_and_rejoins
+
 # The deterministic-trace golden test is the observability contract: a
 # fixed sim workload must keep producing byte-identical JSONL traces.
 run cargo test -p decaf-net --test trace_golden --offline -q
@@ -55,9 +63,11 @@ else
 fi
 
 # Model-checker smoke: bounded deterministic-simulation exploration (512
-# seeded random fault schedules plus one exhaustively enumerated 3-site
-# configuration) with every invariant oracle armed. The bin exits non-zero
-# on any violation; the checks below also pin the exploration floor.
+# seeded random fault schedules, 128 crash-restart schedules exercising
+# WAL recovery with torn tails and the rejoin protocol, plus one
+# exhaustively enumerated 3-site configuration) with every invariant
+# oracle armed. The bin exits non-zero on any violation; the checks below
+# also pin the exploration floor.
 echo "==> decaf-check --smoke --json"
 CHECK_JSON="$(cargo run -p decaf-apps --bin decaf-check --release --offline -q -- --smoke --json)"
 if command -v python3 >/dev/null 2>&1; then
@@ -66,7 +76,7 @@ import json, sys
 r = json.load(sys.stdin)
 assert r["ok"], r
 assert r["violations"] == 0, r
-assert r["random_schedules"] >= 500, r
+assert r["random_schedules"] >= 640, r
 assert r["exhaustive_schedules"] >= 100, r
 assert r["committed"] > 0, r
 '

@@ -16,6 +16,12 @@
 //! 3. The survivors must observe the transport's `SiteFailed` verdict,
 //!    run the §3.4 failure recovery, and then commit two more increments
 //!    each (`final value=10` = 6 + 2 × 2 survivors), exiting 0.
+//!
+//! A second scenario exercises the durability path instead: site 3 runs
+//! with `--data-dir`, is SIGKILLed after fsyncing phase 1 to its
+//! write-ahead log, and is restarted from the same directory — it must
+//! replay the log, rejoin via the §3.4 catch-up protocol, and converge
+//! with the survivors on the identical final value.
 
 use std::fs;
 use std::net::TcpListener;
@@ -55,9 +61,13 @@ fn reserve_addr() -> String {
     l.local_addr().expect("local addr").to_string()
 }
 
-fn spawn_site(site: u32, addrs: &[String]) -> Daemon {
+/// Builds the shared parts of a `decaf-site` invocation: log redirection
+/// (the `tag` keeps a restarted process's log distinct from its first
+/// incarnation's), listen address, peer table, and the runtime ceiling.
+/// Callers add the workload flags and spawn.
+fn site_cmd(site: u32, tag: &str, addrs: &[String]) -> (Command, PathBuf) {
     let log = std::env::temp_dir().join(format!(
-        "decaf-tcp-test-{}-site{site}.log",
+        "decaf-tcp-test-{}-site{site}{tag}.log",
         std::process::id()
     ));
     let out = fs::File::create(&log).expect("create log file");
@@ -67,12 +77,6 @@ fn spawn_site(site: u32, addrs: &[String]) -> Daemon {
         .arg(site.to_string())
         .arg("--listen")
         .arg(&addrs[(site - 1) as usize])
-        .arg("--txns")
-        .arg(TXNS.to_string())
-        .arg("--on-fail-txns")
-        .arg(ON_FAIL_TXNS.to_string())
-        .arg("--linger-ms")
-        .arg("500")
         .arg("--max-runtime-ms")
         .arg("60000")
         .stdin(Stdio::null())
@@ -84,6 +88,17 @@ fn spawn_site(site: u32, addrs: &[String]) -> Daemon {
                 .arg(format!("{peer}={}", addrs[(peer - 1) as usize]));
         }
     }
+    (cmd, log)
+}
+
+fn spawn_site(site: u32, addrs: &[String]) -> Daemon {
+    let (mut cmd, log) = site_cmd(site, "", addrs);
+    cmd.arg("--txns")
+        .arg(TXNS.to_string())
+        .arg("--on-fail-txns")
+        .arg(ON_FAIL_TXNS.to_string())
+        .arg("--linger-ms")
+        .arg("500");
     let child = cmd.spawn().expect("spawn decaf-site");
     Daemon { child, log }
 }
@@ -175,6 +190,162 @@ fn three_processes_converge_and_survive_a_sigkill() {
         "victim log:\n{}",
         victim.log_contents()
     );
+}
+
+#[test]
+fn durable_site_recovers_from_sigkill_and_rejoins() {
+    // Crash durability, end to end over real processes and sockets:
+    //
+    // 1. Sites 1 and 2 run 3 txns each and wait for the grand total of 11
+    //    (9 from phase 1 + 2 from the victim's second incarnation).
+    // 2. Site 3 runs durable (`--data-dir`): every commit is fsynced to
+    //    its write-ahead log before the commit broadcast leaves the
+    //    process. It targets only the phase-1 total (9) and lingers long,
+    //    so the SIGKILL below always lands before a clean exit.
+    // 3. Once site 3 reports `phase1-done value=9` — by which point all 9
+    //    commits are on disk, because the daemon drains the WAL ahead of
+    //    the phase check in the same pump iteration — it gets SIGKILLed
+    //    and immediately restarted from the same data dir and address.
+    // 4. The restart must replay the log (`recovered wal-records=`), run
+    //    the §3.4 rejoin/catch-up (`rejoin peers=2`), then commit 2 fresh
+    //    txns. All three processes converge on 11 and exit 0 printing the
+    //    identical `exit value=11`.
+    let addrs: Vec<String> = (0..SITES).map(|_| reserve_addr()).collect();
+    let data_dir =
+        std::env::temp_dir().join(format!("decaf-tcp-test-{}-site3-wal", std::process::id()));
+    let _ = fs::remove_dir_all(&data_dir);
+    fs::create_dir_all(&data_dir).expect("create data dir");
+
+    let mut survivors: Vec<Daemon> = (1..=2)
+        .map(|i| {
+            let (mut cmd, log) = site_cmd(i, "", &addrs);
+            cmd.args([
+                "--txns",
+                "3",
+                "--phase1-target",
+                "11",
+                "--linger-ms",
+                "4000",
+            ]);
+            let child = cmd.spawn().expect("spawn survivor");
+            Daemon { child, log }
+        })
+        .collect();
+    let mut victim1 = {
+        let (mut cmd, log) = site_cmd(3, "-run1", &addrs);
+        cmd.args([
+            "--txns",
+            "3",
+            "--phase1-target",
+            "9",
+            "--linger-ms",
+            "30000",
+        ]);
+        cmd.arg("--data-dir").arg(&data_dir);
+        let child = cmd.spawn().expect("spawn durable victim");
+        Daemon { child, log }
+    };
+
+    await_in_logs(
+        std::slice::from_mut(&mut victim1),
+        "phase1-done value=9",
+        Duration::from_secs(30),
+    );
+    victim1.child.kill().expect("sigkill durable site 3");
+    let _ = victim1.child.wait();
+
+    // Restart quickly — while the survivors' reconnect loops are still
+    // retrying — from the same WAL and the same listen address. The new
+    // incarnation submits 2 more txns once its rejoin completes.
+    let mut victim2 = {
+        let (mut cmd, log) = site_cmd(3, "-run2", &addrs);
+        cmd.args([
+            "--txns",
+            "2",
+            "--phase1-target",
+            "11",
+            "--linger-ms",
+            "4000",
+        ]);
+        cmd.arg("--data-dir").arg(&data_dir);
+        let child = cmd.spawn().expect("respawn durable victim");
+        Daemon { child, log }
+    };
+
+    // Recovery contract lines: WAL replay restores the full phase-1 state
+    // (all 9 commits were fsynced before `phase1-done` printed), then the
+    // rejoin announcement goes to both peers.
+    await_in_logs(
+        std::slice::from_mut(&mut victim2),
+        "recovered wal-records=",
+        Duration::from_secs(30),
+    );
+    await_in_logs(
+        std::slice::from_mut(&mut victim2),
+        "rejoin peers=2",
+        Duration::from_secs(30),
+    );
+    let recovered_line = victim2
+        .log_contents()
+        .lines()
+        .find(|l| l.starts_with("recovered wal-records="))
+        .expect("recovered line just awaited")
+        .to_string();
+    assert!(
+        recovered_line.ends_with(" value=9"),
+        "replay must restore the pre-crash committed value: {recovered_line}"
+    );
+    let replayed: u64 = recovered_line
+        .strip_prefix("recovered wal-records=")
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|n| n.parse().ok())
+        .expect("parse wal-records count");
+    assert!(
+        replayed >= 9,
+        "the WAL must hold at least the 9 phase-1 commits: {recovered_line}"
+    );
+
+    // Everyone — survivors and the restarted victim — converges on the
+    // grand total and exits cleanly.
+    await_in_logs(&mut survivors, "final value=11", Duration::from_secs(30));
+    await_in_logs(
+        std::slice::from_mut(&mut victim2),
+        "final value=11",
+        Duration::from_secs(30),
+    );
+    for d in survivors.iter_mut() {
+        wait_success(d);
+    }
+    wait_success(&mut victim2);
+
+    // Convergence through the restart: all three processes report the
+    // identical committed value at exit.
+    fn exit_value(log: &str) -> i64 {
+        log.lines()
+            .find_map(|l| l.strip_prefix("exit value="))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or_else(|| panic!("no exit value in log:\n{log}"))
+    }
+    let values: Vec<i64> = survivors
+        .iter()
+        .map(|d| exit_value(&d.log_contents()))
+        .chain(std::iter::once(exit_value(&victim2.log_contents())))
+        .collect();
+    assert_eq!(values, vec![11, 11, 11], "exit values must agree");
+
+    // The second incarnation kept appending to the same log file, and the
+    // first never exited cleanly (it was killed mid-linger).
+    assert!(
+        victim2.log_contents().contains("wal-summary appends="),
+        "victim log:\n{}",
+        victim2.log_contents()
+    );
+    assert!(
+        !victim1.log_contents().contains("exit value"),
+        "victim run 1 log:\n{}",
+        victim1.log_contents()
+    );
+    let _ = fs::remove_dir_all(&data_dir);
 }
 
 #[test]

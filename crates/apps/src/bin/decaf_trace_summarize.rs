@@ -11,6 +11,11 @@
 //! decaf-site ... --trace-out /dev/stdout | decaf-trace-summarize -
 //! ```
 //!
+//! A bad line does not discard the rest of its file: every parseable
+//! event is still folded into the digests, each failure is reported as
+//! `file:line: error`, and the exit code is non-zero — so a truncated
+//! dump yields a loud partial report instead of a silently half-empty one.
+//!
 //! Exit codes: 0 ok, 1 a file failed to read or parse, 2 usage.
 
 use std::io::Read;
@@ -41,12 +46,18 @@ fn main() {
                 continue;
             }
         };
-        match replay.observe_jsonl(&text) {
-            Ok(n) => println!("{path}: {n} events"),
-            Err((line, e)) => {
+        let (n, bad) = replay.observe_jsonl_lossy(&text);
+        if bad.is_empty() {
+            println!("{path}: {n} events");
+        } else {
+            for (line, e) in &bad {
                 eprintln!("decaf-trace-summarize: {path}:{line}: {e}");
-                failed = true;
             }
+            eprintln!(
+                "decaf-trace-summarize: {path}: {} bad line(s); {n} good events still folded",
+                bad.len()
+            );
+            failed = true;
         }
     }
 

@@ -1,0 +1,68 @@
+//! O1 — cross-site propagation latency via the trace stitcher
+//! (DESIGN.md §S21).
+//!
+//! An 8-site kill-free checked run is traced with envelope span contexts,
+//! stitched into skew-corrected per-origin propagation histograms, and
+//! summarized per origin (p50/p99/max over that origin's 7 remotes) plus
+//! the median critical-path breakdown of every span's slowest leg. Both
+//! configurations use uniform latency, so every figure has an exact
+//! analytic expectation (jittered stitching is exercised by the stitcher
+//! unit tests and `tests/stitch_e2e.rs`, whose assertions are bounds, not
+//! RNG-dependent point values).
+
+use decaf_bench::{emit_table, o1_propagation};
+
+fn main() {
+    for (label, t_ms, jitter, seed) in [
+        ("uniform t=10ms", 10u64, 0.0f64, 7u64),
+        ("uniform t=50ms", 50, 0.0, 7),
+    ] {
+        let s = o1_propagation(t_ms, jitter, seed);
+        let rows: Vec<Vec<String>> = s
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.origin.to_string(),
+                    r.samples.to_string(),
+                    format!("{:.2}", r.p50_ms),
+                    format!("{:.2}", r.p99_ms),
+                    format!("{:.2}", r.max_ms),
+                ]
+            })
+            .collect();
+        emit_table(
+            &format!(
+                "O1 [{label}]: per-origin propagation, 8 sites — {} committed, {} spans, {} holes",
+                s.committed, s.spans, s.incomplete
+            ),
+            &["origin", "samples", "p50(ms)", "p99(ms)", "max(ms)"],
+            &rows,
+        );
+        let (q, w, x, n) = s.critical_p50_ms;
+        let (ws, wp50, wp99, wmax) = s.wire;
+        emit_table(
+            &format!("O1 [{label}]: critical path (medians, slowest leg) and wire latency"),
+            &[
+                "queue(ms)",
+                "wire(ms)",
+                "reexec(ms)",
+                "notify(ms)",
+                "link samples",
+                "link p50(ms)",
+                "link p99(ms)",
+                "link max(ms)",
+            ],
+            &[vec![
+                format!("{q:.2}"),
+                format!("{w:.2}"),
+                format!("{x:.2}"),
+                format!("{n:.2}"),
+                ws.to_string(),
+                format!("{wp50:.2}"),
+                format!("{wp99:.2}"),
+                format!("{wmax:.2}"),
+            ]],
+        );
+    }
+}

@@ -68,6 +68,7 @@ fn mk_envelope(from: SiteId, to: SiteId, seq: u64, payload_len: usize) -> Envelo
             reads: Vec::new(),
             delegate: None,
         }),
+        span: None,
     }
 }
 

@@ -814,6 +814,117 @@ pub fn r1_recovery(log_commits: u64, missed: u64) -> R1Row {
     }
 }
 
+// ===========================================================================
+// O1 — cross-site propagation latency via the trace stitcher (DESIGN.md §S21)
+// ===========================================================================
+
+/// One per-origin propagation row: how long this site's committed updates
+/// took to reach (and commit at) its remotes, skew-corrected.
+#[derive(Debug, Clone)]
+pub struct O1Row {
+    /// Originating site.
+    pub origin: u32,
+    /// Propagation samples (one per `(committed VT, remote site)` pair).
+    pub samples: u64,
+    /// Median propagation latency, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile propagation latency, ms.
+    pub p99_ms: f64,
+    /// Maximum observed propagation latency, ms.
+    pub max_ms: f64,
+}
+
+/// One O1 run's stitched digest.
+#[derive(Debug, Clone)]
+pub struct O1Summary {
+    /// Per-origin propagation rows, ascending by site id.
+    pub rows: Vec<O1Row>,
+    /// Committed transactions during the gesture phase, all sites.
+    pub committed: u64,
+    /// End-to-end spans the stitcher reconstructed.
+    pub spans: usize,
+    /// Stitch holes (must be 0 on a kill-free quiescent run).
+    pub incomplete: usize,
+    /// Median of each critical-path component over every span's slowest
+    /// leg, in ms: (queue, wire, re-execute, notify).
+    pub critical_p50_ms: (f64, f64, f64, f64),
+    /// Skew-corrected one-way wire latency merged over every directed
+    /// link: (samples, p50 ms, p99 ms, max ms).
+    pub wire: (u64, f64, f64, f64),
+}
+
+/// Runs the O1 observability experiment: an 8-site checked run (kill-free,
+/// one-way latency `t_ms`, latency jitter fraction `jitter`) traced with
+/// envelope span contexts, then stitched by [`decaf_trace::Stitcher`] into
+/// per-origin propagation histograms and critical-path breakdowns. The
+/// workload is blind writes over per-site counters — conflict-free, so
+/// every gesture commits and the trace measures pure propagation rather
+/// than retry storms. The run doubles as an oracle check: any violation —
+/// including a trace hole flagged by the trace-completeness oracle —
+/// panics.
+pub fn o1_propagation(t_ms: u64, jitter: f64, seed: u64) -> O1Summary {
+    let cfg = decaf_check::ScenarioConfig {
+        sites: 8,
+        objects: 8,
+        txns_per_site: 4,
+        gap_ms: 60,
+        latency_ms: t_ms,
+        jitter,
+        w_increment: 0,
+        w_blind_write: 1,
+        w_guess_heavy: 0,
+        ..decaf_check::ScenarioConfig::default()
+    };
+    let report = decaf_check::run_once(&cfg, &decaf_check::FaultPlan::quiet(), seed, None);
+    assert!(
+        report.violations.is_empty(),
+        "kill-free run must uphold every oracle: {:?}",
+        report.violations
+    );
+    let mut stitcher = decaf_trace::Stitcher::new();
+    stitcher
+        .observe_jsonl(&report.trace.join("\n"))
+        .expect("harness trace parses");
+    let stitched = stitcher.finish();
+
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let mut rows = Vec::new();
+    for origin in 1..=cfg.sites {
+        let mut merged = decaf_trace::Histogram::new();
+        for ((from, _to), hist) in &stitched.propagation {
+            if *from == origin {
+                merged.merge(hist);
+            }
+        }
+        let s = merged.summary();
+        rows.push(O1Row {
+            origin,
+            samples: s.count,
+            p50_ms: ms(s.p50),
+            p99_ms: ms(s.p99),
+            max_ms: ms(s.max),
+        });
+    }
+    let mut wire = decaf_trace::Histogram::new();
+    for link in stitched.links.values() {
+        wire.merge(&link.latency);
+    }
+    let w = wire.summary();
+    O1Summary {
+        rows,
+        committed: report.committed,
+        spans: stitched.spans.len(),
+        incomplete: stitched.incomplete.len(),
+        critical_p50_ms: (
+            ms(stitched.critical_queue.quantile(0.50)),
+            ms(stitched.critical_wire.quantile(0.50)),
+            ms(stitched.critical_reexec.quantile(0.50)),
+            ms(stitched.critical_notify.quantile(0.50)),
+        ),
+        wire: (w.count, ms(w.p50), ms(w.p99), ms(w.max)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -922,6 +1033,29 @@ mod tests {
         );
         assert_eq!(large.graphs_direct, 33);
         assert!(large.join_bytes_direct > large.join_bytes_indirect);
+    }
+
+    #[test]
+    fn o1_stitches_completely_with_analytic_uniform_latencies() {
+        let s = o1_propagation(10, 0.0, 7);
+        assert_eq!(s.incomplete, 0, "kill-free run must stitch with no holes");
+        assert_eq!(s.committed as usize, s.spans, "every commit forms a span");
+        for row in &s.rows {
+            // 4 blind writes per origin, each propagating to 7 remotes.
+            assert_eq!(row.samples, 28, "origin {}: {row:?}", row.origin);
+        }
+        // Uniform latency: the primary-origin site's commits reach every
+        // remote exactly one hop later; delegated commits land everywhere
+        // simultaneously (propagation 0). The log2 histogram's upper
+        // bucket bound is capped at the observed max, so uniform samples
+        // report exactly.
+        assert!((s.rows[0].p50_ms - 10.0).abs() < 1e-9, "{:?}", s.rows[0]);
+        assert!((s.rows[0].p99_ms - 10.0).abs() < 1e-9, "{:?}", s.rows[0]);
+        for row in &s.rows[1..] {
+            assert_eq!(row.max_ms, 0.0, "delegated commit: {row:?}");
+        }
+        let (_, p50, p99, _) = s.wire;
+        assert!((p50 - 10.0).abs() < 1e-9 && (p99 - 10.0).abs() < 1e-9);
     }
 
     #[test]

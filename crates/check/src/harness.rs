@@ -453,10 +453,22 @@ pub fn run_once(
     // Merge the per-site traces into one time-ordered JSONL stream,
     // including events stashed from pre-crash site instances.
     let mut trace_events = trace_stash;
+    let mut trace_dropped: u64 = 0;
     for id in locals.keys() {
-        trace_events.extend(world.site(*id).trace_sink().drain());
+        let sink = world.site(*id).trace_sink();
+        trace_dropped += sink.dropped();
+        trace_events.extend(sink.drain());
     }
     trace_events.sort_by_key(|e| (e.ts_ns, e.site));
+
+    // Trace completeness (kill-free plans): every committed VT must have a
+    // fully stitchable cross-site span. Skipped when a bounded ring
+    // overflowed — a dropped event punches a legitimate hole — so the
+    // oracle only ever fires on real instrumentation or delivery gaps.
+    if strict && !hung && trace_dropped == 0 {
+        violations.extend(oracle::check_trace_complete(&trace_events));
+    }
+
     let trace: Vec<String> = trace_events.iter().map(|e| e.to_jsonl()).collect();
 
     let totals = world.total_stats();

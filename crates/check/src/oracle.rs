@@ -11,9 +11,10 @@
 //!   monotonicity, GC watermark, bounded-step quiescence.
 //! - **Kill-free plans only**: pessimistic losslessness,
 //!   notified-values-are-committed, optimistic superseded-or-committed,
-//!   strict per-site quiescence. §3.4 recovery may abort in-doubt
-//!   transactions of a failed site, so these cannot be demanded under
-//!   fail-stop kills.
+//!   strict per-site quiescence, trace completeness. §3.4 recovery may
+//!   abort in-doubt transactions of a failed site, so these cannot be
+//!   demanded under fail-stop kills (and a killed or crashed site
+//!   legitimately truncates its trace mid-span).
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -51,6 +52,14 @@ pub enum OracleKind {
     /// committed at that site by the end of the run — restart recovery
     /// silently dropped a durably logged transaction.
     CrashDurability,
+    /// A committed virtual time's cross-site span could not be fully
+    /// reconstructed from the merged trace at kill-free quiescence: a
+    /// commit with no traced origin, a remote commit with no traced
+    /// delivery, or a span-keyed send that was never received. The
+    /// envelope-carried trace context makes every hole a bug — either a
+    /// missing instrumentation point or a message path the stitcher
+    /// cannot see.
+    TraceComplete,
 }
 
 impl fmt::Display for OracleKind {
@@ -65,6 +74,7 @@ impl fmt::Display for OracleKind {
             OracleKind::GcWatermark => "gc-watermark",
             OracleKind::Quiescence => "quiescence",
             OracleKind::CrashDurability => "crash-durability",
+            OracleKind::TraceComplete => "trace-complete",
         };
         f.write_str(s)
     }
@@ -261,6 +271,34 @@ pub fn check_crash_durability(
             oracle: OracleKind::CrashDurability,
             site: Some(site),
             detail: format!("wal-recovered commit {vt:?} no longer committed after restart"),
+        })
+        .collect()
+}
+
+/// Trace-completeness oracle (kill-free plans, evaluated at quiescence):
+/// stitches the run's merged trace and demands that every committed
+/// virtual time has a fully reconstructible cross-site span — a traced
+/// origin commit, and for each remote commit a traced delivery of the
+/// span-keyed message, with no send left unreceived.
+///
+/// The caller must only arm this when no sink dropped events
+/// (bounded-ring overflow legitimately punches holes) and no site was
+/// killed or crashed (a dead site's trace ends mid-span). Under those
+/// preconditions each hole the [`Stitcher`](decaf_trace::Stitcher)
+/// reports is an instrumentation or delivery-path bug, surfaced verbatim.
+pub fn check_trace_complete(events: &[decaf_trace::TraceEvent]) -> Vec<Violation> {
+    let mut stitcher = decaf_trace::Stitcher::new();
+    for ev in events {
+        stitcher.observe(ev);
+    }
+    stitcher
+        .finish()
+        .incomplete
+        .iter()
+        .map(|hole| Violation {
+            oracle: OracleKind::TraceComplete,
+            site: None,
+            detail: hole.clone(),
         })
         .collect()
 }
@@ -494,6 +532,39 @@ mod tests {
         let v = check_pess_coverage(1, &phantom, &committed, &none);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].oracle, OracleKind::NotifiedCommitted);
+    }
+
+    #[test]
+    fn trace_complete_flags_remote_commit_without_delivery() {
+        use decaf_trace::{TraceEvent, TraceKind};
+        let ev = |site, ts_ns, kind, vt, peer, span| TraceEvent {
+            site,
+            ts_ns,
+            kind,
+            vt,
+            peer,
+            n: None,
+            span,
+        };
+        // Site 1 commits vt (7,1), sends the span-keyed envelope to site 2,
+        // which receives it and re-commits: a complete span.
+        let span = Some((1, 7, 0));
+        let complete = vec![
+            ev(1, 10, TraceKind::Commit, Some((7, 1)), None, None),
+            ev(1, 11, TraceKind::MsgSend, Some((7, 1)), Some(2), span),
+            ev(2, 20, TraceKind::MsgRecv, Some((7, 1)), Some(1), span),
+            ev(2, 21, TraceKind::Commit, Some((7, 1)), None, None),
+        ];
+        assert!(check_trace_complete(&complete).is_empty());
+        // Drop the delivery event: the remote commit has no traced path.
+        let holey: Vec<TraceEvent> = complete
+            .iter()
+            .filter(|e| e.kind != TraceKind::MsgRecv)
+            .cloned()
+            .collect();
+        let v = check_trace_complete(&holey);
+        assert!(!v.is_empty());
+        assert!(v.iter().all(|v| v.oracle == OracleKind::TraceComplete));
     }
 
     #[test]

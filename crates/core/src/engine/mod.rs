@@ -373,7 +373,11 @@ impl Site {
     }
 
     /// Shorthand for emitting an engine-side trace event: converts the
-    /// engine's [`VirtualTime`] to the trace layer's scalar pair.
+    /// engine's [`VirtualTime`] to the trace layer's scalar pair and
+    /// derives the causal span from the subject VT — `(owner, lamport)`
+    /// is exactly the span key wire envelopes carry, so engine events
+    /// (commits, view notifications) stitch into the same cross-site
+    /// span as the transport's send/receive events.
     #[inline]
     pub(crate) fn trace_emit(
         &self,
@@ -382,11 +386,12 @@ impl Site {
         peer: Option<SiteId>,
         n: Option<u64>,
     ) {
-        self.trace.emit(
+        self.trace.emit_span(
             kind,
             vt.map(|t| (t.lamport, t.site.0)),
             peer.map(|p| p.0),
             n,
+            vt.map(|t| (t.site.0, t.lamport, u32::from(t.site != self.id))),
         );
     }
 
@@ -421,11 +426,20 @@ impl Site {
         }
         self.stats.msgs_sent += 1;
         self.silent_received.insert(to, 0);
+        // Stamp the causal trace context: the subject VT's owner is the
+        // span origin, and relayed traffic about somebody else's subject
+        // counts one hop more than originated traffic.
+        let span = msg.witnessed_vt().map(|vt| crate::message::SpanCtx {
+            origin: vt.site,
+            seq: vt.lamport,
+            hop: u32::from(vt.site != self.id),
+        });
         self.outbox.push(Envelope {
             from: self.id,
             to,
             clock: self.clock.now(),
             msg,
+            span,
         });
     }
 

@@ -83,8 +83,8 @@ pub use engine::{EngineEvent, Site, SiteConfig};
 pub use error::{DecafError, TxnError};
 pub use graph::{NodeRef, PrimarySelector, ReplicationGraph};
 pub use message::{
-    AssocSnapshot, Delegate, Envelope, Message, ObjectAddr, Path, PathElem, ReadItem, SubjectKind,
-    TreeSnapshot, TxnPropagate, UpdateItem, WireOp,
+    AssocSnapshot, Delegate, Envelope, Message, ObjectAddr, Path, PathElem, ReadItem, SpanCtx,
+    SubjectKind, TreeSnapshot, TxnPropagate, UpdateItem, WireOp,
 };
 pub use object::{Blueprint, ObjectKind, ObjectName};
 pub use oracle::{CommittedDigest, GcWatermark, TestMutation, ViewLedgerEntry, ViewLedgerKind};

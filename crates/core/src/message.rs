@@ -26,6 +26,33 @@ use crate::object::{AssocState, Blueprint, ObjectName};
 use crate::txn::TxnOutcome;
 use crate::value::ScalarValue;
 
+/// Causal trace context stamped on outbound envelopes: which site's
+/// gesture this message ultimately serves, and how far it has traveled.
+///
+/// Pure observability — the protocol never consults it. The
+/// `(origin, seq)` pair is the *span key*: every message, commit, and
+/// view event across the mesh stamped with the same pair belongs to one
+/// end-to-end causal span, which is what lets `decaf-trace-stitch` pair a
+/// `MsgSend` at one site with the matching `MsgRecv` at another and
+/// reconstruct gesture → local commit → remote commits → view notified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SpanCtx {
+    /// The site owning the subject virtual time (where the gesture ran).
+    pub origin: SiteId,
+    /// The subject VT's Lamport component — origin-local sequence number.
+    pub seq: u64,
+    /// 0 when the sender originated the subject, incremented each time a
+    /// site relays traffic about somebody else's subject.
+    pub hop: u32,
+}
+
+impl SpanCtx {
+    /// The scalar triple `(origin, seq, hop)` the trace layer records.
+    pub fn as_trace(&self) -> (u32, u64, u32) {
+        (self.origin.0, self.seq, self.hop)
+    }
+}
+
 /// A message together with its source and destination.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Envelope {
@@ -38,6 +65,18 @@ pub struct Envelope {
     pub clock: VirtualTime,
     /// Payload.
     pub msg: Message,
+    /// Causal trace context, when the payload has a VT subject. Absent on
+    /// the wire for span-less messages (heartbeats, graph acks) and when
+    /// talking to pre-span peers — old decoders skip the unknown field,
+    /// new decoders default it, so mixed fleets interoperate.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub span: Option<SpanCtx>,
+}
+
+impl decaf_trace::SpanCarrier for Envelope {
+    fn trace_span(&self) -> Option<(u32, u64, u32)> {
+        self.span.as_ref().map(SpanCtx::as_trace)
+    }
 }
 
 /// One element of a composite path.
@@ -621,9 +660,30 @@ mod tests {
                 subject: vt(5),
                 kind: SubjectKind::Snapshot,
             },
+            span: None,
         };
         let json = serde_json::to_string(&env).unwrap();
+        // A span-less envelope serializes exactly as it did before spans
+        // existed: the field is skipped, not null — the v1 compatibility
+        // contract.
+        assert!(!json.contains("span"), "{json}");
         let back: Envelope = serde_json::from_str(&json).unwrap();
         assert_eq!(back, env);
+
+        let spanned = Envelope {
+            span: Some(SpanCtx {
+                origin: SiteId(1),
+                seq: 5,
+                hop: 0,
+            }),
+            ..env.clone()
+        };
+        let json = serde_json::to_string(&spanned).unwrap();
+        assert!(
+            json.contains("\"span\":{\"origin\":1,\"seq\":5,\"hop\":0}"),
+            "{json}"
+        );
+        let back: Envelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spanned);
     }
 }

@@ -24,6 +24,7 @@ fn env(from: u32, to: u32, msg: Message) -> Envelope {
         to: SiteId(to),
         clock: VirtualTime::new(999, SiteId(from)),
         msg,
+        span: None,
     }
 }
 

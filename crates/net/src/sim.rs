@@ -801,7 +801,7 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use decaf_trace::{TraceKind, TraceSink};
+use decaf_trace::{SpanCarrier, TraceKind, TraceSink};
 
 use crate::{Transport, TransportEndpoint, TransportEvent};
 
@@ -820,7 +820,7 @@ struct SimShared<M> {
     traces: HashMap<SiteId, TraceSink>,
 }
 
-impl<M> SimShared<M> {
+impl<M: SpanCarrier> SimShared<M> {
     /// Steps the simulator until `site`'s queue is non-empty or the network
     /// quiesces, routing every surfaced event to its owner's queue. Timer
     /// events are outside the [`Transport`] vocabulary and are discarded
@@ -833,7 +833,15 @@ impl<M> SimShared<M> {
             match self.net.step()? {
                 Event::Deliver { at, from, to, msg } => {
                     if let Some(sink) = self.traces.get(&to) {
-                        sink.emit_at(sim_ns(at), TraceKind::MsgRecv, None, Some(from.0), None);
+                        let span = msg.trace_span();
+                        sink.emit_at_span(
+                            sim_ns(at),
+                            TraceKind::MsgRecv,
+                            span.map(|(o, s, _)| (s, o)),
+                            Some(from.0),
+                            None,
+                            span,
+                        );
                     }
                     self.queues
                         .entry(to)
@@ -942,7 +950,7 @@ impl<M> SimTransport<M> {
     }
 }
 
-impl<M: Clone> Transport for SimTransport<M> {
+impl<M: Clone + SpanCarrier> Transport for SimTransport<M> {
     type Msg = M;
     type Endpoint = SimEndpoint<M>;
 
@@ -981,7 +989,7 @@ impl<M> Clone for SimEndpoint<M> {
     }
 }
 
-impl<M: Clone> TransportEndpoint for SimEndpoint<M> {
+impl<M: Clone + SpanCarrier> TransportEndpoint for SimEndpoint<M> {
     type Msg = M;
 
     fn site(&self) -> SiteId {
@@ -992,12 +1000,14 @@ impl<M: Clone> TransportEndpoint for SimEndpoint<M> {
         let mut shared = self.shared.lock();
         let from = self.site;
         if let Some(sink) = shared.traces.get(&from) {
-            sink.emit_at(
+            let span = msg.trace_span();
+            sink.emit_at_span(
                 sim_ns(shared.net.now()),
                 TraceKind::MsgSend,
-                None,
+                span.map(|(o, s, _)| (s, o)),
                 Some(to.0),
                 None,
+                span,
             );
         }
         shared.net.send(from, to, msg);

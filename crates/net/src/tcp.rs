@@ -703,6 +703,7 @@ fn reader_loop(
                             };
                             match decoded {
                                 Ok(env) => {
+                                    emit_env_recv(&trace, &env);
                                     let _ = events.send(TransportEvent::Message { from, msg: env });
                                 }
                                 // Framing is intact, only this payload is
@@ -719,6 +720,7 @@ fn reader_loop(
                             match decode_batch(&frame.payload) {
                                 Ok(envs) => {
                                     for env in envs {
+                                        emit_env_recv(&trace, &env);
                                         let _ =
                                             events.send(TransportEvent::Message { from, msg: env });
                                     }
@@ -785,6 +787,37 @@ fn interruptible_sleep(total: Duration, shutdown: &AtomicBool) {
 /// frame per envelope otherwise. Written envelopes leave `batch`; on an
 /// I/O error the unwritten tail stays put (for the reconnect carry-over)
 /// and `false` is returned.
+/// Per-envelope causal send trace: one `MsgSend` carrying the envelope's
+/// span context and subject VT, emitted alongside the frame-level event
+/// (whose `n` is the wire byte count). Span-less envelopes (heartbeats,
+/// graph acks) stay frame-level only — the stitcher pairs by span key, so
+/// an event without one could never be matched anyway.
+fn emit_env_send(trace: &TraceSink, peer: SiteId, env: &Envelope) {
+    if let Some(s) = &env.span {
+        trace.emit_span(
+            TraceKind::MsgSend,
+            Some((s.seq, s.origin.0)),
+            Some(peer.0),
+            None,
+            Some(s.as_trace()),
+        );
+    }
+}
+
+/// Receive-side twin of [`emit_env_send`], keyed by the same span so the
+/// stitcher can pair the two across site clocks.
+fn emit_env_recv(trace: &TraceSink, env: &Envelope) {
+    if let Some(s) = &env.span {
+        trace.emit_span(
+            TraceKind::MsgRecv,
+            Some((s.seq, s.origin.0)),
+            Some(env.from.0),
+            None,
+            Some(s.as_trace()),
+        );
+    }
+}
+
 fn flush_envelopes(
     stream: &mut TcpStream,
     batch: &mut Vec<Envelope>,
@@ -820,6 +853,9 @@ fn flush_envelopes(
                 }
                 add(&counters.bytes_out, n as u64);
                 trace.emit(TraceKind::MsgSend, None, Some(peer.0), Some(n as u64));
+                for env in batch.iter() {
+                    emit_env_send(trace, peer, env);
+                }
                 batch_sizes.lock().record(n_envs as u64);
                 batch.clear();
                 true
@@ -842,6 +878,7 @@ fn flush_envelopes(
                     bump(&counters.frames_out);
                     add(&counters.bytes_out, n as u64);
                     trace.emit(TraceKind::MsgSend, None, Some(peer.0), Some(n as u64));
+                    emit_env_send(trace, peer, &batch[0]);
                     batch_sizes.lock().record(1);
                     batch.remove(0);
                 }
@@ -1028,6 +1065,7 @@ mod tests {
             to,
             clock: VirtualTime::default(),
             msg: Message::Heartbeat,
+            span: None,
         }
     }
 

@@ -19,7 +19,7 @@ use std::time::{Duration, Instant};
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
-use decaf_trace::{TraceKind, TraceSink};
+use decaf_trace::{SpanCarrier, TraceKind, TraceSink};
 use decaf_vt::SiteId;
 
 use crate::{Transport, TransportEndpoint, TransportEvent};
@@ -98,7 +98,7 @@ impl<M> Clone for Endpoint<M> {
     }
 }
 
-impl<M: Send + 'static> Endpoint<M> {
+impl<M: Send + SpanCarrier + 'static> Endpoint<M> {
     /// The site this endpoint belongs to.
     pub fn site(&self) -> SiteId {
         self.site
@@ -107,7 +107,14 @@ impl<M: Send + 'static> Endpoint<M> {
     /// Sends `msg` to `to`; it is delivered after the network's configured
     /// delay. Sends after shutdown are silently discarded.
     pub fn send(&self, to: SiteId, msg: M) {
-        self.trace.emit(TraceKind::MsgSend, None, Some(to.0), None);
+        let span = msg.trace_span();
+        self.trace.emit_span(
+            TraceKind::MsgSend,
+            span.map(|(o, s, _)| (s, o)),
+            Some(to.0),
+            None,
+            span,
+        );
         let _ = self.to_router.send(RouterCmd::Send {
             from: self.site,
             to,
@@ -124,12 +131,16 @@ impl<M: Send + 'static> Endpoint<M> {
         if msgs.is_empty() {
             return;
         }
-        self.trace.emit(
-            TraceKind::MsgSend,
-            None,
-            Some(to.0),
-            Some(msgs.len() as u64),
-        );
+        for msg in &msgs {
+            let span = msg.trace_span();
+            self.trace.emit_span(
+                TraceKind::MsgSend,
+                span.map(|(o, s, _)| (s, o)),
+                Some(to.0),
+                None,
+                span,
+            );
+        }
         let _ = self.to_router.send(RouterCmd::SendMany {
             from: self.site,
             to,
@@ -141,9 +152,15 @@ impl<M: Send + 'static> Endpoint<M> {
     /// notifications alike) and passes it through unchanged.
     fn trace_recv(&self, ev: TransportEvent<M>) -> TransportEvent<M> {
         match &ev {
-            TransportEvent::Message { from, .. } => {
-                self.trace
-                    .emit(TraceKind::MsgRecv, None, Some(from.0), None);
+            TransportEvent::Message { from, msg } => {
+                let span = msg.trace_span();
+                self.trace.emit_span(
+                    TraceKind::MsgRecv,
+                    span.map(|(o, s, _)| (s, o)),
+                    Some(from.0),
+                    None,
+                    span,
+                );
             }
             TransportEvent::SiteFailed { failed } => {
                 self.trace
@@ -179,7 +196,7 @@ impl<M: Send + 'static> Endpoint<M> {
     }
 }
 
-impl<M: Send + 'static> TransportEndpoint for Endpoint<M> {
+impl<M: Send + SpanCarrier + 'static> TransportEndpoint for Endpoint<M> {
     type Msg = M;
 
     fn site(&self) -> SiteId {
@@ -422,7 +439,7 @@ impl<M: Send + 'static> ThreadedNet<M> {
     }
 }
 
-impl<M: Send + 'static> Transport for ThreadedNet<M> {
+impl<M: Send + SpanCarrier + 'static> Transport for ThreadedNet<M> {
     type Msg = M;
     type Endpoint = Endpoint<M>;
 

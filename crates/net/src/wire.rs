@@ -594,7 +594,7 @@ pub fn decode_hello_any(payload: &[u8]) -> Result<(SiteId, u8), WireError> {
 mod json {
     use decaf_core::{
         AssocSnapshot, Blueprint, Delegate, Envelope, Message, NodeRef, ObjectAddr, ObjectName,
-        Path, PathElem, ReadItem, RelationId, ReplicationGraph, ScalarValue, SubjectKind,
+        Path, PathElem, ReadItem, RelationId, ReplicationGraph, ScalarValue, SpanCtx, SubjectKind,
         TreeSnapshot, TxnOutcome, TxnPropagate, UpdateItem, WireOp,
     };
     use decaf_vt::{SiteId, VirtualTime};
@@ -616,6 +616,18 @@ mod json {
         vt(o, &e.clock);
         o.push_str(",\"msg\":");
         message(o, &e.msg);
+        // Trailing optional field, skipped when absent — matches serde's
+        // skip_serializing_if, so span-less envelopes are byte-identical
+        // to the pre-span wire format and old peers skip the new key.
+        if let Some(s) = &e.span {
+            o.push_str(",\"span\":{\"origin\":");
+            uint(o, s.origin.0 as u64);
+            o.push_str(",\"seq\":");
+            uint(o, s.seq);
+            o.push_str(",\"hop\":");
+            uint(o, s.hop as u64);
+            o.push('}');
+        }
         o.push('}');
     }
 
@@ -2321,13 +2333,14 @@ mod json {
     }
 
     fn d_envelope(p: &mut P) -> Result<Envelope, String> {
-        let (mut from, mut to, mut clock, mut msg) = (None, None, None, None);
+        let (mut from, mut to, mut clock, mut msg, mut span) = (None, None, None, None, None);
         obj(p, |p, k| {
             match k {
                 "from" => from = Some(d_site(p)?),
                 "to" => to = Some(d_site(p)?),
                 "clock" => clock = Some(d_vt(p)?),
                 "msg" => msg = Some(d_message(p)?),
+                "span" => span = Some(d_span(p)?),
                 _ => p.skip()?,
             }
             Ok(())
@@ -2337,6 +2350,25 @@ mod json {
             to: miss(to, "to")?,
             clock: miss(clock, "clock")?,
             msg: miss(msg, "msg")?,
+            span,
+        })
+    }
+
+    fn d_span(p: &mut P) -> Result<SpanCtx, String> {
+        let (mut origin, mut seq, mut hop) = (None, None, None);
+        obj(p, |p, k| {
+            match k {
+                "origin" => origin = Some(d_site(p)?),
+                "seq" => seq = Some(p.u64v()?),
+                "hop" => hop = Some(p.u32v()?),
+                _ => p.skip()?,
+            }
+            Ok(())
+        })?;
+        Ok(SpanCtx {
+            origin: miss(origin, "origin")?,
+            seq: miss(seq, "seq")?,
+            hop: miss(hop, "hop")?,
         })
     }
 }
@@ -2356,7 +2388,7 @@ mod json {
 mod bin {
     use decaf_core::{
         AssocSnapshot, Blueprint, Delegate, Envelope, Message, NodeRef, ObjectAddr, ObjectName,
-        Path, PathElem, ReadItem, RelationId, ReplicationGraph, ScalarValue, SubjectKind,
+        Path, PathElem, ReadItem, RelationId, ReplicationGraph, ScalarValue, SpanCtx, SubjectKind,
         TreeSnapshot, TxnOutcome, TxnPropagate, UpdateItem, WireOp,
     };
     use decaf_vt::{SiteId, VirtualTime};
@@ -2410,6 +2442,17 @@ mod bin {
         put_varint(o, e.to.0 as u64);
         vt(o, &e.clock);
         message(o, &e.msg);
+        // Trailing optional span section. Span-less envelopes keep the
+        // pre-span byte layout exactly (pinned by golden snapshots); the
+        // decoder parses a span iff bytes remain after the message, which
+        // is sound because every envelope is decoded from an exactly
+        // delimited slice (whole frame payload, or the batch's per-entry
+        // length prefix).
+        if let Some(s) = &e.span {
+            put_varint(o, s.origin.0 as u64);
+            put_varint(o, s.seq);
+            put_varint(o, s.hop as u64);
+        }
     }
 
     fn vt(o: &mut Vec<u8>, t: &VirtualTime) {
@@ -3307,11 +3350,27 @@ mod bin {
     }
 
     fn d_envelope(r: &mut R) -> Result<Envelope, String> {
+        let from = d_site(r)?;
+        let to = d_site(r)?;
+        let clock = d_vt(r)?;
+        let msg = d_message(r)?;
+        // Bytes past the message are the optional trailing span section;
+        // pre-span encoders never produce them.
+        let span = if r.i < r.b.len() {
+            Some(SpanCtx {
+                origin: d_site(r)?,
+                seq: r.varint()?,
+                hop: r.varint_u32()?,
+            })
+        } else {
+            None
+        };
         Ok(Envelope {
-            from: d_site(r)?,
-            to: d_site(r)?,
-            clock: d_vt(r)?,
-            msg: d_message(r)?,
+            from,
+            to,
+            clock,
+            msg,
+            span,
         })
     }
 }
@@ -3335,6 +3394,7 @@ mod tests {
             to: SiteId(1),
             clock: vt(42, 3),
             msg: Message::Commit { txn: vt(41, 3) },
+            span: None,
         }
     }
 
@@ -3607,6 +3667,13 @@ mod tests {
                 to: SiteId(i + 1),
                 clock: vt(u64::from(i) * 10, i),
                 msg: Message::Heartbeat,
+                // A spanned envelope on every other entry exercises the
+                // per-entry trailing-span detection in batch decoding.
+                span: (i % 2 == 0).then_some(decaf_core::SpanCtx {
+                    origin: SiteId(i),
+                    seq: u64::from(i) * 10,
+                    hop: 0,
+                }),
             })
             .collect();
         let payload = encode_batch(&envs);
@@ -3615,9 +3682,12 @@ mod tests {
         assert_eq!(decode_batch(&encode_batch(&[])).unwrap(), Vec::new());
         // Corrupt count and mismatched length prefixes are rejected.
         assert!(decode_batch(&[0xFF, 0xFF, 0xFF, 0xFF, 0x0F]).is_err());
+        // Truncation is caught by the last entry's length prefix. (A
+        // flipped final *value* byte is no longer guaranteed to fail now
+        // that envelopes end in the trailing span section — a mutated hop
+        // varint is still a structurally valid hop.)
         let mut bad = encode_batch(&envs);
-        let last = bad.len() - 1;
-        bad[last] ^= 0x55;
+        bad.pop();
         assert!(decode_batch(&bad).is_err());
     }
 

@@ -32,6 +32,11 @@ fn env(from: SiteId, to: SiteId, seq: u64) -> Envelope {
         msg: Message::Commit {
             txn: VirtualTime::new(seq, from),
         },
+        span: Some(decaf_core::SpanCtx {
+            origin: from,
+            seq,
+            hop: 0,
+        }),
     }
 }
 

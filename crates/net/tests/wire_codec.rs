@@ -31,6 +31,7 @@ fn arb_envelope() -> impl Strategy<Value = Envelope> {
         to: SiteId(to),
         clock: vt(l, s),
         msg,
+        span: None,
     })
 }
 

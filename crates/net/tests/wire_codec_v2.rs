@@ -7,8 +7,8 @@ use proptest::prelude::*;
 
 use decaf_core::{
     AssocSnapshot, Blueprint, Delegate, Envelope, Message, NodeRef, ObjectAddr, ObjectName, Path,
-    PathElem, ReadItem, RelationId, ReplicationGraph, ScalarValue, SubjectKind, TreeSnapshot,
-    TxnOutcome, TxnPropagate, UpdateItem, WireOp,
+    PathElem, ReadItem, RelationId, ReplicationGraph, ScalarValue, SpanCtx, SubjectKind,
+    TreeSnapshot, TxnOutcome, TxnPropagate, UpdateItem, WireOp,
 };
 use decaf_net::wire::{self, encode_frame, FrameKind, FrameReader};
 use decaf_vt::{SiteId, VirtualTime};
@@ -302,6 +302,11 @@ fn sample_envelopes() -> Vec<Envelope> {
             to: SiteId(2),
             clock: vt(300 + i as u64, 1 + (i as u32 % 4)),
             msg,
+            span: (i % 3 == 0).then_some(SpanCtx {
+                origin: SiteId(1 + (i as u32 % 4)),
+                seq: 300 + i as u64,
+                hop: 0,
+            }),
         })
         .collect()
 }
@@ -708,12 +713,25 @@ fn arb_msg() -> impl Strategy<Value = Message> {
 }
 
 fn arb_envelope() -> impl Strategy<Value = Envelope> {
-    (arb_site(), arb_site(), arb_vt(), arb_msg()).prop_map(|(from, to, clock, msg)| Envelope {
-        from,
-        to,
-        clock,
-        msg,
-    })
+    (arb_site(), arb_site(), arb_vt(), arb_msg(), arb_span()).prop_map(
+        |(from, to, clock, msg, span)| Envelope {
+            from,
+            to,
+            clock,
+            msg,
+            span,
+        },
+    )
+}
+
+fn arb_span() -> impl Strategy<Value = Option<SpanCtx>> {
+    prop::option::of(
+        (arb_site(), any::<u64>(), 0u32..4).prop_map(|(origin, seq, hop)| SpanCtx {
+            origin,
+            seq,
+            hop,
+        }),
+    )
 }
 
 proptest! {
@@ -786,6 +804,7 @@ fn golden_commit_env() -> Envelope {
         to: SiteId(1),
         clock: vt(42, 3),
         msg: Message::Commit { txn: vt(41, 3) },
+        span: None,
     }
 }
 
@@ -795,6 +814,7 @@ fn golden_heartbeat_env() -> Envelope {
         to: SiteId(2),
         clock: vt(7, 1),
         msg: Message::Heartbeat,
+        span: None,
     }
 }
 
@@ -837,6 +857,7 @@ fn golden_v2_rejoin_request_payload() {
             have: vec![vt(40, 1), vt(41, 3)],
             serve: true,
         },
+        span: None,
     };
     let golden = [
         0x03, 0x01, 0x2a, 0x03, // from | to | clock
@@ -859,6 +880,7 @@ fn golden_v2_rejoin_ack_payload() {
             frontier: vt(41, 3),
             have: vec![vt(40, 1)],
         },
+        span: None,
     };
     let golden = [
         0x01, 0x03, 0x2b, 0x01, // from | to | clock
@@ -886,6 +908,7 @@ fn golden_v2_catch_up_payload() {
             }],
             rejoined: true,
         },
+        span: None,
     };
     let golden = [
         0x03, 0x01, 0x2c, 0x03, // from | to | clock
@@ -917,6 +940,67 @@ fn golden_v2_batch_payload() {
         wire::decode_batch(&golden).unwrap(),
         vec![golden_commit_env(), golden_heartbeat_env()]
     );
+}
+
+#[test]
+fn golden_v2_commit_payload_with_span() {
+    let env = Envelope {
+        span: Some(SpanCtx {
+            origin: SiteId(3),
+            seq: 41,
+            hop: 0,
+        }),
+        ..golden_commit_env()
+    };
+    let golden = [
+        0x03, 0x01, 0x2a, 0x03, 0x05, 0x29, 0x03, // span-less commit envelope
+        0x03, 0x29, 0x00, // trailing span: origin 3 | seq 41 varint | hop 0
+    ];
+    assert_eq!(
+        wire::encode_envelope_v2(&env),
+        golden,
+        "v2 span rides as a trailing section: origin site | seq varint | hop varint"
+    );
+    assert_eq!(wire::decode_envelope_v2(&golden).unwrap(), env);
+}
+
+/// Mixed-fleet interop: a spanned v2 envelope is the span-less encoding
+/// plus a trailing section, so a pre-span build's bytes decode on a new
+/// build as `span: None`, and over v1 JSON the span is an extra object
+/// key that old decoders skip like any unknown key.
+#[test]
+fn mixed_fleet_span_interop() {
+    let spanned = Envelope {
+        span: Some(SpanCtx {
+            origin: SiteId(3),
+            seq: 41,
+            hop: 0,
+        }),
+        ..golden_commit_env()
+    };
+
+    // v2: old bytes = new bytes minus the trailing span section.
+    let old_bytes = wire::encode_envelope_v2(&golden_commit_env());
+    let new_bytes = wire::encode_envelope_v2(&spanned);
+    assert_eq!(&new_bytes[..old_bytes.len()], &old_bytes[..]);
+    assert_eq!(wire::decode_envelope_v2(&old_bytes).unwrap().span, None);
+
+    // v1 JSON: the span is one more key on the envelope object...
+    let spanless_json = wire::encode_envelope(&golden_commit_env()).unwrap();
+    let spanned_json = wire::encode_envelope(&spanned).unwrap();
+    let spanned_json = std::str::from_utf8(&spanned_json).unwrap();
+    assert!(spanned_json.contains("\"span\":{\"origin\":3,\"seq\":41,\"hop\":0}"));
+    assert!(!String::from_utf8(spanless_json).unwrap().contains("span"));
+    assert_eq!(
+        wire::decode_envelope(spanned_json.as_bytes()).unwrap(),
+        spanned
+    );
+
+    // ...and unknown keys are skipped, which is exactly how a pre-span
+    // decoder treats "span" — simulate one with a future extra key.
+    let future = spanned_json.replacen("\"span\"", "\"spam\"", 1);
+    let decoded = wire::decode_envelope(future.as_bytes()).unwrap();
+    assert_eq!(decoded, golden_commit_env());
 }
 
 #[test]

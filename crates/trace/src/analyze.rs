@@ -241,6 +241,30 @@ impl Replay {
         }
         Ok(n)
     }
+
+    /// Like [`observe_jsonl`](Self::observe_jsonl), but a bad line does
+    /// not abort the fold: every parseable line is folded and every
+    /// failure is returned with its 1-based line number. A truncated or
+    /// corrupted dump therefore still contributes its good events instead
+    /// of silently dropping everything after the first bad line.
+    pub fn observe_jsonl_lossy(&mut self, text: &str) -> (u64, Vec<(usize, crate::ParseError)>) {
+        let mut n = 0;
+        let mut bad = Vec::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match TraceEvent::from_jsonl(line) {
+                Ok(ev) => {
+                    self.observe(&ev);
+                    n += 1;
+                }
+                Err(e) => bad.push((idx + 1, e)),
+            }
+        }
+        (n, bad)
+    }
 }
 
 #[cfg(test)]
@@ -281,6 +305,7 @@ mod tests {
                 vt: Some((1, site)),
                 peer: None,
                 n: None,
+                span: None,
             });
         }
         replay.observe(&TraceEvent {
@@ -290,6 +315,7 @@ mod tests {
             vt: Some((1, 1)),
             peer: None,
             n: Some(1),
+            span: None,
         });
         assert_eq!(replay.sites().len(), 2);
         assert_eq!(replay.sites()[&1].commit_lat_ns.count(), 1);
@@ -314,6 +340,7 @@ mod tests {
             vt: None,
             peer: None,
             n,
+            span: None,
         };
         replay.observe(&ev(TraceKind::RecoveryBegin, None));
         replay.observe(&ev(TraceKind::RecoveryDone, Some(2)));

@@ -138,6 +138,13 @@ pub struct TraceEvent {
     pub peer: Option<u32>,
     /// Kind-specific magnitude, if any.
     pub n: Option<u64>,
+    /// Causal trace context `(origin site, origin sequence, hop count)`
+    /// carried by the wire envelope the event concerns. The `(origin,
+    /// seq)` pair is the span key: every event across the mesh stamped
+    /// with the same pair belongs to one end-to-end causal span, which is
+    /// what lets the offline stitcher pair a `MsgSend` at one site with
+    /// the matching `MsgRecv` at another.
+    pub span: Option<(u32, u64, u32)>,
 }
 
 impl TraceEvent {
@@ -154,10 +161,11 @@ impl TraceEvent {
     ///     vt: Some((7, 2)),
     ///     peer: None,
     ///     n: Some(1),
+    ///     span: Some((2, 7, 1)),
     /// };
     /// assert_eq!(
     ///     ev.to_jsonl(),
-    ///     r#"{"site":1,"ts_ns":42,"kind":"Commit","vt":[7,2],"n":1}"#
+    ///     r#"{"site":1,"ts_ns":42,"kind":"Commit","vt":[7,2],"n":1,"span":[2,7,1]}"#
     /// );
     /// assert_eq!(TraceEvent::from_jsonl(&ev.to_jsonl()).unwrap(), ev);
     /// ```
@@ -185,6 +193,15 @@ impl TraceEvent {
             s.push_str(",\"n\":");
             push_u64(&mut s, n);
         }
+        if let Some((origin, seq, hop)) = self.span {
+            s.push_str(",\"span\":[");
+            push_u64(&mut s, origin as u64);
+            s.push(',');
+            push_u64(&mut s, seq);
+            s.push(',');
+            push_u64(&mut s, hop as u64);
+            s.push(']');
+        }
         s.push('}');
         s
     }
@@ -204,6 +221,7 @@ impl TraceEvent {
         let mut vt: Option<(u64, u32)> = None;
         let mut peer: Option<u64> = None;
         let mut n: Option<u64> = None;
+        let mut span: Option<(u32, u64, u32)> = None;
         let mut first = true;
         loop {
             p.skip_ws();
@@ -234,6 +252,18 @@ impl TraceEvent {
                 }
                 "peer" if peer.is_none() => peer = Some(p.u64()?),
                 "n" if n.is_none() => n = Some(p.u64()?),
+                "span" if span.is_none() => {
+                    p.expect('[')?;
+                    let origin = p.u64()?;
+                    p.expect(',')?;
+                    let seq = p.u64()?;
+                    p.expect(',')?;
+                    let hop = p.u64()?;
+                    p.expect(']')?;
+                    let origin = u32::try_from(origin).map_err(|_| ParseError::Overflow)?;
+                    let hop = u32::try_from(hop).map_err(|_| ParseError::Overflow)?;
+                    span = Some((origin, seq, hop));
+                }
                 _ => return Err(ParseError::UnknownKey),
             }
         }
@@ -254,6 +284,7 @@ impl TraceEvent {
             vt,
             peer,
             n,
+            span,
         })
     }
 }
@@ -407,6 +438,7 @@ mod tests {
             vt: Some((17, 2)),
             peer: Some(1),
             n: Some(512),
+            span: Some((2, 17, 1)),
         }
     }
 
@@ -420,7 +452,7 @@ mod tests {
 
     #[test]
     fn round_trips_optional_field_combinations() {
-        for bits in 0u8..8 {
+        for bits in 0u8..16 {
             let e = TraceEvent {
                 site: u32::MAX,
                 ts_ns: u64::MAX,
@@ -428,6 +460,7 @@ mod tests {
                 vt: (bits & 1 != 0).then_some((u64::MAX, u32::MAX)),
                 peer: (bits & 2 != 0).then_some(0),
                 n: (bits & 4 != 0).then_some(u64::MAX),
+                span: (bits & 8 != 0).then_some((u32::MAX, u64::MAX, u32::MAX)),
             };
             assert_eq!(TraceEvent::from_jsonl(&e.to_jsonl()).unwrap(), e);
         }
@@ -455,6 +488,9 @@ mod tests {
             r#"{"site":4294967296,"ts_ns":2,"kind":"Commit"}"#,
             r#"{"site":1,"ts_ns":2,"kind":"Commit"}x"#,
             r#"{"site":1,"ts_ns":18446744073709551616,"kind":"Commit"}"#,
+            r#"{"site":1,"ts_ns":2,"kind":"Commit","span":[1,2]}"#,
+            r#"{"site":1,"ts_ns":2,"kind":"Commit","span":[4294967296,0,0]}"#,
+            r#"{"site":1,"ts_ns":2,"kind":"Commit","span":[1,0,4294967296]}"#,
         ] {
             assert!(TraceEvent::from_jsonl(bad).is_err(), "accepted {bad:?}");
         }

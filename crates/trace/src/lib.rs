@@ -18,7 +18,18 @@
 //! * [`Histogram`] / [`HistSummary`] — 65 log2 buckets tiling the whole
 //!   `u64` range, with p50/p95/p99 digests;
 //! * [`Replay`] / [`SiteReplay`] — offline reconstruction of the same
-//!   digests from exported JSONL, powering `decaf-trace-summarize`.
+//!   digests from exported JSONL, powering `decaf-trace-summarize`;
+//! * [`Stitcher`] / [`StitchReport`] — multi-site causal stitching: pair
+//!   sends with receives by the envelope-carried span key, estimate
+//!   per-link clock skew (minimum one-way delay), and reconstruct per-VT
+//!   end-to-end spans with critical-path breakdowns, powering
+//!   `decaf-trace-stitch` and the model checker's trace-completeness
+//!   oracle;
+//! * [`metrics`] — Prometheus text exposition (counters, gauges, and the
+//!   log2 histograms as cumulative buckets) behind `decaf-site`'s live
+//!   `/metrics` endpoint;
+//! * [`SpanCarrier`] — how message-generic transports read the causal
+//!   span a payload carries.
 //!
 //! This crate intentionally has **zero dependencies** (not even
 //! `decaf-vt`): virtual times cross its API as plain `(lamport, site)`
@@ -48,9 +59,14 @@
 mod analyze;
 mod event;
 mod hist;
+pub mod metrics;
 mod sink;
+mod span;
+pub mod stitch;
 
 pub use analyze::{Replay, SiteReplay};
 pub use event::{ParseError, TraceEvent, TraceKind};
 pub use hist::{HistSummary, Histogram, BUCKETS};
 pub use sink::{SinkSummary, TraceSink};
+pub use span::SpanCarrier;
+pub use stitch::{StitchReport, Stitcher};

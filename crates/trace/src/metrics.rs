@@ -1,0 +1,211 @@
+//! Prometheus text exposition, hand-rolled and dependency-free.
+//!
+//! `decaf-site --metrics-listen` serves a live `/metrics` endpoint; this
+//! module renders the [text exposition format] (version 0.0.4) that any
+//! Prometheus-compatible scraper parses: `# HELP`/`# TYPE` headers,
+//! counter and gauge samples, and histograms as cumulative `le` buckets
+//! derived from the crate's log2 [`Histogram`]s.
+//!
+//! The output is deterministic — metrics render in call order, buckets in
+//! ascending bound order — so the format itself is pinned by golden
+//! snapshot tests.
+//!
+//! [text exposition format]:
+//!     https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use std::fmt::Write as _;
+
+use crate::hist::{Histogram, BUCKETS};
+
+/// The content type a `/metrics` HTTP response should declare.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// An in-progress text exposition. Feed metrics in a fixed order; a
+/// `# HELP`/`# TYPE` header is emitted the first time each metric name
+/// appears, so the same name may be sampled repeatedly with different
+/// labels.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+    seen: Vec<String>,
+}
+
+impl PromText {
+    /// An empty exposition.
+    pub fn new() -> Self {
+        PromText::default()
+    }
+
+    /// Appends a counter sample (monotonically increasing total).
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.header(name, help, "counter");
+        self.sample(name, "", labels, &value.to_string());
+    }
+
+    /// Appends a gauge sample (instantaneous value).
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.header(name, help, "gauge");
+        self.sample(name, "", labels, &value.to_string());
+    }
+
+    /// Appends a histogram: the log2 buckets become cumulative `le`
+    /// buckets (upper bound per bucket, then `+Inf`), plus `_sum` and
+    /// `_count` samples. Empty trailing buckets beyond the observed
+    /// maximum are collapsed into `+Inf` to keep the exposition compact;
+    /// cumulative counts stay exact.
+    pub fn histogram(&mut self, name: &str, help: &str, labels: &[(&str, &str)], h: &Histogram) {
+        self.header(name, help, "histogram");
+        let top = Histogram::bucket_index(h.max());
+        let mut cumulative = 0u64;
+        for i in 0..=top {
+            cumulative += h.bucket_count(i);
+            let le = Histogram::bucket_bounds(i).1.to_string();
+            let mut labels: Vec<(&str, &str)> = labels.to_vec();
+            labels.push(("le", &le));
+            self.sample(name, "_bucket", &labels, &cumulative.to_string());
+        }
+        // Buckets above `top` are empty by construction, except when the
+        // max itself lives in the last bucket (then `top` was the last).
+        debug_assert!((top + 1..BUCKETS).all(|i| h.bucket_count(i) == 0));
+        let mut inf_labels: Vec<(&str, &str)> = labels.to_vec();
+        inf_labels.push(("le", "+Inf"));
+        self.sample(name, "_bucket", &inf_labels, &h.count().to_string());
+        self.sample(name, "_sum", labels, &h.sum().to_string());
+        self.sample(name, "_count", labels, &h.count().to_string());
+    }
+
+    /// The rendered exposition.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        if self.seen.iter().any(|s| s == name) {
+            return;
+        }
+        self.seen.push(name.to_string());
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    fn sample(&mut self, name: &str, suffix: &str, labels: &[(&str, &str)], value: &str) {
+        let _ = write!(self.out, "{name}{suffix}");
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                let _ = write!(self.out, "{k}=\"");
+                for c in v.chars() {
+                    match c {
+                        '\\' => self.out.push_str("\\\\"),
+                        '"' => self.out.push_str("\\\""),
+                        '\n' => self.out.push_str("\\n"),
+                        c => self.out.push(c),
+                    }
+                }
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        let _ = writeln!(self.out, " {value}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_counter_and_gauge_exposition() {
+        let mut p = PromText::new();
+        p.counter(
+            "decaf_commits_total",
+            "Transactions committed.",
+            &[("site", "1")],
+            42,
+        );
+        p.counter(
+            "decaf_commits_total",
+            "Transactions committed.",
+            &[("site", "2")],
+            7,
+        );
+        p.gauge(
+            "decaf_queue_depth_hwm",
+            "Outbound queue high-water mark.",
+            &[],
+            9,
+        );
+        assert_eq!(
+            p.finish(),
+            "# HELP decaf_commits_total Transactions committed.\n\
+             # TYPE decaf_commits_total counter\n\
+             decaf_commits_total{site=\"1\"} 42\n\
+             decaf_commits_total{site=\"2\"} 7\n\
+             # HELP decaf_queue_depth_hwm Outbound queue high-water mark.\n\
+             # TYPE decaf_queue_depth_hwm gauge\n\
+             decaf_queue_depth_hwm 9\n"
+        );
+    }
+
+    #[test]
+    fn golden_histogram_exposition() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 5] {
+            h.record(v);
+        }
+        let mut p = PromText::new();
+        p.histogram("decaf_commit_latency_ns", "Commit latency.", &[], &h);
+        assert_eq!(
+            p.finish(),
+            "# HELP decaf_commit_latency_ns Commit latency.\n\
+             # TYPE decaf_commit_latency_ns histogram\n\
+             decaf_commit_latency_ns_bucket{le=\"0\"} 1\n\
+             decaf_commit_latency_ns_bucket{le=\"1\"} 2\n\
+             decaf_commit_latency_ns_bucket{le=\"3\"} 4\n\
+             decaf_commit_latency_ns_bucket{le=\"7\"} 5\n\
+             decaf_commit_latency_ns_bucket{le=\"+Inf\"} 5\n\
+             decaf_commit_latency_ns_sum 11\n\
+             decaf_commit_latency_ns_count 5\n"
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_count() {
+        let mut h = Histogram::new();
+        for v in [10u64, 1_000, 1_000_000, u64::MAX] {
+            h.record(v);
+        }
+        let mut p = PromText::new();
+        p.histogram("m", "h.", &[], &h);
+        let text = p.finish();
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("m_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{text}");
+        assert_eq!(*counts.last().unwrap(), 4);
+        assert!(text.contains("m_bucket{le=\"+Inf\"} 4"));
+        // u64::MAX lands in the final bucket, whose upper bound is MAX.
+        assert!(text.contains(&format!("m_bucket{{le=\"{}\"}} 4", u64::MAX)));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut p = PromText::new();
+        p.counter("m", "h.", &[("path", "a\"b\\c\nd")], 1);
+        assert!(p.finish().contains("m{path=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+
+    #[test]
+    fn empty_histogram_still_renders_inf_bucket() {
+        let mut p = PromText::new();
+        p.histogram("m", "h.", &[], &Histogram::new());
+        let text = p.finish();
+        assert!(text.contains("m_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("m_count 0"));
+    }
+}

@@ -219,13 +219,28 @@ impl TraceSink {
     /// [`enabled_manual`](TraceSink::enabled_manual)).
     #[inline]
     pub fn emit(&self, kind: TraceKind, vt: Option<(u64, u32)>, peer: Option<u32>, n: Option<u64>) {
+        self.emit_span(kind, vt, peer, n, None);
+    }
+
+    /// [`emit`](TraceSink::emit) carrying a causal span context
+    /// `(origin, seq, hop)` — the trace context a wire envelope carries,
+    /// recorded on both ends so the stitcher can pair sends with receives.
+    #[inline]
+    pub fn emit_span(
+        &self,
+        kind: TraceKind,
+        vt: Option<(u64, u32)>,
+        peer: Option<u32>,
+        n: Option<u64>,
+        span: Option<(u32, u64, u32)>,
+    ) {
         if let Some(shared) = &self.0 {
             let ts_ns = if shared.manual {
                 shared.manual_now_ns.load(Ordering::Relaxed)
             } else {
                 shared.epoch.elapsed().as_nanos() as u64
             };
-            shared.record(ts_ns, kind, vt, peer, n);
+            shared.record(ts_ns, kind, vt, peer, n, span);
         }
     }
 
@@ -241,8 +256,22 @@ impl TraceSink {
         peer: Option<u32>,
         n: Option<u64>,
     ) {
+        self.emit_at_span(ts_ns, kind, vt, peer, n, None);
+    }
+
+    /// [`emit_at`](TraceSink::emit_at) carrying a causal span context.
+    #[inline]
+    pub fn emit_at_span(
+        &self,
+        ts_ns: u64,
+        kind: TraceKind,
+        vt: Option<(u64, u32)>,
+        peer: Option<u32>,
+        n: Option<u64>,
+        span: Option<(u32, u64, u32)>,
+    ) {
         if let Some(shared) = &self.0 {
-            shared.record(ts_ns, kind, vt, peer, n);
+            shared.record(ts_ns, kind, vt, peer, n, span);
         }
     }
 
@@ -306,6 +335,25 @@ impl TraceSink {
         Ok(())
     }
 
+    /// Clones of the live latency histograms, in the order
+    /// `(commit_lat_ns, view_lat_ns, queue_depth)`. The raw buckets —
+    /// rather than the quantile digest [`summary`](TraceSink::summary)
+    /// offers — are what a Prometheus exposition needs to render
+    /// cumulative `le` buckets. Empty histograms when disabled.
+    pub fn histograms(&self) -> (Histogram, Histogram, Histogram) {
+        match &self.0 {
+            None => (Histogram::new(), Histogram::new(), Histogram::new()),
+            Some(shared) => {
+                let inner = shared.lock();
+                (
+                    inner.commit_lat.clone(),
+                    inner.view_lat.clone(),
+                    inner.queue_depth.clone(),
+                )
+            }
+        }
+    }
+
     /// Digest of the live histograms and drop counter.
     pub fn summary(&self) -> SinkSummary {
         match &self.0 {
@@ -342,6 +390,7 @@ impl Shared {
         vt: Option<(u64, u32)>,
         peer: Option<u32>,
         n: Option<u64>,
+        span: Option<(u32, u64, u32)>,
     ) {
         let Ok(mut inner) = self.inner.try_lock() else {
             // Emitters never block: a contended event is a dropped event.
@@ -356,6 +405,7 @@ impl Shared {
             vt,
             peer,
             n,
+            span,
         });
         if evicted {
             self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -498,6 +548,34 @@ mod tests {
         wall.set_now_ns(9);
         let disabled = TraceSink::disabled();
         disabled.set_now_ns(9);
+    }
+
+    #[test]
+    fn span_context_round_trips_through_the_ring() {
+        let s = TraceSink::enabled(1, 16);
+        s.emit_span(TraceKind::MsgSend, None, Some(2), Some(64), Some((1, 7, 0)));
+        s.emit_at_span(9, TraceKind::MsgRecv, None, Some(1), None, Some((1, 7, 1)));
+        let evs = s.snapshot();
+        assert_eq!(evs[0].span, Some((1, 7, 0)));
+        assert_eq!(evs[1].span, Some((1, 7, 1)));
+        // Plain emit leaves the span empty.
+        s.emit(TraceKind::Reconnect, None, Some(2), None);
+        assert_eq!(s.snapshot()[2].span, None);
+    }
+
+    #[test]
+    fn histograms_expose_raw_buckets() {
+        let s = TraceSink::enabled(1, 16);
+        s.emit_at(100, TraceKind::TxnBegin, Some((7, 1)), None, None);
+        s.emit_at(400, TraceKind::Commit, Some((7, 1)), None, Some(1));
+        s.record_queue_depth(5);
+        let (commit, view, depth) = s.histograms();
+        assert_eq!(commit.count(), 1);
+        assert_eq!(commit.max(), 300);
+        assert!(view.is_empty());
+        assert_eq!(depth.count(), 1);
+        let (c, v, d) = TraceSink::disabled().histograms();
+        assert!(c.is_empty() && v.is_empty() && d.is_empty());
     }
 
     #[test]

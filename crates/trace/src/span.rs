@@ -1,0 +1,99 @@
+//! The [`SpanCarrier`] trait: how message-generic transports discover the
+//! causal trace context a payload carries.
+//!
+//! The engine stamps every outbound envelope with a span `(origin site,
+//! origin sequence, hop count)`; substrates that are generic over their
+//! message type (the simulator, the threaded mesh) cannot name the
+//! envelope type directly, so they ask through this trait when emitting
+//! `MsgSend`/`MsgRecv` trace events. Payload types with no notion of a
+//! span (test scalars, opaque blobs) answer `None` and trace exactly as
+//! they did before spans existed.
+
+/// Read access to the causal trace context a message carries, if any.
+///
+/// Implemented by `decaf-core`'s `Envelope` (the real protocol payload)
+/// and, trivially, by the scalar payloads tests drive transports with.
+pub trait SpanCarrier {
+    /// The `(origin site, origin sequence, hop count)` span key this
+    /// message carries, or `None` for span-less payloads.
+    fn trace_span(&self) -> Option<(u32, u64, u32)>;
+}
+
+macro_rules! spanless {
+    ($($t:ty),* $(,)?) => {$(
+        impl SpanCarrier for $t {
+            fn trace_span(&self) -> Option<(u32, u64, u32)> {
+                None
+            }
+        }
+    )*};
+}
+
+spanless!(
+    (),
+    bool,
+    char,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    String,
+);
+
+impl SpanCarrier for &str {
+    fn trace_span(&self) -> Option<(u32, u64, u32)> {
+        None
+    }
+}
+
+impl<T> SpanCarrier for Vec<T> {
+    fn trace_span(&self) -> Option<(u32, u64, u32)> {
+        None
+    }
+}
+
+impl<T: SpanCarrier> SpanCarrier for Box<T> {
+    fn trace_span(&self) -> Option<(u32, u64, u32)> {
+        (**self).trace_span()
+    }
+}
+
+impl<T: SpanCarrier> SpanCarrier for std::sync::Arc<T> {
+    fn trace_span(&self) -> Option<(u32, u64, u32)> {
+        (**self).trace_span()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_payloads_are_spanless() {
+        assert_eq!(7u32.trace_span(), None);
+        assert_eq!("x".trace_span(), None);
+        assert_eq!(String::from("x").trace_span(), None);
+        assert_eq!(vec![1u8, 2].trace_span(), None);
+        assert_eq!(().trace_span(), None);
+    }
+
+    #[test]
+    fn wrappers_delegate() {
+        struct Spanned;
+        impl SpanCarrier for Spanned {
+            fn trace_span(&self) -> Option<(u32, u64, u32)> {
+                Some((1, 2, 3))
+            }
+        }
+        assert_eq!(Box::new(Spanned).trace_span(), Some((1, 2, 3)));
+        assert_eq!(std::sync::Arc::new(Spanned).trace_span(), Some((1, 2, 3)));
+    }
+}

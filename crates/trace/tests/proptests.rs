@@ -18,14 +18,16 @@ fn arb_event() -> impl Strategy<Value = TraceEvent> {
         prop::option::of((any::<u64>(), any::<u32>())),
         prop::option::of(any::<u32>()),
         prop::option::of(any::<u64>()),
+        prop::option::of((any::<u32>(), any::<u64>(), any::<u32>())),
     )
-        .prop_map(|(site, ts_ns, kind, vt, peer, n)| TraceEvent {
+        .prop_map(|(site, ts_ns, kind, vt, peer, n, span)| TraceEvent {
             site,
             ts_ns,
             kind,
             vt,
             peer,
             n,
+            span,
         })
 }
 

@@ -23,7 +23,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use decaf_core::{
-    wiring, EngineEvent, Envelope, ObjectName, Site, SiteConfig, Transaction, TxnCtx, TxnError,
+    wiring, EngineEvent, Envelope, ObjectName, Site, SiteConfig, TraceKind, Transaction, TxnCtx,
+    TxnError,
 };
 use decaf_net::sim::{Event, LatencyModel, SimNet, SimTime};
 use decaf_vt::{SiteId, VirtualTime};
@@ -249,10 +250,25 @@ impl SimWorld {
 
     /// Collects every site's outbox into the network and its events into
     /// the log.
+    ///
+    /// Each departing envelope is traced as a span-carrying `MsgSend` on
+    /// the sender's sink (a no-op for the default disabled sink), stamped
+    /// with simulated time — the same contract as the
+    /// [`SimTransport`](decaf_net::sim::SimTransport) facade, so traces
+    /// from either driver stitch identically.
     pub fn flush(&mut self) {
         let now = self.net.now();
         for (id, site) in self.sites.iter_mut() {
             for env in site.drain_outbox() {
+                let span = env.span.map(|s| s.as_trace());
+                site.trace_sink().emit_at_span(
+                    now.as_micros().saturating_mul(1_000),
+                    TraceKind::MsgSend,
+                    span.map(|(o, s, _)| (s, o)),
+                    Some(env.to.0),
+                    None,
+                    span,
+                );
                 self.net.send(env.from, env.to, env);
             }
             for event in site.drain_events() {
@@ -270,8 +286,17 @@ impl SimWorld {
         self.flush();
         let event = self.net.step()?;
         let step = match event {
-            Event::Deliver { at, to, msg, .. } => {
+            Event::Deliver { at, from, to, msg } => {
                 if let Some(site) = self.sites.get_mut(&to) {
+                    let span = msg.span.map(|s| s.as_trace());
+                    site.trace_sink().emit_at_span(
+                        at.as_micros().saturating_mul(1_000),
+                        TraceKind::MsgRecv,
+                        span.map(|(o, s, _)| (s, o)),
+                        Some(from.0),
+                        None,
+                        span,
+                    );
                     site.handle_message(msg);
                 }
                 WorldStep::Delivered { at }

@@ -85,4 +85,78 @@ else
     echo "$CHECK_JSON" | grep -q '"violations":0'
 fi
 
+# Live-telemetry + stitcher gate: a real 3-process decaf-site mesh on
+# loopback, every site dumping its trace to JSONL and site 1 serving the
+# --metrics-listen plane. The gate scrapes /metrics over raw TCP (no curl
+# dependency) *while* the mesh is still running and requires a non-empty
+# decaf_commits_total sample; once all three processes exit 0 it stitches
+# the dumps with decaf-trace-stitch and requires exit 0 plus per-site-pair
+# propagation histograms and per-VT spans in the report.
+echo "==> live /metrics scrape + decaf-trace-stitch over a 3-process TCP mesh"
+run cargo build -p decaf-apps --release --offline --bin decaf-site --bin decaf-trace-stitch
+MESH_DIR="$(mktemp -d)"
+BASE=$((20000 + $$ % 20000))
+P1=$BASE P2=$((BASE + 1)) P3=$((BASE + 2)) PM=$((BASE + 3))
+PIDS=()
+for i in 1 2 3; do
+    port_var="P$i"
+    args=(--site "$i" --listen "127.0.0.1:${!port_var}" --txns 3
+          --linger-ms 4000 --max-runtime-ms 60000
+          --trace-out "$MESH_DIR/site$i.jsonl")
+    for j in 1 2 3; do
+        peer_var="P$j"
+        [[ "$j" != "$i" ]] && args+=(--peer "$j=127.0.0.1:${!peer_var}")
+    done
+    [[ "$i" == 1 ]] && args+=(--metrics-listen "127.0.0.1:$PM")
+    target/release/decaf-site "${args[@]}" >"$MESH_DIR/site$i.log" 2>&1 &
+    PIDS+=($!)
+done
+
+scrape() { # scrape PATH — one-shot HTTP GET against the metrics plane
+    exec 9<>"/dev/tcp/127.0.0.1/$PM" || return 1
+    printf 'GET %s HTTP/1.1\r\nHost: ci\r\nConnection: close\r\n\r\n' "$1" >&9
+    cat <&9
+    exec 9<&- 9>&-
+}
+
+COMMITS=""
+for _ in $(seq 1 150); do
+    SAMPLE="$(scrape /metrics 2>/dev/null || true)"
+    COMMITS="$(echo "$SAMPLE" | sed -n 's/^decaf_commits_total{site="1"} \([0-9][0-9]*\)$/\1/p')"
+    [[ -n "$COMMITS" && "$COMMITS" != "0" ]] && break
+    sleep 0.2
+done
+if [[ -z "$COMMITS" || "$COMMITS" == "0" ]]; then
+    echo "FAIL: no live decaf_commits_total sample from the running mesh" >&2
+    cat "$MESH_DIR"/site*.log >&2 || true
+    kill "${PIDS[@]}" 2>/dev/null || true
+    exit 1
+fi
+echo "live scrape: decaf_commits_total{site=\"1\"} $COMMITS"
+
+for pid in "${PIDS[@]}"; do
+    if ! wait "$pid"; then
+        echo "FAIL: a decaf-site process exited non-zero" >&2
+        cat "$MESH_DIR"/site*.log >&2
+        exit 1
+    fi
+done
+
+echo "==> decaf-trace-stitch site{1,2,3}.jsonl"
+target/release/decaf-trace-stitch \
+    "$MESH_DIR/site1.jsonl" "$MESH_DIR/site2.jsonl" "$MESH_DIR/site3.jsonl" \
+    >"$MESH_DIR/stitch.txt"
+if ! grep -Eq '^  [0-9]+->[0-9]+: n=[1-9]' "$MESH_DIR/stitch.txt"; then
+    echo "FAIL: stitched report has no non-empty propagation histogram" >&2
+    cat "$MESH_DIR/stitch.txt" >&2
+    exit 1
+fi
+if ! grep -Eq '^  vt=' "$MESH_DIR/stitch.txt"; then
+    echo "FAIL: stitched report has no per-VT spans" >&2
+    cat "$MESH_DIR/stitch.txt" >&2
+    exit 1
+fi
+grep -E '^(events=|  [0-9]+->[0-9]+: n=)' "$MESH_DIR/stitch.txt" | head -8
+rm -rf "$MESH_DIR"
+
 echo "CI OK"
